@@ -1,0 +1,78 @@
+// Ablation: the spatial vulnerability profile (DESIGN.md Sec. 4).
+// Two knobs anchor Fig. 8: the within-subarray position curve
+// (position_swing) and the resilient-subarray factor. Removing either
+// erases the corresponding observation.
+#include "common.h"
+
+#include "study/ber.h"
+
+namespace {
+
+hbmrd::dram::ChipProfile custom_profile(double swing, double resilient) {
+  auto profile = hbmrd::dram::chip_profiles()[2];  // identity mapping
+  profile.disturb.position_swing = swing;
+  profile.disturb.resilient_subarray_factor = resilient;
+  return profile;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hbmrd;
+  bench::BenchContext ctx(argc, argv, "Ablation: spatial vulnerability profile");
+  const int samples = ctx.rows(10, 64);
+
+  util::Table table({"Variant", "mid/edge BER ratio (subarray 3)",
+                     "regular/middle-subarray BER ratio"});
+  struct Variant {
+    std::string name;
+    double swing, resilient;
+  };
+  const Variant variants[] = {
+      {"default", 0.5, 2.2},
+      {"no position curve", 0.0, 2.2},
+      {"no resilient subarrays", 0.5, 1.0},
+  };
+  for (const auto& variant : variants) {
+    bender::HbmChip chip(custom_profile(variant.swing, variant.resilient));
+    const auto map = study::AddressMap::from_scheme(chip.profile().mapping);
+    study::BerConfig config;
+    const dram::BankAddress bank{0, 0, 0};
+
+    auto mean_ber_at = [&](int subarray, bool middle_positions) {
+      const int start = dram::subarray_start(subarray);
+      const int size = dram::subarray_size(subarray);
+      std::vector<double> bers;
+      for (int i = 0; i < samples; ++i) {
+        const int pos = middle_positions
+                            ? size / 2 - samples / 2 + i
+                            : (i < samples / 2 ? 2 + i
+                                               : size - 3 - (i - samples / 2));
+        bers.push_back(study::measure_row_ber(
+                           chip, map, {bank, map.to_logical(start + pos)},
+                           config)
+                           .ber);
+      }
+      return hbmrd::util::mean(bers);
+    };
+
+    const double mid = mean_ber_at(3, true);
+    const double edge = mean_ber_at(3, false);
+    const double resilient_mid = mean_ber_at(dram::kMiddleSubarray, true);
+    table.row()
+        .cell(variant.name)
+        .cell(util::format_double(mid / std::max(edge, 1e-9), 2) + "x")
+        .cell(util::format_double(mid / std::max(resilient_mid, 1e-9), 2) +
+              "x");
+  }
+  table.print(std::cout);
+
+  ctx.banner("Reading");
+  std::cout
+      << "Default: BER peaks mid-subarray (Obsv. 14) and the middle 832-row\n"
+         "subarray is several times more resilient (Obsv. 15). Zeroing the\n"
+         "position curve flattens the first ratio toward 1x; removing the\n"
+         "resilient factor flattens the second — each observation is\n"
+         "carried by exactly one model knob.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "common.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hbmrd::bench {
+
+BenchContext::BenchContext(int argc, char** argv, const std::string& title)
+    : cli_(argc, argv),
+      title_(title),
+      platform_(static_cast<std::uint64_t>(
+          cli_.get_int("--seed",
+                       static_cast<std::int64_t>(
+                           dram::kDefaultPlatformSeed)))) {
+  maps_.resize(static_cast<std::size_t>(platform_.chip_count()));
+  std::cout << "=====================================================\n"
+            << title_ << "\n"
+            << "=====================================================\n";
+  if (!full()) {
+    std::cout << "(scaled-down run; pass --full for paper scale, "
+                 "--rows/--chip/--channels to adjust)\n";
+  }
+}
+
+int BenchContext::rows(int scaled_default, int paper_scale) const {
+  const int base = full() ? paper_scale : scaled_default;
+  return static_cast<int>(cli_.get_int("--rows", base));
+}
+
+std::vector<int> BenchContext::chips() const {
+  if (cli_.has("--chip")) {
+    return {static_cast<int>(cli_.get_int("--chip", 0))};
+  }
+  std::vector<int> all;
+  for (int i = 0; i < platform_.chip_count(); ++i) all.push_back(i);
+  return all;
+}
+
+std::vector<int> BenchContext::channels(int scaled_default) const {
+  const int count = full() ? dram::kChannels
+                           : static_cast<int>(cli_.get_int(
+                                 "--channels", scaled_default));
+  std::vector<int> list;
+  for (int ch = 0; ch < std::min(count, dram::kChannels); ++ch) {
+    list.push_back(ch);
+  }
+  return list;
+}
+
+const study::AddressMap& BenchContext::map_of(int chip_index) {
+  auto& slot = maps_[static_cast<std::size_t>(chip_index)];
+  if (!slot) {
+    auto& chip = platform_.chip(chip_index);
+    if (cli_.has("--trust-map")) {
+      slot = std::make_unique<study::AddressMap>(
+          study::AddressMap::from_scheme(chip.profile().mapping));
+    } else {
+      slot = std::make_unique<study::AddressMap>(
+          study::AddressMap::reverse_engineer(chip,
+                                              dram::BankAddress{0, 0, 0}));
+    }
+  }
+  return *slot;
+}
+
+std::unique_ptr<util::CsvWriter> BenchContext::csv(
+    const std::string& name, std::vector<std::string> columns) const {
+  const auto dir = cli_.get_string("--csv", "");
+  if (dir.empty()) return nullptr;
+  auto writer = std::make_unique<util::CsvWriter>(dir + "/" + name + ".csv",
+                                                  std::move(columns));
+  std::cout << "(writing raw series to " << writer->path() << ")\n";
+  return writer;
+}
+
+void BenchContext::compare(const std::string& what, const std::string& paper,
+                           const std::string& measured) {
+  std::cout << "  " << what << ": paper " << paper << " | measured "
+            << measured << "\n";
+}
+
+void BenchContext::banner(const std::string& section) const {
+  util::print_banner(std::cout, section);
+}
+
+std::string ber_pct(double ber, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << (100.0 * ber) << "%";
+  return out.str();
+}
+
+}  // namespace hbmrd::bench

@@ -1,0 +1,67 @@
+// Shared scaffolding for the per-figure/per-table benchmark harnesses.
+//
+// Every harness reproduces one table or figure of the paper: it runs the
+// corresponding experiment on the simulated testbed (scaled down by
+// default; --full restores paper scale), prints the measured series next
+// to the paper-reported reference values, and exits 0.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace hbmrd::bench {
+
+class BenchContext {
+ public:
+  BenchContext(int argc, char** argv, const std::string& title);
+
+  [[nodiscard]] bender::Platform& platform() { return platform_; }
+  [[nodiscard]] const util::Cli& cli() const { return cli_; }
+
+  /// True when --full was passed: run at paper scale.
+  [[nodiscard]] bool full() const { return cli_.has("--full"); }
+
+  /// Row-count knob: --rows overrides, --full selects the paper scale.
+  [[nodiscard]] int rows(int scaled_default, int paper_scale) const;
+
+  /// Chip-index list: --chip N restricts to one chip.
+  [[nodiscard]] std::vector<int> chips() const;
+
+  /// Channel list: --channels N limits the sweep width.
+  [[nodiscard]] std::vector<int> channels(int scaled_default) const;
+
+  /// The reverse-engineered address map of a chip (cached per chip; uses
+  /// the probing procedure once, or trusts the profile with --trust-map).
+  [[nodiscard]] const study::AddressMap& map_of(int chip_index);
+
+  /// Prints a "paper reports X / measured Y" comparison line.
+  void compare(const std::string& what, const std::string& paper,
+               const std::string& measured);
+
+  /// Opens `<dir>/<name>.csv` when the user passed --csv <dir>; null
+  /// otherwise. Benches stream their raw data series through this so the
+  /// figures can be re-plotted externally.
+  [[nodiscard]] std::unique_ptr<util::CsvWriter> csv(
+      const std::string& name, std::vector<std::string> columns) const;
+
+  void banner(const std::string& section) const;
+
+ private:
+  util::Cli cli_;
+  std::string title_;
+  bender::Platform platform_;
+  std::vector<std::unique_ptr<study::AddressMap>> maps_;
+};
+
+/// Formats a BER as a percentage string.
+[[nodiscard]] std::string ber_pct(double ber, int precision = 3);
+
+}  // namespace hbmrd::bench

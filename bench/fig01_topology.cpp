@@ -1,0 +1,43 @@
+// Fig. 1: HBM2 DRAM system organization — walks the simulated stack's
+// hierarchy and verifies the paper's configuration numbers.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmrd;
+  bench::BenchContext ctx(argc, argv, "Fig. 1: HBM2 system organization");
+
+  ctx.banner("Hierarchy");
+  std::cout << "Memory controller --HBM2 interface (600 MHz, "
+            << util::format_double(dram::kNsPerCycle, 2)
+            << " ns/cycle)--> HBM2 stack\n";
+  std::cout << "  stack: " << dram::kDies << " DRAM dies (channel pairs)\n";
+  for (int die = 0; die < dram::kDies; ++die) {
+    std::cout << "    die " << die << ": channels";
+    for (int ch = 0; ch < dram::kChannels; ++ch) {
+      if (dram::die_of_channel(ch) == die) std::cout << " CH" << ch;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  channel: " << dram::kPseudoChannels << " pseudo channels\n"
+            << "  pseudo channel: " << dram::kBanksPerPseudoChannel
+            << " banks\n"
+            << "  bank: " << dram::kRowsPerBank << " rows x "
+            << dram::kRowBits << " bits (" << dram::kSubarrays
+            << " subarrays of " << dram::kSubarraySizeLarge << "/"
+            << dram::kSubarraySizeSmall << " rows)\n";
+
+  const double gib = static_cast<double>(dram::kChannels) *
+                     dram::kPseudoChannels * dram::kBanksPerPseudoChannel *
+                     dram::kRowsPerBank * dram::kRowBits / 8.0 /
+                     (1024.0 * 1024.0 * 1024.0);
+  ctx.compare("stack density", "4 GiB",
+              util::format_double(gib, 0) + " GiB");
+  ctx.compare("channels / pseudo channels / banks / rows / row size",
+              "8 / 2 / 16 / 16384 / 1 KiB",
+              std::to_string(dram::kChannels) + " / " +
+                  std::to_string(dram::kPseudoChannels) + " / " +
+                  std::to_string(dram::kBanksPerPseudoChannel) + " / " +
+                  std::to_string(dram::kRowsPerBank) + " / " +
+                  std::to_string(dram::kRowBits / 8 / 1024) + " KiB");
+  return 0;
+}

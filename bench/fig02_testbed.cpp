@@ -1,0 +1,54 @@
+// Fig. 2: the FPGA-based HBM2 tester — boards, host stack, temperature rig,
+// and the command-timing capabilities of the (simulated) DRAM Bender
+// infrastructure.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmrd;
+  bench::BenchContext ctx(argc, argv, "Fig. 2: FPGA-based HBM2 tester");
+
+  ctx.banner("Host infrastructure");
+  std::cout
+      << "Test programs run on a DRAM-Bender-style executor: explicit\n"
+         "ACT/PRE/RD/WR/REF/MRS commands plus WAIT padding, scheduled at\n"
+         "the earliest timing-legal cycle of a 600 MHz interface clock\n"
+         "(1.66 ns command granularity, as in the paper).\n";
+
+  const dram::TimingParams timing;
+  ctx.banner("Timing parameters");
+  util::Table table({"Parameter", "Cycles", "Time"});
+  auto entry = [&](const std::string& name, dram::Cycle cycles) {
+    table.row().cell(name).cell(static_cast<long long>(cycles)).cell(
+        util::format_double(dram::cycles_to_ns(cycles), 1) + " ns");
+  };
+  entry("tRAS (min aggressor on-time)", timing.t_ras);
+  entry("tRP", timing.t_rp);
+  entry("tRCD", timing.t_rcd);
+  entry("tRC", timing.t_rc);
+  entry("tRFC", timing.t_rfc);
+  entry("tREFI", timing.t_refi);
+  entry("9 * tREFI (max REF delay)", timing.max_ref_delay());
+  entry("tREFW", timing.t_refw);
+  table.print(std::cout);
+
+  ctx.banner("Temperature rig");
+  for (int i = 0; i < ctx.platform().chip_count(); ++i) {
+    auto& chip = ctx.platform().chip(i);
+    std::cout << "  " << chip.profile().label << " on "
+              << chip.profile().board << ": "
+              << (chip.profile().temperature_controlled
+                      ? "heating pad + fan + bang-bang controller, target " +
+                            util::format_double(
+                                chip.profile().target_temperature_c, 1) +
+                            " C"
+                      : "ambient, ~" +
+                            util::format_double(
+                                chip.profile().ambient_temperature_c, 1) +
+                            " C")
+              << "; sensor now " << util::format_double(chip.temperature_c(), 1)
+              << " C\n";
+  }
+  ctx.compare("activation budget between REFs", "78",
+              std::to_string(timing.activation_budget()));
+  return 0;
+}

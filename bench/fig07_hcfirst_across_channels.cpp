@@ -1,0 +1,58 @@
+// Fig. 7 (Sec. 4.2): HC_first distributions across channels and data
+// patterns (Obsv. 12-13: vulnerable channels have more small-HC_first rows;
+// the distribution shifts with the data pattern).
+#include "common.h"
+#include "study/hc_first.h"
+#include "study/row_selection.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmrd;
+  bench::BenchContext ctx(argc, argv, "Fig. 7: HC_first across channels");
+  const int n_rows = ctx.rows(12, 3072);
+  const int chip_index =
+      static_cast<int>(ctx.cli().get_int("--chip", 1));  // paper cites Chip 1
+  auto& chip = ctx.platform().chip(chip_index);
+  const auto& map = ctx.map_of(chip_index);
+  const auto channels = ctx.channels(4);
+
+  util::Table table(
+      {"Channel", "Pattern", "min HC_first", "median", "mean"});
+  std::vector<double> rs0_medians, rs1_medians;
+  for (int ch : channels) {
+    for (auto pattern : study::kAllPatterns) {
+      study::HcSearchConfig config;
+      config.pattern = pattern;
+      std::vector<double> hcs;
+      for (int row : study::spread_rows(n_rows)) {
+        const auto hc =
+            study::find_hc_first(chip, map, {{ch, 0, 0}, row}, config);
+        if (hc) hcs.push_back(static_cast<double>(*hc));
+      }
+      if (hcs.empty()) continue;
+      table.row()
+          .cell("CH" + std::to_string(ch))
+          .cell(study::to_string(pattern))
+          .cell(util::min_of(hcs), 0)
+          .cell(util::median(hcs), 0)
+          .cell(util::mean(hcs), 0);
+      if (pattern == study::DataPattern::kRowstripe0) {
+        rs0_medians.push_back(util::median(hcs));
+      }
+      if (pattern == study::DataPattern::kRowstripe1) {
+        rs1_medians.push_back(util::median(hcs));
+      }
+    }
+  }
+  table.print(std::cout);
+
+  ctx.banner("Paper reference points (Obsv. 12-13, Takeaway 3)");
+  if (!rs0_medians.empty()) {
+    ctx.compare("median HC_first Rowstripe0 vs Rowstripe1 (CH0 of Chip 1)",
+                "103905 vs 75990",
+                util::format_double(rs0_medians.front(), 0) + " vs " +
+                    util::format_double(rs1_medians.front(), 0));
+  }
+  ctx.compare("channels with more small-HC_first rows also show higher BER",
+              "CH3/CH4 of Chip 1", "cross-check with fig06 output");
+  return 0;
+}

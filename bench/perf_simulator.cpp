@@ -1,0 +1,100 @@
+// Google-benchmark microbenchmarks of the simulator itself: command
+// throughput, sense/materialization cost, the hammer fast path, and a full
+// HC_first search. These guard the performance envelope that keeps the
+// --full experiment sweeps tractable.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bender/executor.h"
+#include "bender/program.h"
+#include "study/address_map.h"
+#include "study/hc_first.h"
+
+namespace {
+
+using namespace hbmrd;
+
+dram::StackConfig config() {
+  dram::StackConfig c;
+  c.disturb.seed = 0xBE7C4;
+  return c;
+}
+
+constexpr dram::BankAddress kBank{0, 0, 0};
+
+void BM_ActPrePair(benchmark::State& state) {
+  dram::Stack stack(config());
+  bender::Executor executor(&stack);
+  for (auto _ : state) {
+    bender::ProgramBuilder builder;
+    builder.act(kBank, 4300).pre(kBank);
+    benchmark::DoNotOptimize(executor.run(std::move(builder).build()));
+  }
+}
+BENCHMARK(BM_ActPrePair);
+
+void BM_WriteRow(benchmark::State& state) {
+  dram::Stack stack(config());
+  bender::Executor executor(&stack);
+  const auto bits = dram::RowBits::filled(0x55);
+  for (auto _ : state) {
+    bender::ProgramBuilder builder;
+    builder.write_row(kBank, 4300, bits);
+    benchmark::DoNotOptimize(executor.run(std::move(builder).build()));
+  }
+}
+BENCHMARK(BM_WriteRow);
+
+void BM_HammerFastPath(benchmark::State& state) {
+  dram::Stack stack(config());
+  bender::Executor executor(&stack);
+  const std::array<int, 2> rows = {4299, 4301};
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    bender::ProgramBuilder builder;
+    builder.hammer(kBank, rows, count);
+    benchmark::DoNotOptimize(executor.run(std::move(builder).build()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count) * 2);
+}
+BENCHMARK(BM_HammerFastPath)->Arg(1000)->Arg(100000);
+
+void BM_SenseDisturbedRow(benchmark::State& state) {
+  // The dominant cost of every probe: reading a victim whose ledger holds
+  // dose (one full 8192-cell threshold scan).
+  dram::Stack stack(config());
+  bender::Executor executor(&stack);
+  const std::array<int, 2> rows = {4299, 4301};
+  for (auto _ : state) {
+    state.PauseTiming();
+    bender::ProgramBuilder setup;
+    setup.write_row(kBank, 4300, dram::RowBits::filled(0x55));
+    setup.hammer(kBank, rows, 100000);
+    executor.run(std::move(setup).build());
+    state.ResumeTiming();
+    bender::ProgramBuilder read;
+    read.read_row(kBank, 4300);
+    benchmark::DoNotOptimize(executor.run(std::move(read).build()));
+  }
+}
+BENCHMARK(BM_SenseDisturbedRow);
+
+void BM_HcFirstSearch(benchmark::State& state) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  const auto map = study::AddressMap::from_scheme(chip.profile().mapping);
+  study::HcSearchConfig hc_config;
+  int row = 4000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        study::find_hc_first(chip, map, {kBank, row}, hc_config));
+    row += 7;  // fresh rows so caching cannot flatter the number
+  }
+}
+BENCHMARK(BM_HcFirstSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Supplementary: the blast radius of a single aggressor — how far
+// disturbance reaches in physical rows. The paper's methodology (double-
+// sided, distance-1 aggressors; single-sided probes for boundaries)
+// presumes distance-1 dominance; this bench measures it through the
+// interface: hammer one row hard, read every neighbour out to distance 4.
+#include "common.h"
+
+#include "study/patterns.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmrd;
+  bench::BenchContext ctx(argc, argv, "Supplementary: blast radius");
+  const int chip_index = static_cast<int>(ctx.cli().get_int("--chip", 2));
+  auto& chip = ctx.platform().chip(chip_index);
+  const auto& map = ctx.map_of(chip_index);
+  const dram::BankAddress bank{0, 0, 0};
+  const int aggressor_physical = 4400;  // mid-subarray
+  const auto counts = {200'000ull, 600'000ull, 1'800'000ull};
+
+  util::Table table({"hammer count", "d=-2", "d=-1", "d=+1", "d=+2",
+                     "d=+-3..4"});
+  const auto victim_bits = study::victim_row_bits(study::DataPattern::kCheckered0);
+  const auto aggressor_bits =
+      study::aggressor_row_bits(study::DataPattern::kCheckered0);
+  for (const auto count : counts) {
+    bender::ProgramBuilder builder;
+    for (int d = -4; d <= 4; ++d) {
+      const int logical = map.to_logical(aggressor_physical + d);
+      builder.write_row(bank, logical,
+                        d == 0 ? aggressor_bits : victim_bits);
+    }
+    const std::array<int, 1> rows = {map.to_logical(aggressor_physical)};
+    builder.hammer(bank, rows, count);
+    for (int d = -4; d <= 4; ++d) {
+      if (d == 0) continue;
+      builder.read_row(bank, map.to_logical(aggressor_physical + d));
+    }
+    const auto result = chip.run(std::move(builder).build());
+
+    std::array<int, 9> flips{};
+    std::size_t index = 0;
+    for (int d = -4; d <= 4; ++d) {
+      if (d == 0) continue;
+      flips[static_cast<std::size_t>(d + 4)] =
+          result.row(index++).count_diff(victim_bits);
+    }
+    table.row()
+        .cell(static_cast<long long>(count))
+        .cell(flips[2])
+        .cell(flips[3])
+        .cell(flips[5])
+        .cell(flips[6])
+        .cell(flips[0] + flips[1] + flips[7] + flips[8]);
+  }
+  table.print(std::cout);
+
+  ctx.banner("Reading");
+  ctx.compare("distance-1 rows dominate",
+              "double-sided methodology targets the adjacent rows",
+              "d=+-1 columns carry the flips");
+  ctx.compare("distance-2 coupling",
+              "~1.5% of adjacent: real (HalfDouble feeds on it, Sec. 8.1) "
+              "but far below the flip threshold at survivable hammer counts",
+              "d=+-2 stays zero here; see sec8_halfdouble for the dose it "
+              "does deposit");
+  ctx.compare("distance >= 3", "none", "zero column");
+  return 0;
+}

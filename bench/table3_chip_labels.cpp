@@ -1,0 +1,27 @@
+// Table 3: the six HBM2 chips and their FPGA boards, extended with the
+// per-chip simulator profile (mapping scheme, thermal setup, defenses).
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmrd;
+  bench::BenchContext ctx(argc, argv, "Table 3: HBM2 chip labels");
+
+  ctx.banner("Testbed inventory");
+  util::Table table({"FPGA board", "Chip label", "Temperature",
+                     "Row mapping", "Undocumented TRR"});
+  for (int i = 0; i < ctx.platform().chip_count(); ++i) {
+    auto& chip = ctx.platform().chip(i);
+    const auto& profile = chip.profile();
+    table.row()
+        .cell(profile.board)
+        .cell(profile.label)
+        .cell(util::format_double(chip.temperature_c(), 1) + " C" +
+              (profile.temperature_controlled ? " (controlled)" : ""))
+        .cell(dram::to_string(profile.mapping))
+        .cell(profile.has_undocumented_trr ? "yes (Sec. 7)" : "not observed");
+  }
+  table.print(std::cout);
+  ctx.compare("boards", "1x Bittware XUPVVH + 5x AMD Alveo U50",
+              "matching inventory above");
+  return 0;
+}

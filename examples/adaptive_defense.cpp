@@ -1,0 +1,135 @@
+// Vulnerability-adaptive defense (Sec. 8.2): a memory controller that
+// knows the per-channel RowHammer thresholds can protect the chip with
+// fewer preventive refreshes than one that must assume the global worst
+// case everywhere. This example builds a controller-side neighbor-refresh
+// defense (PARA-style, deterministic schedule) on the public host API and
+// compares the uniform and the adaptive configuration.
+#include <iostream>
+
+#include "bender/platform.h"
+#include "study/hc_first.h"
+#include "study/row_selection.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hbmrd;
+
+/// Controller-side defense: after every `interval` double-sided hammer
+/// iterations, activate the victim row once (a preventive neighbor
+/// refresh). Returns the victim's bitflip count after `total` hammers.
+int attack_under_defense(bender::HbmChip& chip, const study::AddressMap& map,
+                         const dram::RowAddress& victim,
+                         std::uint64_t interval, std::uint64_t total) {
+  const auto aggressors = map.aggressors_of(victim.row);
+  const auto victim_bits =
+      study::victim_row_bits(study::DataPattern::kCheckered0);
+  const auto aggressor_bits =
+      study::aggressor_row_bits(study::DataPattern::kCheckered0);
+
+  bender::ProgramBuilder builder;
+  builder.write_row(victim.bank, victim.row, victim_bits);
+  for (int row : aggressors) {
+    builder.write_row(victim.bank, row, aggressor_bits);
+  }
+  builder.loop_begin(std::max<std::uint64_t>(1, total / interval));
+  for (std::uint64_t i = 0; i < interval; ++i) {
+    for (int row : aggressors) {
+      builder.act(victim.bank, row).pre(victim.bank);
+    }
+  }
+  // Preventive refresh: activating the victim restores its charge.
+  builder.act(victim.bank, victim.row).pre(victim.bank);
+  builder.loop_end();
+  builder.read_row(victim.bank, victim.row);
+  const auto result = chip.run(std::move(builder).build());
+  return result.row(0).count_diff(victim_bits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int chip_index = static_cast<int>(cli.get_int("--chip", 4));
+  const int sample_rows = static_cast<int>(cli.get_int("--sample-rows", 8));
+  const std::uint64_t attack_hammers = 600'000;
+
+  bender::Platform platform;
+  auto& chip = platform.chip(chip_index);
+  const auto map = study::AddressMap::from_scheme(chip.profile().mapping);
+  std::cout << "Adaptive defense study on " << chip.profile().label << "\n\n";
+
+  // Step 1: profile each channel's minimum HC_first (coarse sample).
+  std::cout << "Step 1: per-channel HC_first profiling (" << sample_rows
+            << " rows each)\n";
+  std::vector<std::uint64_t> channel_min(dram::kChannels, 0);
+  for (int ch = 0; ch < dram::kChannels; ++ch) {
+    std::uint64_t lowest = ~0ull;
+    for (int row : study::spread_rows(sample_rows)) {
+      study::HcSearchConfig config;
+      const auto hc =
+          study::find_hc_first(chip, map, {{ch, 0, 0}, row}, config);
+      if (hc) lowest = std::min(lowest, *hc);
+    }
+    channel_min[static_cast<std::size_t>(ch)] = lowest;
+  }
+
+  // Step 2: pick refresh intervals. Uniform = everyone uses the global
+  // worst case; adaptive = each channel uses its own threshold. A safety
+  // factor of 4 covers rows below the sampled minimum.
+  const std::uint64_t global_min =
+      *std::min_element(channel_min.begin(), channel_min.end());
+  const std::uint64_t uniform_interval = std::max<std::uint64_t>(
+      1, global_min / 4);
+
+  util::Table table({"Channel", "sampled min HC_first", "interval (adaptive)",
+                     "flips (adaptive)", "refresh overhead saved"});
+  double uniform_cost = 0;
+  double adaptive_cost = 0;
+  for (int ch = 0; ch < dram::kChannels; ++ch) {
+    const auto interval = std::max<std::uint64_t>(
+        1, channel_min[static_cast<std::size_t>(ch)] / 4);
+    // Validate: the attack on this channel's most vulnerable sampled row
+    // must induce zero bitflips under the adaptive schedule.
+    std::uint64_t worst_row = 0;
+    std::uint64_t lowest = ~0ull;
+    for (int row : study::spread_rows(sample_rows)) {
+      study::HcSearchConfig config;
+      const auto hc =
+          study::find_hc_first(chip, map, {{ch, 0, 0}, row}, config);
+      if (hc && *hc < lowest) {
+        lowest = *hc;
+        worst_row = static_cast<std::uint64_t>(row);
+      }
+    }
+    const int flips = attack_under_defense(
+        chip, map, {{ch, 0, 0}, static_cast<int>(worst_row)}, interval,
+        attack_hammers);
+    // Overhead: preventive refreshes per 1K attacker activations.
+    const double uniform_overhead = 1000.0 / uniform_interval;
+    const double adaptive_overhead = 1000.0 / interval;
+    uniform_cost += uniform_overhead;
+    adaptive_cost += adaptive_overhead;
+    table.row()
+        .cell("CH" + std::to_string(ch))
+        .cell(channel_min[static_cast<std::size_t>(ch)])
+        .cell(interval)
+        .cell(flips)
+        .cell(util::format_double(
+                  100.0 * (1.0 - adaptive_overhead / uniform_overhead), 1) +
+              "%");
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTotal preventive-refresh cost (refreshes per 1K ACTs,\n"
+               "summed over channels): uniform "
+            << util::format_double(uniform_cost, 2) << " vs adaptive "
+            << util::format_double(adaptive_cost, 2) << " ("
+            << util::format_double(100.0 * (1.0 - adaptive_cost / uniform_cost),
+                                   1)
+            << "% saved) — the Sec. 8.2 argument: defenses that adapt to\n"
+               "the heterogeneous vulnerability protect at lower cost.\n";
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "bender/assembly.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbmrd::bender {
+
+namespace {
+
+struct TextVisitor {
+  std::ostringstream& out;
+  const Program& program;
+
+  void operator()(const ActInstr& i) const {
+    out << "ACT " << i.bank.channel << ' ' << i.bank.pseudo_channel << ' '
+        << i.bank.bank << ' ' << i.row << '\n';
+  }
+  void operator()(const PreInstr& i) const {
+    out << "PRE " << i.bank.channel << ' ' << i.bank.pseudo_channel << ' '
+        << i.bank.bank << '\n';
+  }
+  void operator()(const PreAllInstr& i) const {
+    out << "PREA " << i.channel << '\n';
+  }
+  void operator()(const RdInstr& i) const {
+    out << "RD " << i.bank.channel << ' ' << i.bank.pseudo_channel << ' '
+        << i.bank.bank << ' ' << i.column << '\n';
+  }
+  void operator()(const WrInstr& i) const {
+    out << "WR " << i.bank.channel << ' ' << i.bank.pseudo_channel << ' '
+        << i.bank.bank << ' ' << i.column;
+    const auto& data =
+        program.wdata.at(static_cast<std::size_t>(i.wdata_slot));
+    out << std::hex;
+    for (auto word : data) out << " 0x" << word;
+    out << std::dec << '\n';
+  }
+  void operator()(const RefInstr& i) const {
+    out << "REF " << i.channel << '\n';
+  }
+  void operator()(const MrsInstr& i) const {
+    out << "MRS " << i.reg << ' ' << i.value << '\n';
+  }
+  void operator()(const WaitInstr& i) const {
+    out << "WAIT " << i.cycles << '\n';
+  }
+  void operator()(const LoopBeginInstr& i) const {
+    out << "LOOP " << i.iterations << '\n';
+  }
+  void operator()(const LoopEndInstr&) const { out << "ENDLOOP\n"; }
+};
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("program assembly, line " +
+                              std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::string to_text(const Program& program) {
+  std::ostringstream out;
+  for (const auto& instruction : program.instructions) {
+    std::visit(TextVisitor{out, program}, instruction);
+  }
+  return out.str();
+}
+
+Program parse_program(const std::string& text) {
+  Program program;
+  std::istringstream in(text);
+  std::string raw_line;
+  int line_number = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_number;
+    const auto comment = raw_line.find('#');
+    if (comment != std::string::npos) raw_line.resize(comment);
+    std::istringstream line(raw_line);
+    std::string op;
+    if (!(line >> op)) continue;  // blank line
+
+    auto read_int = [&](const char* what) {
+      long long value;
+      if (!(line >> value)) fail(line_number, std::string("expected ") + what);
+      return value;
+    };
+    auto read_bank = [&] {
+      dram::BankAddress bank;
+      bank.channel = static_cast<int>(read_int("channel"));
+      bank.pseudo_channel = static_cast<int>(read_int("pseudo channel"));
+      bank.bank = static_cast<int>(read_int("bank"));
+      return bank;
+    };
+
+    if (op == "ACT") {
+      const auto bank = read_bank();
+      program.instructions.push_back(
+          ActInstr{bank, static_cast<int>(read_int("row"))});
+    } else if (op == "PRE") {
+      program.instructions.push_back(PreInstr{read_bank()});
+    } else if (op == "PREA") {
+      program.instructions.push_back(
+          PreAllInstr{static_cast<int>(read_int("channel"))});
+    } else if (op == "RD") {
+      const auto bank = read_bank();
+      program.instructions.push_back(
+          RdInstr{bank, static_cast<int>(read_int("column"))});
+    } else if (op == "WR") {
+      const auto bank = read_bank();
+      const int column = static_cast<int>(read_int("column"));
+      ColumnData data;
+      for (auto& word : data) {
+        std::string token;
+        if (!(line >> token)) fail(line_number, "expected data word");
+        try {
+          word = std::stoull(token, nullptr, 0);
+        } catch (const std::exception&) {
+          fail(line_number, "bad data word '" + token + "'");
+        }
+      }
+      const int slot = static_cast<int>(program.wdata.size());
+      program.wdata.push_back(data);
+      program.instructions.push_back(WrInstr{bank, column, slot});
+    } else if (op == "REF") {
+      program.instructions.push_back(
+          RefInstr{static_cast<int>(read_int("channel"))});
+    } else if (op == "MRS") {
+      const int reg = static_cast<int>(read_int("register"));
+      program.instructions.push_back(
+          MrsInstr{reg, static_cast<std::uint32_t>(read_int("value"))});
+    } else if (op == "WAIT") {
+      program.instructions.push_back(
+          WaitInstr{static_cast<dram::Cycle>(read_int("cycles"))});
+    } else if (op == "LOOP") {
+      program.instructions.push_back(LoopBeginInstr{
+          static_cast<std::uint64_t>(read_int("iterations"))});
+    } else if (op == "ENDLOOP") {
+      program.instructions.push_back(LoopEndInstr{});
+    } else {
+      fail(line_number, "unknown instruction '" + op + "'");
+    }
+    std::string trailing;
+    if (line >> trailing) {
+      fail(line_number, "trailing token '" + trailing + "'");
+    }
+  }
+  return program;
+}
+
+}  // namespace hbmrd::bender

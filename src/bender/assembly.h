@@ -1,0 +1,32 @@
+// Textual assembly for test programs: a stable, diff-friendly format for
+// dumping, inspecting, and re-loading DRAM Bender programs (the hardware
+// infrastructure ships a comparable program format). Round-trip safe:
+// parse(to_text(p)) reproduces p exactly, including write data.
+//
+// Format, one instruction per line ('#' starts a comment):
+//   ACT  <ch> <pc> <bank> <row>
+//   PRE  <ch> <pc> <bank>
+//   PREA <ch>
+//   RD   <ch> <pc> <bank> <column>
+//   WR   <ch> <pc> <bank> <column> <hex word> x kWordsPerColumn
+//   REF  <ch>
+//   MRS  <reg> <value>
+//   WAIT <cycles>
+//   LOOP <iterations>
+//   ENDLOOP
+#pragma once
+
+#include <string>
+
+#include "bender/program.h"
+
+namespace hbmrd::bender {
+
+/// Renders a program in the textual format above.
+[[nodiscard]] std::string to_text(const Program& program);
+
+/// Parses the textual format; throws std::invalid_argument with a line
+/// number on malformed input.
+[[nodiscard]] Program parse_program(const std::string& text);
+
+}  // namespace hbmrd::bender

@@ -1,0 +1,279 @@
+#include "bender/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbmrd::bender {
+
+namespace {
+
+/// Command-bus occupancy of one issued command.
+constexpr dram::Cycle kIssueCycles = 1;
+/// Mode-register-set settle time (simplified tMRD).
+constexpr dram::Cycle kMrsCycles = 8;
+
+}  // namespace
+
+dram::RowBits ExecutionResult::row(std::size_t index) const {
+  const auto words_per_row = static_cast<std::size_t>(dram::RowBits::kWords);
+  if ((index + 1) * words_per_row > readout.size()) {
+    throw std::out_of_range("ExecutionResult::row index");
+  }
+  dram::RowBits bits;
+  const auto base = index * words_per_row;
+  for (std::size_t w = 0; w < words_per_row; ++w) {
+    bits.words()[w] = readout[base + w];
+  }
+  return bits;
+}
+
+Executor::Executor(dram::Stack* stack) : stack_(stack) {
+  if (stack_ == nullptr) throw std::invalid_argument("Executor: null stack");
+  timing_ = stack_->timing();
+  bank_sched_.resize(static_cast<std::size_t>(dram::kChannels) *
+                     dram::kPseudoChannels * dram::kBanksPerPseudoChannel);
+  channel_ref_ok_.resize(dram::kChannels, 0);
+}
+
+Executor::BankSchedule& Executor::sched(const dram::BankAddress& bank) {
+  dram::validate(bank);
+  const auto index =
+      (static_cast<std::size_t>(bank.channel) * dram::kPseudoChannels +
+       static_cast<std::size_t>(bank.pseudo_channel)) *
+          dram::kBanksPerPseudoChannel +
+      static_cast<std::size_t>(bank.bank);
+  return bank_sched_[index];
+}
+
+void Executor::exec_act(const ActInstr& instr) {
+  BankSchedule& b = sched(instr.bank);
+  const dram::Cycle t = std::max(clock_, b.act_ok);
+  stack_->activate({instr.bank, instr.row}, t);
+  b.open = true;
+  b.last_act = t;
+  b.pre_ok = t + timing_.t_ras;
+  b.rdwr_ok = t + timing_.t_rcd;
+  b.act_ok = t + timing_.t_rc;
+  clock_ = t + kIssueCycles;
+}
+
+void Executor::exec_pre(const PreInstr& instr) {
+  BankSchedule& b = sched(instr.bank);
+  const dram::Cycle t = b.open ? std::max(clock_, b.pre_ok) : clock_;
+  stack_->precharge(instr.bank, t);
+  if (b.open) {
+    b.open = false;
+    b.act_ok = std::max(b.act_ok, t + timing_.t_rp);
+  }
+  clock_ = t + kIssueCycles;
+}
+
+void Executor::exec_pre_all(const PreAllInstr& instr) {
+  // Schedule the PREA at a cycle legal for every open bank of the channel.
+  dram::Cycle t = clock_;
+  for (int pc = 0; pc < dram::kPseudoChannels; ++pc) {
+    for (int bk = 0; bk < dram::kBanksPerPseudoChannel; ++bk) {
+      const BankSchedule& b = sched({instr.channel, pc, bk});
+      if (b.open) t = std::max(t, b.pre_ok);
+    }
+  }
+  stack_->precharge_all(instr.channel, t);
+  for (int pc = 0; pc < dram::kPseudoChannels; ++pc) {
+    for (int bk = 0; bk < dram::kBanksPerPseudoChannel; ++bk) {
+      BankSchedule& b = sched({instr.channel, pc, bk});
+      if (b.open) {
+        b.open = false;
+        b.act_ok = std::max(b.act_ok, t + timing_.t_rp);
+      }
+    }
+  }
+  clock_ = t + kIssueCycles;
+}
+
+void Executor::exec_rd(const RdInstr& instr, ExecutionResult& result) {
+  BankSchedule& b = sched(instr.bank);
+  const dram::Cycle t = std::max(clock_, b.rdwr_ok);
+  std::array<std::uint64_t, dram::kWordsPerColumn> buffer;
+  stack_->read_column(instr.bank, instr.column, buffer, t);
+  result.readout.insert(result.readout.end(), buffer.begin(), buffer.end());
+  clock_ = t + kIssueCycles;
+}
+
+void Executor::exec_wr(const WrInstr& instr, const Program& program) {
+  BankSchedule& b = sched(instr.bank);
+  const dram::Cycle t = std::max(clock_, b.rdwr_ok);
+  const auto& data =
+      program.wdata.at(static_cast<std::size_t>(instr.wdata_slot));
+  stack_->write_column(instr.bank, instr.column, data, t);
+  clock_ = t + kIssueCycles;
+}
+
+void Executor::exec_ref(const RefInstr& instr) {
+  if (instr.channel < 0 || instr.channel >= dram::kChannels) {
+    throw std::out_of_range("REF channel");
+  }
+  dram::Cycle t = std::max(
+      clock_, channel_ref_ok_[static_cast<std::size_t>(instr.channel)]);
+  for (int pc = 0; pc < dram::kPseudoChannels; ++pc) {
+    for (int bk = 0; bk < dram::kBanksPerPseudoChannel; ++bk) {
+      t = std::max(t, sched({instr.channel, pc, bk}).act_ok);
+    }
+  }
+  stack_->refresh(instr.channel, t);
+  channel_ref_ok_[static_cast<std::size_t>(instr.channel)] =
+      t + timing_.t_rfc;
+  for (int pc = 0; pc < dram::kPseudoChannels; ++pc) {
+    for (int bk = 0; bk < dram::kBanksPerPseudoChannel; ++bk) {
+      BankSchedule& b = sched({instr.channel, pc, bk});
+      b.act_ok = std::max(b.act_ok, t + timing_.t_rfc);
+    }
+  }
+  clock_ = t + kIssueCycles;
+}
+
+void Executor::exec_mrs(const MrsInstr& instr) {
+  stack_->mode_register_set(instr.reg, instr.value);
+  clock_ += kMrsCycles;
+}
+
+bool Executor::try_hammer_fast_path(const Program& program,
+                                    std::size_t body_begin,
+                                    std::size_t body_end,
+                                    std::uint64_t iterations) {
+  // Eligible body: one or more [ACT (WAIT)* PRE] groups on a single bank.
+  std::vector<dram::HammerStep> steps;
+  const dram::BankAddress* bank = nullptr;
+  std::size_t i = body_begin;
+  while (i < body_end) {
+    const auto* act = std::get_if<ActInstr>(&program.instructions[i]);
+    if (act == nullptr) return false;
+    if (bank == nullptr) {
+      bank = &act->bank;
+    } else if (act->bank != *bank) {
+      return false;
+    }
+    ++i;
+    dram::Cycle on = 0;
+    while (i < body_end) {
+      const auto* w = std::get_if<WaitInstr>(&program.instructions[i]);
+      if (w == nullptr) break;
+      on += w->cycles;
+      ++i;
+    }
+    if (i >= body_end) return false;
+    const auto* pre = std::get_if<PreInstr>(&program.instructions[i]);
+    if (pre == nullptr || pre->bank != *bank) return false;
+    ++i;
+    // Same on-time the iterative path would produce: the PRE issues one
+    // command-bus cycle after the ACT plus any WAITs, floored at tRAS.
+    steps.push_back(
+        dram::HammerStep{act->row, std::max(on + kIssueCycles, timing_.t_ras)});
+  }
+  if (steps.empty() || bank == nullptr) return false;
+
+  BankSchedule& b = sched(*bank);
+  if (b.open) return false;  // require a precharged bank, like the device
+  const dram::Cycle start = std::max(clock_, b.act_ok);
+  const dram::Cycle end = stack_->bulk_hammer(*bank, steps, iterations, start);
+  b.open = false;
+  b.last_act = end;  // conservative: next ACT is gated by act_ok below
+  b.act_ok = end;
+  b.pre_ok = end;
+  b.rdwr_ok = end;
+  clock_ = end;
+  return true;
+}
+
+std::size_t Executor::exec_loop(const Program& program,
+                                std::size_t begin_index,
+                                ExecutionResult& result) {
+  const auto& begin =
+      std::get<LoopBeginInstr>(program.instructions[begin_index]);
+  // Find the matching LoopEnd (builder guarantees no nesting).
+  std::size_t end_index = begin_index + 1;
+  while (end_index < program.instructions.size() &&
+         !std::holds_alternative<LoopEndInstr>(
+             program.instructions[end_index])) {
+    if (std::holds_alternative<LoopBeginInstr>(
+            program.instructions[end_index])) {
+      throw std::invalid_argument("nested loops are not supported");
+    }
+    ++end_index;
+  }
+  if (end_index >= program.instructions.size()) {
+    throw std::invalid_argument("unterminated loop");
+  }
+
+  if (try_hammer_fast_path(program, begin_index + 1, end_index,
+                           begin.iterations)) {
+    return end_index + 1;
+  }
+
+  for (std::uint64_t iter = 0; iter < begin.iterations; ++iter) {
+    for (std::size_t i = begin_index + 1; i < end_index; ++i) {
+      const auto& instr = program.instructions[i];
+      if (const auto* act = std::get_if<ActInstr>(&instr)) {
+        exec_act(*act);
+      } else if (const auto* pre = std::get_if<PreInstr>(&instr)) {
+        exec_pre(*pre);
+      } else if (const auto* prea = std::get_if<PreAllInstr>(&instr)) {
+        exec_pre_all(*prea);
+      } else if (const auto* rd = std::get_if<RdInstr>(&instr)) {
+        exec_rd(*rd, result);
+      } else if (const auto* wr = std::get_if<WrInstr>(&instr)) {
+        exec_wr(*wr, program);
+      } else if (const auto* ref = std::get_if<RefInstr>(&instr)) {
+        exec_ref(*ref);
+      } else if (const auto* mrs = std::get_if<MrsInstr>(&instr)) {
+        exec_mrs(*mrs);
+      } else if (const auto* wait = std::get_if<WaitInstr>(&instr)) {
+        clock_ += wait->cycles;
+      } else {
+        throw std::logic_error("unexpected instruction in loop body");
+      }
+    }
+  }
+  return end_index + 1;
+}
+
+ExecutionResult Executor::run(const Program& program) {
+  ExecutionResult result;
+  result.start_cycle = clock_;
+  std::size_t i = 0;
+  while (i < program.instructions.size()) {
+    const auto& instr = program.instructions[i];
+    if (const auto* act = std::get_if<ActInstr>(&instr)) {
+      exec_act(*act);
+      ++i;
+    } else if (const auto* pre = std::get_if<PreInstr>(&instr)) {
+      exec_pre(*pre);
+      ++i;
+    } else if (const auto* prea = std::get_if<PreAllInstr>(&instr)) {
+      exec_pre_all(*prea);
+      ++i;
+    } else if (const auto* rd = std::get_if<RdInstr>(&instr)) {
+      exec_rd(*rd, result);
+      ++i;
+    } else if (const auto* wr = std::get_if<WrInstr>(&instr)) {
+      exec_wr(*wr, program);
+      ++i;
+    } else if (const auto* ref = std::get_if<RefInstr>(&instr)) {
+      exec_ref(*ref);
+      ++i;
+    } else if (const auto* mrs = std::get_if<MrsInstr>(&instr)) {
+      exec_mrs(*mrs);
+      ++i;
+    } else if (const auto* wait = std::get_if<WaitInstr>(&instr)) {
+      clock_ += wait->cycles;
+      ++i;
+    } else if (std::holds_alternative<LoopBeginInstr>(instr)) {
+      i = exec_loop(program, i, result);
+    } else {
+      throw std::invalid_argument("stray LoopEnd");
+    }
+  }
+  result.end_cycle = clock_;
+  return result;
+}
+
+}  // namespace hbmrd::bender

@@ -1,0 +1,87 @@
+// The host-side command scheduler ("memory controller") of the simulated
+// DRAM Bender stack.
+//
+// The executor plays programs against a Stack: each command is issued at the
+// earliest cycle that satisfies the HBM2 timing rules (the device model
+// independently asserts the same rules), WAIT instructions extend row
+// on-times, and counted loops either run iteratively or — for pure
+// ACT/WAIT/PRE hammer bodies on a single bank — through the device's
+// analytic hammer fast path with identical semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/program.h"
+#include "dram/stack.h"
+
+namespace hbmrd::bender {
+
+struct ExecutionResult {
+  /// Data returned by RD instructions, in program order: one column read
+  /// appends kWordsPerColumn words.
+  std::vector<std::uint64_t> readout;
+  dram::Cycle start_cycle = 0;
+  dram::Cycle end_cycle = 0;
+
+  [[nodiscard]] dram::Cycle elapsed() const { return end_cycle - start_cycle; }
+
+  /// Reassembles the n-th row read by the program (counting read_row
+  /// macros / groups of kColumns RD instructions).
+  [[nodiscard]] dram::RowBits row(std::size_t index) const;
+
+  /// Number of complete rows in the readout.
+  [[nodiscard]] std::size_t row_count() const {
+    return readout.size() /
+           static_cast<std::size_t>(dram::RowBits::kWords);
+  }
+};
+
+class Executor {
+ public:
+  explicit Executor(dram::Stack* stack);
+
+  /// Runs one program to completion and returns its readout.
+  ExecutionResult run(const Program& program);
+
+  /// Idle time: advances the clock without issuing commands (retention
+  /// experiments). DRAM contents keep decaying; nothing is refreshed.
+  void advance(dram::Cycle cycles) { clock_ += cycles; }
+
+  [[nodiscard]] dram::Cycle now() const { return clock_; }
+
+ private:
+  struct BankSchedule {
+    bool open = false;
+    dram::Cycle act_ok = 0;    // earliest next ACT
+    dram::Cycle pre_ok = 0;    // earliest next PRE (tRAS)
+    dram::Cycle rdwr_ok = 0;   // earliest next RD/WR (tRCD)
+    dram::Cycle last_act = 0;
+  };
+
+  BankSchedule& sched(const dram::BankAddress& bank);
+
+  void exec_act(const ActInstr& instr);
+  void exec_pre(const PreInstr& instr);
+  void exec_pre_all(const PreAllInstr& instr);
+  void exec_rd(const RdInstr& instr, ExecutionResult& result);
+  void exec_wr(const WrInstr& instr, const Program& program);
+  void exec_ref(const RefInstr& instr);
+  void exec_mrs(const MrsInstr& instr);
+
+  /// Runs a loop; returns the index one past the matching LoopEnd.
+  std::size_t exec_loop(const Program& program, std::size_t begin_index,
+                        ExecutionResult& result);
+
+  /// Attempts the hammer fast path; true on success.
+  bool try_hammer_fast_path(const Program& program, std::size_t body_begin,
+                            std::size_t body_end, std::uint64_t iterations);
+
+  dram::Stack* stack_;
+  dram::TimingParams timing_;
+  dram::Cycle clock_ = 0;
+  std::vector<BankSchedule> bank_sched_;
+  std::vector<dram::Cycle> channel_ref_ok_;
+};
+
+}  // namespace hbmrd::bender

@@ -1,0 +1,66 @@
+// Instruction set of the (simulated) DRAM Bender host infrastructure.
+//
+// A Program is a flat instruction sequence with counted loops, mirroring how
+// DRAM Bender test programs drive the FPGA's command scheduler: explicit
+// ACT/PRE/RD/WR/REF/MRS commands plus WAIT padding for on-time control.
+// The executor (executor.h) plays the role of the memory controller: it
+// schedules each command at the earliest cycle that satisfies the HBM2
+// timing rules, and WAITs extend row-on times beyond the minimum.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "dram/geometry.h"
+#include "dram/timing.h"
+
+namespace hbmrd::bender {
+
+struct ActInstr {
+  dram::BankAddress bank;
+  int row = 0;  // logical row
+};
+
+struct PreInstr {
+  dram::BankAddress bank;
+};
+
+struct PreAllInstr {
+  int channel = 0;
+};
+
+struct RdInstr {
+  dram::BankAddress bank;
+  int column = 0;
+};
+
+struct WrInstr {
+  dram::BankAddress bank;
+  int column = 0;
+  int wdata_slot = 0;  // index into the program's write-data slots
+};
+
+struct RefInstr {
+  int channel = 0;
+};
+
+struct MrsInstr {
+  int reg = 0;
+  std::uint32_t value = 0;
+};
+
+struct WaitInstr {
+  dram::Cycle cycles = 0;
+};
+
+struct LoopBeginInstr {
+  std::uint64_t iterations = 0;
+};
+
+struct LoopEndInstr {};
+
+using Instruction =
+    std::variant<ActInstr, PreInstr, PreAllInstr, RdInstr, WrInstr, RefInstr,
+                 MrsInstr, WaitInstr, LoopBeginInstr, LoopEndInstr>;
+
+}  // namespace hbmrd::bender

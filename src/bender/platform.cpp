@@ -1,0 +1,136 @@
+#include "bender/platform.h"
+
+#include <stdexcept>
+
+#include "trr/undocumented_trr.h"
+#include "util/rng.h"
+
+namespace hbmrd::bender {
+
+namespace {
+
+dram::StackConfig make_stack_config(const dram::ChipProfile& profile) {
+  dram::StackConfig config;
+  config.disturb = profile.disturb;
+  config.mapping = profile.mapping;
+  config.initial_temperature_c = profile.temperature_controlled
+                                     ? profile.target_temperature_c
+                                     : profile.ambient_temperature_c;
+  if (profile.has_undocumented_trr) {
+    config.defense_factory = [](const dram::BankAddress&) {
+      return std::make_unique<trr::UndocumentedTrr>();
+    };
+  }
+  return config;
+}
+
+thermal::TemperatureRig make_rig(const dram::ChipProfile& profile) {
+  const std::uint64_t seed =
+      util::hash_key(profile.disturb.seed, 0x7e39ull, profile.index);
+  auto rig = profile.temperature_controlled
+                 ? thermal::TemperatureRig::controlled(
+                       seed, profile.target_temperature_c)
+                 : thermal::TemperatureRig::ambient(
+                       seed, profile.ambient_temperature_c);
+  // Warm-up: the paper's rig reaches its setpoint before testing starts.
+  rig.advance(3600.0);
+  return rig;
+}
+
+}  // namespace
+
+HbmChip::HbmChip(dram::ChipProfile profile)
+    : profile_(std::move(profile)),
+      stack_(std::make_unique<dram::Stack>(make_stack_config(profile_))),
+      rig_(make_rig(profile_)),
+      executor_(stack_.get()) {
+  stack_->set_temperature(rig_.temperature_c());
+}
+
+void HbmChip::sync_thermal() {
+  const dram::Cycle elapsed = executor_.now() - thermal_synced_at_;
+  if (elapsed == 0) return;
+  rig_.advance(dram::cycles_to_seconds(elapsed));
+  thermal_synced_at_ = executor_.now();
+  stack_->set_temperature(rig_.temperature_c());
+}
+
+ExecutionResult HbmChip::run(const Program& program) {
+  auto result = executor_.run(program);
+  sync_thermal();
+  return result;
+}
+
+void HbmChip::write_row(const dram::RowAddress& address,
+                        const dram::RowBits& bits) {
+  ProgramBuilder builder;
+  builder.write_row(address.bank, address.row, bits);
+  run(std::move(builder).build());
+}
+
+dram::RowBits HbmChip::read_row(const dram::RowAddress& address) {
+  ProgramBuilder builder;
+  builder.read_row(address.bank, address.row);
+  return run(std::move(builder).build()).row(0);
+}
+
+void HbmChip::hammer(const dram::BankAddress& bank, std::span<const int> rows,
+                     std::uint64_t count, dram::Cycle on_cycles) {
+  ProgramBuilder builder;
+  builder.hammer(bank, rows, count, on_cycles);
+  run(std::move(builder).build());
+}
+
+void HbmChip::idle(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("negative idle time");
+  executor_.advance(dram::seconds_to_cycles(seconds));
+  sync_thermal();
+}
+
+void HbmChip::idle_with_refresh(double seconds, int channel) {
+  if (seconds < 0.0) throw std::invalid_argument("negative idle time");
+  const auto t_refi = stack_->timing().t_refi;
+  const auto refs = dram::seconds_to_cycles(seconds) / t_refi;
+  if (refs == 0) {
+    idle(seconds);
+    return;
+  }
+  ProgramBuilder builder;
+  builder.loop_begin(refs);
+  builder.ref(channel);
+  builder.wait(t_refi - 1);  // REF issue occupies one bus cycle
+  builder.loop_end();
+  run(std::move(builder).build());
+}
+
+void HbmChip::set_ecc_enabled(bool on) {
+  ProgramBuilder builder;
+  auto mr4 = stack_->mode_register_read(dram::ModeRegisters::kEccRegister);
+  if (on) {
+    mr4 |= dram::ModeRegisters::kEccBit;
+  } else {
+    mr4 &= ~dram::ModeRegisters::kEccBit;
+  }
+  builder.mrs(dram::ModeRegisters::kEccRegister, mr4);
+  run(std::move(builder).build());
+}
+
+double HbmChip::temperature_c() {
+  sync_thermal();
+  return stack_->temperature();
+}
+
+Platform::Platform(std::uint64_t seed) {
+  for (const auto& profile : dram::chip_profiles(seed)) {
+    chips_.push_back(std::make_unique<HbmChip>(profile));
+  }
+}
+
+HbmChip& Platform::chip(int index) {
+  if (index < 0 || index >= chip_count()) {
+    throw std::out_of_range("chip index");
+  }
+  return *chips_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace hbmrd::bender

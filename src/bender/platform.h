@@ -1,0 +1,82 @@
+// The FPGA-based testbed (paper Fig. 2): six boards, each carrying one HBM2
+// stack, a temperature rig (closed-loop on Chip 0), and a DRAM Bender host
+// session. This is the top of the substrate; the characterization library
+// (src/study/) talks exclusively to this API.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bender/executor.h"
+#include "bender/program.h"
+#include "dram/chip_profiles.h"
+#include "dram/stack.h"
+#include "thermal/rig.h"
+
+namespace hbmrd::bender {
+
+class HbmChip {
+ public:
+  explicit HbmChip(dram::ChipProfile profile);
+
+  HbmChip(const HbmChip&) = delete;
+  HbmChip& operator=(const HbmChip&) = delete;
+
+  [[nodiscard]] const dram::ChipProfile& profile() const { return profile_; }
+
+  /// Runs a program; the chip's thermal state advances by the elapsed time.
+  ExecutionResult run(const Program& program);
+
+  // -- SoftMC-style convenience wrappers (each runs a small program) --------
+
+  void write_row(const dram::RowAddress& address, const dram::RowBits& bits);
+  [[nodiscard]] dram::RowBits read_row(const dram::RowAddress& address);
+
+  /// Hammers the given rows in order `count` times, each activation keeping
+  /// the row open for `on_cycles` (0 = minimum tRAS).
+  void hammer(const dram::BankAddress& bank, std::span<const int> rows,
+              std::uint64_t count, dram::Cycle on_cycles = 0);
+
+  /// Idle time without any commands (DRAM decays; Sec. 7 retention probes).
+  void idle(double seconds);
+
+  /// Idle time while issuing REF to one channel every tREFI.
+  void idle_with_refresh(double seconds, int channel);
+
+  /// ECC mode register (disabled for characterization, Sec. 3.1).
+  void set_ecc_enabled(bool on);
+
+  [[nodiscard]] dram::Cycle now() const { return executor_.now(); }
+  [[nodiscard]] double temperature_c();
+
+  // -- Backdoors for tests and diagnostics (not part of the host protocol) --
+
+  [[nodiscard]] dram::Stack& stack() { return *stack_; }
+  [[nodiscard]] thermal::TemperatureRig& rig() { return rig_; }
+
+ private:
+  void sync_thermal();
+
+  dram::ChipProfile profile_;
+  std::unique_ptr<dram::Stack> stack_;
+  thermal::TemperatureRig rig_;
+  Executor executor_;
+  dram::Cycle thermal_synced_at_ = 0;
+};
+
+/// All six boards of the testbed (Table 3).
+class Platform {
+ public:
+  explicit Platform(std::uint64_t seed = dram::kDefaultPlatformSeed);
+
+  [[nodiscard]] int chip_count() const {
+    return static_cast<int>(chips_.size());
+  }
+  [[nodiscard]] HbmChip& chip(int index);
+
+ private:
+  std::vector<std::unique_ptr<HbmChip>> chips_;
+};
+
+}  // namespace hbmrd::bender

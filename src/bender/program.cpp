@@ -1,0 +1,115 @@
+#include "bender/program.h"
+
+#include <stdexcept>
+
+namespace hbmrd::bender {
+
+ProgramBuilder& ProgramBuilder::act(const dram::BankAddress& bank, int row) {
+  program_.instructions.push_back(ActInstr{bank, row});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::pre(const dram::BankAddress& bank) {
+  program_.instructions.push_back(PreInstr{bank});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::pre_all(int channel) {
+  program_.instructions.push_back(PreAllInstr{channel});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::rd(const dram::BankAddress& bank,
+                                   int column) {
+  program_.instructions.push_back(RdInstr{bank, column});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::wr(const dram::BankAddress& bank, int column,
+                                   const ColumnData& data) {
+  const int slot = static_cast<int>(program_.wdata.size());
+  program_.wdata.push_back(data);
+  program_.instructions.push_back(WrInstr{bank, column, slot});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ref(int channel) {
+  program_.instructions.push_back(RefInstr{channel});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mrs(int reg, std::uint32_t value) {
+  program_.instructions.push_back(MrsInstr{reg, value});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::wait(dram::Cycle cycles) {
+  program_.instructions.push_back(WaitInstr{cycles});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::loop_begin(std::uint64_t iterations) {
+  if (iterations == 0) {
+    throw std::invalid_argument("loop with zero iterations");
+  }
+  if (open_loops_ > 0) {
+    throw std::invalid_argument("nested loops are not supported");
+  }
+  ++open_loops_;
+  program_.instructions.push_back(LoopBeginInstr{iterations});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::loop_end() {
+  if (open_loops_ == 0) {
+    throw std::invalid_argument("loop_end without loop_begin");
+  }
+  --open_loops_;
+  program_.instructions.push_back(LoopEndInstr{});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::write_row(const dram::BankAddress& bank,
+                                          int row,
+                                          const dram::RowBits& bits) {
+  act(bank, row);
+  for (int column = 0; column < dram::kColumns; ++column) {
+    ColumnData data;
+    bits.get_column(column, data);
+    wr(bank, column, data);
+  }
+  return pre(bank);
+}
+
+ProgramBuilder& ProgramBuilder::read_row(const dram::BankAddress& bank,
+                                         int row) {
+  act(bank, row);
+  for (int column = 0; column < dram::kColumns; ++column) {
+    rd(bank, column);
+  }
+  return pre(bank);
+}
+
+ProgramBuilder& ProgramBuilder::hammer(const dram::BankAddress& bank,
+                                       std::span<const int> rows,
+                                       std::uint64_t count,
+                                       dram::Cycle on_cycles) {
+  if (rows.empty()) throw std::invalid_argument("hammer: no rows");
+  if (count == 0) throw std::invalid_argument("hammer: zero count");
+  loop_begin(count);
+  for (int row : rows) {
+    act(bank, row);
+    if (on_cycles > 0) wait(on_cycles);
+    pre(bank);
+  }
+  return loop_end();
+}
+
+Program ProgramBuilder::build() && {
+  if (open_loops_ != 0) {
+    throw std::invalid_argument("unterminated loop in program");
+  }
+  return std::move(program_);
+}
+
+}  // namespace hbmrd::bender

@@ -1,0 +1,91 @@
+#include "defense/blockhammer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbmrd::defense {
+
+namespace {
+
+std::uint64_t bank_key(const dram::BankAddress& bank) {
+  return (static_cast<std::uint64_t>(bank.channel) << 16) |
+         (static_cast<std::uint64_t>(bank.pseudo_channel) << 8) |
+         static_cast<std::uint64_t>(bank.bank);
+}
+
+}  // namespace
+
+CountingBloom::CountingBloom(int counters, int hashes, std::uint64_t seed)
+    : counters_(static_cast<std::size_t>(counters), 0),
+      hashes_(hashes),
+      seed_(seed) {
+  if (counters < 1 || hashes < 1) {
+    throw std::invalid_argument("CountingBloom: bad dimensions");
+  }
+}
+
+std::size_t CountingBloom::index(int element, int hash) const {
+  return static_cast<std::size_t>(util::hash_key(seed_, hash, element) %
+                                  counters_.size());
+}
+
+std::uint64_t CountingBloom::observe(int element) {
+  // Conservative update: only the minimal counters increment, tightening
+  // the overestimate (the filter never undercounts).
+  std::uint64_t minimum = ~0ull;
+  for (int h = 0; h < hashes_; ++h) {
+    minimum = std::min(minimum, counters_[index(element, h)]);
+  }
+  for (int h = 0; h < hashes_; ++h) {
+    auto& counter = counters_[index(element, h)];
+    if (counter == minimum) ++counter;
+  }
+  return minimum + 1;
+}
+
+std::uint64_t CountingBloom::estimate(int element) const {
+  std::uint64_t minimum = ~0ull;
+  for (int h = 0; h < hashes_; ++h) {
+    minimum = std::min(minimum, counters_[index(element, h)]);
+  }
+  return minimum;
+}
+
+void CountingBloom::decay() {
+  for (auto& counter : counters_) counter /= 2;
+}
+
+BlockHammer::BlockHammer(BlockHammerConfig config) : config_(config) {
+  if (config_.blacklist_threshold == 0 ||
+      config_.blacklist_threshold >= config_.protect_threshold) {
+    throw std::invalid_argument("BlockHammer: bad thresholds");
+  }
+  // After blacklisting, at most (protect - blacklist) more activations may
+  // land within one window; spacing them evenly yields the stall.
+  const std::uint64_t budget =
+      config_.protect_threshold - config_.blacklist_threshold;
+  stall_ = config_.window_cycles / budget;
+}
+
+DefenseDecision BlockHammer::on_activate(const dram::BankAddress& bank,
+                                         int logical_row,
+                                         dram::Cycle /*now*/) {
+  ++stats_.observed_activations;
+  auto [it, inserted] = filters_.try_emplace(
+      bank_key(bank), config_.filter_counters, config_.filter_hashes,
+      util::hash_key(config_.seed, bank_key(bank)));
+  const std::uint64_t estimate = it->second.observe(logical_row);
+  DefenseDecision decision;
+  if (estimate > config_.blacklist_threshold) {
+    decision.stall_cycles = stall_;
+    ++stats_.stalled_activations;
+    stats_.stall_cycles_total += stall_;
+  }
+  return decision;
+}
+
+void BlockHammer::on_window_boundary() {
+  for (auto& [key, filter] : filters_) filter.decay();
+}
+
+}  // namespace hbmrd::defense

@@ -1,0 +1,71 @@
+// BlockHammer-style blacklist-and-throttle (Yaglikci et al., HPCA 2021),
+// the paper's reference [95]. Per bank, a counting Bloom filter estimates
+// each row's activation count within the refresh window; rows whose
+// estimate crosses the blacklist threshold get their further activations
+// throttled so the row cannot reach the protect threshold before its next
+// periodic refresh. No preventive refreshes are issued — the cost is
+// attacker-side stall time, making the mechanism victim-agnostic (it needs
+// no adjacency knowledge, unlike PARA/Graphene).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "defense/controller_defense.h"
+#include "util/rng.h"
+
+namespace hbmrd::defense {
+
+struct BlockHammerConfig {
+  /// Hammer-count threshold the mechanism must keep aggressors below.
+  std::uint64_t protect_threshold = 16'000;
+  /// Estimated count at which a row enters the blacklist.
+  std::uint64_t blacklist_threshold = 2'000;
+  /// Counting-Bloom-filter size (counters) and hash functions per bank.
+  int filter_counters = 1024;
+  int filter_hashes = 2;
+  /// Refresh window in cycles (counters halve at every boundary, and the
+  /// throttle budget is computed against it).
+  dram::Cycle window_cycles = dram::TimingParams{}.t_refw;
+  std::uint64_t seed = 0xB10CC;
+};
+
+/// Counting Bloom filter over row indices (per bank).
+class CountingBloom {
+ public:
+  CountingBloom(int counters, int hashes, std::uint64_t seed);
+
+  std::uint64_t observe(int element);
+  [[nodiscard]] std::uint64_t estimate(int element) const;
+  /// Ages the filter: halves every counter (window boundary).
+  void decay();
+
+ private:
+  [[nodiscard]] std::size_t index(int element, int hash) const;
+
+  std::vector<std::uint64_t> counters_;
+  int hashes_;
+  std::uint64_t seed_;
+};
+
+class BlockHammer final : public ControllerDefense {
+ public:
+  explicit BlockHammer(BlockHammerConfig config);
+
+  DefenseDecision on_activate(const dram::BankAddress& bank, int logical_row,
+                              dram::Cycle now) override;
+  void on_window_boundary() override;
+
+  [[nodiscard]] std::string name() const override { return "BlockHammer"; }
+
+  /// Stall injected per blacklisted activation: paces the row so that at
+  /// most (protect - blacklist) further activations fit in a window.
+  [[nodiscard]] dram::Cycle throttle_stall() const { return stall_; }
+
+ private:
+  BlockHammerConfig config_;
+  dram::Cycle stall_;
+  std::unordered_map<std::uint64_t, CountingBloom> filters_;
+};
+
+}  // namespace hbmrd::defense

@@ -1,0 +1,69 @@
+// Controller-side RowHammer defenses (Sec. 8.2).
+//
+// The paper's defense implication: HBM2 memory controllers cannot rely on
+// the (bypassable) undocumented TRR and need their own mitigation; such a
+// mitigation can exploit the heterogeneous vulnerability (per-channel /
+// per-subarray thresholds) to cut its overhead. This module provides the
+// controller-side counterpart of dram/defense.h: mechanisms that watch the
+// activation stream and either preventively refresh victim rows (issuing
+// ordinary ACT/PRE pairs) or throttle aggressors.
+//
+// Implemented mechanisms (all cited by the paper):
+//   defense::Para         — probabilistic neighbor refresh (Kim+, ISCA'14)
+//   defense::Graphene     — Misra-Gries heavy-hitter tracking (MICRO'20)
+//   defense::BlockHammer  — blacklist-and-throttle (HPCA'21)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/geometry.h"
+#include "dram/timing.h"
+
+namespace hbmrd::defense {
+
+/// What the defense wants done around one activation.
+struct DefenseDecision {
+  /// Logical rows to preventively refresh (the session issues ACT+PRE).
+  std::vector<int> refresh_rows;
+  /// Cycles to stall the activation (throttling defenses).
+  dram::Cycle stall_cycles = 0;
+};
+
+/// Cumulative cost/benefit counters of a defense.
+struct DefenseStats {
+  std::uint64_t observed_activations = 0;
+  std::uint64_t preventive_refreshes = 0;
+  std::uint64_t stalled_activations = 0;
+  dram::Cycle stall_cycles_total = 0;
+
+  /// Preventive refreshes per 1000 observed activations.
+  [[nodiscard]] double refresh_overhead_per_kilo_act() const {
+    if (observed_activations == 0) return 0.0;
+    return 1000.0 * static_cast<double>(preventive_refreshes) /
+           static_cast<double>(observed_activations);
+  }
+};
+
+class ControllerDefense {
+ public:
+  virtual ~ControllerDefense() = default;
+
+  /// Observes one activation the workload is about to issue and returns
+  /// the mitigation actions to take with it.
+  virtual DefenseDecision on_activate(const dram::BankAddress& bank,
+                                      int logical_row, dram::Cycle now) = 0;
+
+  /// Called at every refresh-window boundary (tREFW).
+  virtual void on_window_boundary() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const DefenseStats& stats() const { return stats_; }
+
+ protected:
+  DefenseStats stats_;
+};
+
+}  // namespace hbmrd::defense

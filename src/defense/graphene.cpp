@@ -1,0 +1,95 @@
+#include "defense/graphene.h"
+
+#include <stdexcept>
+
+namespace hbmrd::defense {
+
+namespace {
+
+std::uint64_t bank_key(const dram::BankAddress& bank) {
+  return (static_cast<std::uint64_t>(bank.channel) << 16) |
+         (static_cast<std::uint64_t>(bank.pseudo_channel) << 8) |
+         static_cast<std::uint64_t>(bank.bank);
+}
+
+}  // namespace
+
+std::uint64_t MisraGries::observe(int element) {
+  Entry* free_slot = nullptr;
+  for (auto& entry : table_) {
+    if (entry.element == element && entry.stored > offset_) {
+      return ++entry.stored - offset_;
+    }
+    if (entry.stored <= offset_) free_slot = &entry;
+  }
+  if (free_slot != nullptr) {
+    *free_slot = Entry{element, offset_ + 1};
+    return 1;
+  }
+  if (table_.size() < entries_) {
+    table_.push_back(Entry{element, offset_ + 1});
+    return 1;
+  }
+  // Table full: decrement every counter (classic Misra-Gries step,
+  // realized as an offset bump; each such event eats one unit of every
+  // tracked element's estimate, bounding the undercount by
+  // window / entries).
+  ++offset_;
+  return 0;
+}
+
+void MisraGries::reset_element(int element) {
+  for (auto& entry : table_) {
+    if (entry.element == element) entry.stored = offset_;
+  }
+}
+
+std::map<int, std::uint64_t> MisraGries::counts() const {
+  std::map<int, std::uint64_t> logical;
+  for (const auto& entry : table_) {
+    if (entry.stored > offset_) {
+      logical[entry.element] = entry.stored - offset_;
+    }
+  }
+  return logical;
+}
+
+Graphene::Graphene(GrapheneConfig config, const study::AddressMap* map)
+    : config_(config), map_(map) {
+  if (map_ == nullptr) {
+    throw std::invalid_argument("Graphene: null address map");
+  }
+  if (config_.table_entries < 1 || config_.protect_threshold == 0) {
+    throw std::invalid_argument("Graphene: bad configuration");
+  }
+  const std::uint64_t undercount =
+      config_.window_activations /
+      static_cast<std::uint64_t>(config_.table_entries);
+  if (undercount + 1 >= config_.protect_threshold) {
+    throw std::invalid_argument(
+        "Graphene: table too small for the threshold/window (undercount "
+        "margin swallows the whole budget)");
+  }
+  trigger_ = config_.protect_threshold - undercount;
+}
+
+DefenseDecision Graphene::on_activate(const dram::BankAddress& bank,
+                                      int logical_row, dram::Cycle /*now*/) {
+  ++stats_.observed_activations;
+  auto [it, inserted] = tables_.try_emplace(bank_key(bank),
+                                            config_.table_entries);
+  MisraGries& table = it->second;
+  DefenseDecision decision;
+  if (table.observe(logical_row) >= trigger_) {
+    decision.refresh_rows = map_->aggressors_of(logical_row);
+    stats_.preventive_refreshes += decision.refresh_rows.size();
+    table.reset_element(logical_row);
+  }
+  return decision;
+}
+
+void Graphene::on_window_boundary() {
+  for (auto& [key, table] : tables_) table.reset();
+}
+
+}  // namespace hbmrd::defense

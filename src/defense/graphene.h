@@ -1,0 +1,85 @@
+// Graphene — deterministic aggressor tracking with Misra-Gries frequent-
+// element counters (Park et al., MICRO 2020), the paper's reference [118].
+// Per bank, a small counter table tracks candidate heavy hitters; when a
+// row's estimated activation count crosses the threshold, its neighbours
+// are refreshed and the counter resets. Misra-Gries guarantees the
+// estimate undercounts by at most W/k (window size / table size), so the
+// threshold carries that margin and the defense is deterministic — no
+// escape probability.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/controller_defense.h"
+#include "study/address_map.h"
+
+namespace hbmrd::defense {
+
+struct GrapheneConfig {
+  /// Hammer-count threshold the mechanism must keep aggressors below.
+  std::uint64_t protect_threshold = 16'000;
+  /// Counter-table entries per bank.
+  int table_entries = 64;
+  /// Activations per window (the undercount bound is window/entries);
+  /// reset at every on_window_boundary().
+  std::uint64_t window_activations = 670'000;  // ~tREFW at minimum tRC
+};
+
+/// Misra-Gries summary: estimates per-element counts over a stream with
+/// additive error at most stream_length / table_entries. Stored as a flat
+/// table with an offset-encoded decrement-all, so the per-miss cost is one
+/// contiguous scan instead of a tree rebuild (the hot path of benign
+/// workloads, where most rows miss).
+class MisraGries {
+ public:
+  explicit MisraGries(int entries)
+      : entries_(static_cast<std::size_t>(entries)) {
+    table_.reserve(entries_);
+  }
+
+  /// Processes one element; returns its current estimated count.
+  std::uint64_t observe(int element);
+  void reset() {
+    table_.clear();
+    offset_ = 0;
+  }
+  void reset_element(int element);
+
+  /// Current logical counts (diagnostics/tests; zero entries omitted).
+  [[nodiscard]] std::map<int, std::uint64_t> counts() const;
+
+ private:
+  struct Entry {
+    int element;
+    std::uint64_t stored;  // logical count = stored - offset_
+  };
+  std::size_t entries_;
+  std::uint64_t offset_ = 0;
+  std::vector<Entry> table_;
+};
+
+class Graphene final : public ControllerDefense {
+ public:
+  Graphene(GrapheneConfig config, const study::AddressMap* map);
+
+  DefenseDecision on_activate(const dram::BankAddress& bank, int logical_row,
+                              dram::Cycle now) override;
+  void on_window_boundary() override;
+
+  [[nodiscard]] std::string name() const override { return "Graphene"; }
+
+  /// Estimated count threshold that triggers a refresh (threshold minus
+  /// the Misra-Gries undercount margin).
+  [[nodiscard]] std::uint64_t trigger_count() const { return trigger_; }
+
+ private:
+  GrapheneConfig config_;
+  const study::AddressMap* map_;
+  std::uint64_t trigger_;
+  /// One tracker per bank, created on first touch.
+  std::unordered_map<std::uint64_t, MisraGries> tables_;
+};
+
+}  // namespace hbmrd::defense

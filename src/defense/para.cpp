@@ -1,0 +1,32 @@
+#include "defense/para.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hbmrd::defense {
+
+Para::Para(ParaConfig config, const study::AddressMap* map)
+    : config_(config), map_(map), rng_(config.seed) {
+  if (map_ == nullptr) throw std::invalid_argument("Para: null address map");
+  if (config_.protect_threshold == 0 || config_.escape_probability <= 0.0 ||
+      config_.escape_probability >= 1.0) {
+    throw std::invalid_argument("Para: bad configuration");
+  }
+  // (1 - p)^T = escape  =>  p = 1 - escape^(1/T).
+  probability_ = 1.0 - std::pow(config_.escape_probability,
+                                1.0 / static_cast<double>(
+                                          config_.protect_threshold));
+}
+
+DefenseDecision Para::on_activate(const dram::BankAddress& /*bank*/,
+                                  int logical_row, dram::Cycle /*now*/) {
+  ++stats_.observed_activations;
+  DefenseDecision decision;
+  if (rng_.next_unit() < probability_) {
+    decision.refresh_rows = map_->aggressors_of(logical_row);
+    stats_.preventive_refreshes += decision.refresh_rows.size();
+  }
+  return decision;
+}
+
+}  // namespace hbmrd::defense

@@ -1,0 +1,43 @@
+// PARA — Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014),
+// the paper's reference [1]. On every activation, with probability p, the
+// controller refreshes the activated row's physical neighbours. p is
+// derived from the protected threshold: an aggressor hammered T times
+// escapes un-refreshed with probability (1-p)^T.
+#pragma once
+
+#include <memory>
+
+#include "defense/controller_defense.h"
+#include "study/address_map.h"
+#include "util/rng.h"
+
+namespace hbmrd::defense {
+
+struct ParaConfig {
+  /// Hammer-count threshold the mechanism must keep aggressors below.
+  std::uint64_t protect_threshold = 16'000;
+  /// Target escape probability per refresh window: (1-p)^threshold.
+  double escape_probability = 1e-9;
+  std::uint64_t seed = 0xBADA55;
+};
+
+class Para final : public ControllerDefense {
+ public:
+  Para(ParaConfig config, const study::AddressMap* map);
+
+  DefenseDecision on_activate(const dram::BankAddress& bank, int logical_row,
+                              dram::Cycle now) override;
+
+  [[nodiscard]] std::string name() const override { return "PARA"; }
+
+  /// The refresh probability derived from the configuration.
+  [[nodiscard]] double probability() const { return probability_; }
+
+ private:
+  ParaConfig config_;
+  const study::AddressMap* map_;
+  double probability_;
+  util::Stream rng_;
+};
+
+}  // namespace hbmrd::defense

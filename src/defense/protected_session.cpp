@@ -1,0 +1,95 @@
+#include "defense/protected_session.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace hbmrd::defense {
+
+namespace {
+
+/// Programs are flushed once they reach this many instructions, bounding
+/// builder memory during long attack runs.
+constexpr std::size_t kFlushThreshold = 200'000;
+
+}  // namespace
+
+ProtectedSession::ProtectedSession(bender::HbmChip* chip,
+                                   std::unique_ptr<ControllerDefense> defense,
+                                   bool issue_periodic_refresh)
+    : chip_(chip),
+      defense_(std::move(defense)),
+      issue_periodic_refresh_(issue_periodic_refresh) {
+  if (chip_ == nullptr || defense_ == nullptr) {
+    throw std::invalid_argument("ProtectedSession: null chip or defense");
+  }
+  estimated_cycle_ = chip_->now();
+  next_window_boundary_ =
+      estimated_cycle_ + chip_->stack().timing().t_refw;
+  next_refresh_ = estimated_cycle_ + chip_->stack().timing().t_refi;
+}
+
+void ProtectedSession::advance_estimate(dram::Cycle cycles) {
+  estimated_cycle_ += cycles;
+  while (estimated_cycle_ >= next_window_boundary_) {
+    defense_->on_window_boundary();
+    next_window_boundary_ += chip_->stack().timing().t_refw;
+  }
+}
+
+void ProtectedSession::append(const Activation& activation) {
+  const auto& timing = chip_->stack().timing();
+  touched_channels_.insert(activation.bank.channel);
+
+  // The controller's periodic refresh duty: one REF per tREFI per channel.
+  if (issue_periodic_refresh_ && estimated_cycle_ >= next_refresh_) {
+    for (int channel : touched_channels_) {
+      builder_.ref(channel);
+      ++pending_instructions_;
+      advance_estimate(timing.t_rfc);
+    }
+    while (next_refresh_ <= estimated_cycle_) next_refresh_ += timing.t_refi;
+  }
+
+  const auto decision =
+      defense_->on_activate(activation.bank, activation.row,
+                            estimated_cycle_);
+  if (decision.stall_cycles > 0) {
+    builder_.wait(decision.stall_cycles);
+    ++pending_instructions_;
+    advance_estimate(decision.stall_cycles);
+  }
+  builder_.act(activation.bank, activation.row).pre(activation.bank);
+  pending_instructions_ += 2;
+  advance_estimate(timing.t_rc);
+  for (int victim : decision.refresh_rows) {
+    builder_.act(activation.bank, victim).pre(activation.bank);
+    pending_instructions_ += 2;
+    advance_estimate(timing.t_rc);
+  }
+  if (pending_instructions_ >= kFlushThreshold) flush();
+}
+
+void ProtectedSession::flush() {
+  if (pending_instructions_ == 0) return;
+  chip_->run(std::move(builder_).build());
+  builder_ = bender::ProgramBuilder();
+  pending_instructions_ = 0;
+  // Re-anchor the estimate on the executor's real clock.
+  estimated_cycle_ = chip_->now();
+}
+
+void ProtectedSession::run(std::span<const Activation> activations) {
+  for (const auto& activation : activations) append(activation);
+  flush();
+}
+
+void ProtectedSession::hammer(const dram::BankAddress& bank,
+                              std::span<const int> rows,
+                              std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (int row : rows) append(Activation{bank, row});
+  }
+  flush();
+}
+
+}  // namespace hbmrd::defense

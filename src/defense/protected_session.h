@@ -1,0 +1,62 @@
+// Runs an activation stream through a chip with a controller-side defense
+// in the loop: every workload activation is observed by the defense, whose
+// preventive refreshes (ordinary ACT+PRE pairs to the victim rows) and
+// throttling stalls are woven into the command stream.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <span>
+#include <utility>
+
+#include "bender/platform.h"
+#include "defense/controller_defense.h"
+
+namespace hbmrd::defense {
+
+/// One workload activation.
+struct Activation {
+  dram::BankAddress bank;
+  int row = 0;  // logical
+};
+
+class ProtectedSession {
+ public:
+  /// `issue_periodic_refresh`: weave one REF per tREFI (to every touched
+  /// channel) into the stream, as a real memory controller must. Required
+  /// for throttling defenses (BlockHammer), whose guarantee presumes the
+  /// periodic refresh of victims.
+  ProtectedSession(bender::HbmChip* chip,
+                   std::unique_ptr<ControllerDefense> defense,
+                   bool issue_periodic_refresh = true);
+
+  /// Issues the activations in order, applying the defense to each.
+  /// Commands are batched into programs of bounded size.
+  void run(std::span<const Activation> activations);
+
+  /// Double-sided hammer through the defense: activates the rows in order,
+  /// `count` times.
+  void hammer(const dram::BankAddress& bank, std::span<const int> rows,
+              std::uint64_t count);
+
+  [[nodiscard]] ControllerDefense& defense() { return *defense_; }
+  [[nodiscard]] bender::HbmChip& chip() { return *chip_; }
+
+ private:
+  void append(const Activation& activation);
+  void flush();
+  /// Fires window-boundary callbacks based on the estimated cycle cursor.
+  void advance_estimate(dram::Cycle cycles);
+
+  bender::HbmChip* chip_;
+  std::unique_ptr<ControllerDefense> defense_;
+  bool issue_periodic_refresh_;
+  bender::ProgramBuilder builder_;
+  std::size_t pending_instructions_ = 0;
+  dram::Cycle estimated_cycle_;
+  dram::Cycle next_window_boundary_;
+  dram::Cycle next_refresh_;
+  std::set<int> touched_channels_;
+};
+
+}  // namespace hbmrd::defense

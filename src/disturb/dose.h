@@ -1,0 +1,80 @@
+// Disturbance-dose bookkeeping for one victim row.
+//
+// A victim accumulates dose *epochs*: scalar doses tagged with the aggressor
+// distance and a snapshot of the aggressor's contents at the time of the
+// activations. Keeping the aggressor bits per epoch (instead of per cell)
+// lets the device model stay O(touched rows) in memory while still applying
+// bit-exact data-pattern coupling at sense time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/row_data.h"
+
+namespace hbmrd::disturb {
+
+struct DoseEpoch {
+  /// Physical row distance of the aggressor relative to the victim
+  /// (-2, -1, +1, or +2).
+  int distance = 0;
+  /// Content-version of the aggressor when this epoch was opened; used to
+  /// merge consecutive activations with unchanged aggressor data.
+  std::uint64_t aggressor_version = 0;
+  /// Accumulated dose, in equivalent minimum-on-time activations (already
+  /// includes the tAggON and temperature factors, but *not* the per-bit
+  /// coupling or the distance factor, which are applied at sense time).
+  double dose = 0.0;
+  /// Aggressor contents during these activations.
+  dram::RowBits aggressor_bits;
+};
+
+/// The dose epochs of one victim row. Appends merge with the previous epoch
+/// when the (distance, aggressor version) pair is unchanged — the common
+/// case during hammering.
+class DoseLedger {
+ public:
+  void add(int distance, std::uint64_t aggressor_version,
+           const dram::RowBits& aggressor_bits, double dose) {
+    if (!epochs_.empty()) {
+      auto& last = epochs_.back();
+      if (last.distance == distance &&
+          last.aggressor_version == aggressor_version) {
+        last.dose += dose;
+        return;
+      }
+    }
+    // A new epoch for the same (distance, version) that is not the most
+    // recent one can still merge: scan backwards (lists stay tiny).
+    for (auto it = epochs_.rbegin(); it != epochs_.rend(); ++it) {
+      if (it->distance == distance &&
+          it->aggressor_version == aggressor_version) {
+        it->dose += dose;
+        return;
+      }
+    }
+    epochs_.push_back(DoseEpoch{distance, aggressor_version, dose,
+                                aggressor_bits});
+  }
+
+  void clear() { epochs_.clear(); }
+  [[nodiscard]] bool empty() const { return epochs_.empty(); }
+  [[nodiscard]] const std::vector<DoseEpoch>& epochs() const {
+    return epochs_;
+  }
+
+  /// Total dose from adjacent (distance +-1) aggressors; a coarse summary
+  /// used by tests and diagnostics.
+  [[nodiscard]] double adjacent_dose() const {
+    double total = 0.0;
+    for (const auto& e : epochs_) {
+      if (e.distance == 1 || e.distance == -1) total += e.dose;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<DoseEpoch> epochs_;
+};
+
+}  // namespace hbmrd::disturb

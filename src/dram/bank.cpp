@@ -1,0 +1,463 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hbmrd::dram {
+
+namespace {
+
+/// Retention decay is only evaluated when a row went unrefreshed for longer
+/// than this floor. Manufacturers guarantee no retention errors within the
+/// 32 ms refresh window (Sec. 3.1); the floor sits just above tREFW so the
+/// periodic refresh never pays retention scans, and just below the 34.8 ms
+/// profiling duration of the paper's footnote 6.
+constexpr double kRetentionFloorSeconds = 0.033;
+
+/// Cells more than this many sigma below the row median are ignored when
+/// the accumulated dose cannot plausibly reach them; deterministic early-out
+/// for the per-cell threshold scan.
+constexpr double kThresholdScanSigma = 6.0;
+
+}  // namespace
+
+Bank::Bank(BankAddress address, const disturb::FaultModel* fault_model,
+           const Environment* env, TimingParams timing)
+    : address_(address),
+      fault_(fault_model),
+      env_(env),
+      timing_(timing),
+      checker_(timing) {
+  validate(address_);
+  if (fault_ == nullptr || env_ == nullptr) {
+    throw std::invalid_argument("Bank: fault model and environment required");
+  }
+}
+
+void Bank::check_row(int physical_row) const {
+  if (physical_row < 0 || physical_row >= kRowsPerBank) {
+    throw std::out_of_range("physical row " + std::to_string(physical_row));
+  }
+}
+
+Bank::RowState& Bank::state(int physical_row, Cycle now) {
+  check_row(physical_row);
+  auto [it, inserted] = rows_.try_emplace(physical_row);
+  if (inserted) {
+    RowState& rs = it->second;
+    auto words = rs.bits.words();
+    for (int w = 0; w < RowBits::kWords; ++w) {
+      words[static_cast<std::size_t>(w)] =
+          fault_->power_on_word(address_, physical_row, w);
+    }
+    rs.last_restore = now;
+  }
+  return it->second;
+}
+
+Bank::RowState* Bank::find_state(int physical_row) {
+  const auto it = rows_.find(physical_row);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+const disturb::DoseLedger* Bank::ledger(int physical_row) const {
+  const auto it = rows_.find(physical_row);
+  return it == rows_.end() ? nullptr : &it->second.ledger;
+}
+
+int Bank::open_row() const {
+  if (!open_row_) throw std::logic_error("open_row: bank is precharged");
+  return *open_row_;
+}
+
+void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
+  const double elapsed_s = cycles_to_seconds(now - row.last_restore);
+  bool check_retention = elapsed_s > kRetentionFloorSeconds;
+  bool check_disturb = !row.ledger.empty();
+  const double temp_now = env_->temperature_c;
+  if (check_retention) {
+    // One cheap scan per row lifetime caches the row's weakest retention;
+    // senses below it skip the per-cell retention pass entirely.
+    if (row.min_retention_ref_s < 0.0) {
+      row.min_retention_ref_s = min_retention_ref_seconds(physical_row);
+    }
+    const auto& params = fault_->params();
+    const double min_at_temp =
+        row.min_retention_ref_s *
+        std::exp2((params.retention_ref_temp_c - temp_now) /
+                  params.retention_halving_c);
+    if (elapsed_s < min_at_temp) check_retention = false;
+  }
+
+  double max_dose = 0.0;
+  const double temp = temp_now;
+  const double temp_vuln = fault_->temperature_vulnerability(temp);
+  if (check_disturb) {
+    // Upper bound of any cell's effective dose: full coupling, intra bonus.
+    const double max_coupling = 1.0 + fault_->params().coupling_intra_bonus;
+    for (const auto& e : row.ledger.epochs()) {
+      max_dose += e.dose * fault_->distance_factor(e.distance);
+    }
+    max_dose *= max_coupling * temp_vuln;
+    // Cheapest deterministic early-out: below the chip-wide threshold
+    // floor nothing can flip, and the per-row context is not even needed
+    // (the common case for pointer refreshes and benign traffic).
+    if (max_dose < fault_->global_threshold_floor()) {
+      check_disturb = false;
+    }
+  }
+  if (!check_retention && !check_disturb) {
+    row.ledger.clear();
+    row.last_restore = now;
+    return;
+  }
+
+  const disturb::RowContext ctx = fault_->row_context(address_, physical_row);
+  if (check_disturb) {
+    // Per-row refinement: no cell of this row can have a threshold below
+    // weak_median * exp(-kThresholdScanSigma * sigma) of the widest
+    // population (the outliers reach deepest).
+    const double widest_sigma = std::max(ctx.weak_sigma, ctx.outlier_sigma);
+    if (max_dose <
+        ctx.weak_median * std::exp(-kThresholdScanSigma * widest_sigma)) {
+      check_disturb = false;
+    }
+  }
+
+  if (check_retention || check_disturb) {
+    // Flips are decided against a snapshot so that materializing one flip
+    // does not change a neighbouring cell's intra-row coupling mid-scan.
+    const RowBits snapshot = row.bits;
+    bool changed = false;
+
+    // threshold <= dose is equivalent to comparing the cell's raw uniform
+    // against Phi(ln(dose / median) / sigma) of the cell's population;
+    // cells fall into a handful of identical dose classes (victim bit x
+    // aggressor bits x intra bonus), so the CDFs are memoized per distinct
+    // dose for both populations.
+    struct DoseProb {
+      double dose;
+      double outlier_probability;
+      double weak_probability;
+      double bulk_probability;
+    };
+    std::array<DoseProb, 16> memo;
+    std::size_t memo_size = 0;
+    auto flip_probabilities = [&](double dose) -> const DoseProb& {
+      for (std::size_t i = 0; i < memo_size; ++i) {
+        if (memo[i].dose == dose) return memo[i];
+      }
+      DoseProb entry{dose, 0.0, 0.0, 0.0};
+      if (dose > 0.0) {
+        entry.outlier_probability = disturb::FaultModel::normal_cdf(
+            std::log(dose / ctx.outlier_median) / ctx.outlier_sigma);
+        entry.weak_probability = disturb::FaultModel::normal_cdf(
+            std::log(dose / ctx.weak_median) / ctx.weak_sigma);
+        entry.bulk_probability = disturb::FaultModel::normal_cdf(
+            std::log(dose / ctx.bulk_median) / ctx.bulk_sigma);
+      }
+      const std::size_t slot = std::min(memo_size, memo.size() - 1);
+      memo[slot] = entry;
+      if (memo_size < memo.size()) ++memo_size;
+      return memo[slot];
+    };
+
+    // Retention: one failure probability threshold per population. Most
+    // senses see a zero threshold for the normal population, so the scan
+    // pays one leaky-membership hash per cell and nothing more.
+    double leaky_u_max = 0.0;
+    double normal_u_max = 0.0;
+    if (check_retention) {
+      auto u_max = [&](bool leaky) {
+        const double med = fault_->retention_median_seconds(leaky, temp);
+        const double s = fault_->retention_sigma(leaky);
+        return disturb::FaultModel::normal_cdf(std::log(elapsed_s / med) / s);
+      };
+      leaky_u_max = u_max(true);
+      normal_u_max = u_max(false);
+      if (leaky_u_max <= 0.0 && normal_u_max <= 0.0) check_retention = false;
+    }
+    if (!check_retention && !check_disturb) {
+      row.ledger.clear();
+      row.last_restore = now;
+      return;
+    }
+
+    const auto& epochs = row.ledger.epochs();
+    for (int bit = 0; bit < kRowBits; ++bit) {
+      const bool value = snapshot.get(bit);
+
+      bool flip = false;
+      if (check_retention) {
+        const bool leaky = fault_->is_leaky_cell(address_, physical_row, bit);
+        const double u_max = leaky ? leaky_u_max : normal_u_max;
+        if (u_max > 0.0 &&
+            fault_->retention_uniform(address_, physical_row, bit, leaky) <=
+                u_max &&
+            fault_->is_charged(address_, physical_row, bit, value)) {
+          flip = true;
+        }
+      }
+      if (!flip && check_disturb &&
+          fault_->is_charged(address_, physical_row, bit, value)) {
+        const bool left = bit > 0 ? snapshot.get(bit - 1) : value;
+        const bool right = bit + 1 < kRowBits ? snapshot.get(bit + 1) : value;
+        const bool intra_differs = (left != value) || (right != value);
+        double dose = 0.0;
+        for (const auto& e : epochs) {
+          dose += e.dose * fault_->distance_factor(e.distance) *
+                  fault_->coupling(value, e.aggressor_bits.get(bit),
+                                   intra_differs);
+        }
+        dose *= temp_vuln;
+        const DoseProb& p = flip_probabilities(dose);
+        if (p.outlier_probability > 0.0 || p.weak_probability > 0.0 ||
+            p.bulk_probability > 0.0) {
+          double probability = p.bulk_probability;
+          if (fault_->is_outlier_cell(address_, physical_row, bit)) {
+            probability = p.outlier_probability;
+          } else if (fault_->is_weak_cell(address_, physical_row, bit,
+                                          ctx.weak_density)) {
+            probability = p.weak_probability;
+          }
+          if (probability > 0.0 &&
+              fault_->cell_threshold_uniform(address_, physical_row, bit) <=
+                  probability) {
+            flip = true;
+          }
+        }
+      }
+      if (flip) {
+        row.bits.set(bit, !value);
+        ++counters_.bitflips_materialized;
+        changed = true;
+      }
+    }
+    if (changed) ++row.version;
+  }
+
+  row.ledger.clear();
+  row.last_restore = now;
+}
+
+double Bank::min_retention_ref_seconds(int physical_row) const {
+  const auto& params = fault_->params();
+  double min_u_leaky = 2.0;
+  double min_u_normal = 2.0;
+  for (int bit = 0; bit < kRowBits; ++bit) {
+    const bool leaky = fault_->is_leaky_cell(address_, physical_row, bit);
+    const double u =
+        fault_->retention_uniform(address_, physical_row, bit, leaky);
+    if (leaky) {
+      min_u_leaky = std::min(min_u_leaky, u);
+    } else {
+      min_u_normal = std::min(min_u_normal, u);
+    }
+  }
+  double minimum = std::numeric_limits<double>::max();
+  if (min_u_leaky <= 1.0) {
+    minimum = std::min(
+        minimum, params.leaky_retention_median_s *
+                     std::exp(params.leaky_retention_sigma *
+                              util::inverse_normal_cdf(
+                                  std::max(1e-300, min_u_leaky))));
+  }
+  if (min_u_normal <= 1.0) {
+    minimum = std::min(
+        minimum, params.normal_retention_median_s *
+                     std::exp(params.normal_retention_sigma *
+                              util::inverse_normal_cdf(
+                                  std::max(1e-300, min_u_normal))));
+  }
+  return minimum;
+}
+
+void Bank::disturb_neighbors(int aggressor_row, const RowState& /*aggressor*/,
+                             double dose, Cycle now) {
+  // First make sure every victim state exists; creating states can rehash
+  // the map, so the aggressor is re-looked-up afterwards.
+  static constexpr int kDistances[] = {-2, -1, 1, 2};
+  for (int d : kDistances) {
+    const int victim = aggressor_row + d;
+    if (victim < 0 || victim >= kRowsPerBank) continue;
+    if (!same_subarray(aggressor_row, victim)) continue;
+    state(victim, now);
+  }
+  RowState* aggr = find_state(aggressor_row);
+  if (aggr == nullptr) {
+    throw std::logic_error("disturb_neighbors: aggressor has no state");
+  }
+  for (int d : kDistances) {
+    const int victim = aggressor_row + d;
+    if (victim < 0 || victim >= kRowsPerBank) continue;
+    if (!same_subarray(aggressor_row, victim)) continue;
+    // The epoch records the aggressor's position relative to the victim.
+    find_state(victim)->ledger.add(-d, aggr->version, aggr->bits, dose);
+  }
+}
+
+void Bank::activate(int physical_row, Cycle now) {
+  check_row(physical_row);
+  checker_.on_activate(now);
+  ++counters_.activations;
+  open_row_ = physical_row;
+  RowState& rs = state(physical_row, now);
+  sense_and_restore(physical_row, rs, now);
+  if (defense_) defense_->on_activate(physical_row, now);
+}
+
+void Bank::precharge(Cycle now) {
+  if (!open_row_) {
+    checker_.on_precharge(now);  // legal no-op
+    return;
+  }
+  const Cycle on_cycles = now - checker_.open_since();
+  checker_.on_precharge(now);
+  const int aggressor = *open_row_;
+  open_row_.reset();
+  const double dose = fault_->taggon_factor(on_cycles);
+  RowState* aggr = find_state(aggressor);
+  disturb_neighbors(aggressor, *aggr, dose, now);
+}
+
+void Bank::read_column(int column, std::span<std::uint64_t> out, Cycle now) {
+  checker_.on_read(now);
+  find_state(open_row())->bits.get_column(column, out);
+}
+
+void Bank::write_column(int column, std::span<const std::uint64_t> data,
+                        Cycle now) {
+  checker_.on_write(now);
+  RowState* rs = find_state(open_row());
+  rs->bits.set_column(column, data);
+  ++rs->version;
+}
+
+void Bank::refresh_row(int physical_row, Cycle now) {
+  check_row(physical_row);
+  if (RowState* rs = find_state(physical_row)) {
+    sense_and_restore(physical_row, *rs, now);
+  }
+  // Rows without state are implicitly fully charged; nothing to do.
+}
+
+void Bank::refresh(Cycle now) {
+  checker_.on_refresh(now);
+  ++counters_.refresh_commands;
+  for (int i = 0; i < timing_.rows_per_ref(); ++i) {
+    refresh_row(refresh_pointer_, now);
+    refresh_pointer_ = (refresh_pointer_ + 1) % kRowsPerBank;
+  }
+  if (defense_) {
+    for (int victim : defense_->on_refresh(now)) {
+      if (victim < 0 || victim >= kRowsPerBank) continue;
+      ++counters_.defense_victim_refreshes;
+      refresh_row(victim, now);
+      // A TRR victim refresh is a row activation in silicon, so it
+      // disturbs the refreshed row's own neighbours — the HalfDouble
+      // vector of Sec. 8.1. (Pointer refreshes are modeled as
+      // disturbance-free to keep long refresh runs O(touched rows);
+      // their per-row rate is 2 per tREFW and physically negligible.)
+      if (RowState* rs = find_state(victim)) {
+        disturb_neighbors(victim, *rs,
+                          fault_->taggon_factor(timing_.t_ras), now);
+      }
+    }
+  }
+}
+
+Cycle Bank::bulk_hammer(std::span<const HammerStep> steps,
+                        std::uint64_t iterations, Cycle start) {
+  if (steps.empty()) throw std::invalid_argument("bulk_hammer: no steps");
+  if (iterations == 0) throw std::invalid_argument("bulk_hammer: 0 iters");
+  if (open_row_) throw TimingViolation("bulk_hammer: bank must be precharged");
+  for (const auto& s : steps) {
+    check_row(s.row);
+    if (s.on_cycles < timing_.t_ras) {
+      throw TimingViolation("bulk_hammer: on-time below tRAS");
+    }
+  }
+
+  // Canonical per-iteration layout: step k activates, stays open for its
+  // on-time, precharges; the next ACT follows after max(tRP, tRC slack).
+  std::vector<Cycle> act_offset(steps.size());
+  Cycle t = 0;
+  Cycle prev_act = 0;
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    if (k > 0) {
+      t = std::max(t + timing_.t_rp, prev_act + timing_.t_rc);
+    }
+    act_offset[k] = t;
+    prev_act = t;
+    t += steps[k].on_cycles;  // PRE happens at t (>= ACT + tRAS)
+  }
+  // Period: distance between iteration starts; honours tRP after the last
+  // PRE and tRC from the last ACT to the next iteration's first ACT.
+  const Cycle period = std::max(t + timing_.t_rp, prev_act + timing_.t_rc);
+
+  // Validate the boundary timing through the checker using the first
+  // iteration, then (for multi-iteration bursts) replay the last iteration
+  // so that subsequent commands see the correct history.
+  auto replay_iteration = [&](Cycle iteration_start) {
+    for (std::size_t k = 0; k < steps.size(); ++k) {
+      const Cycle act = iteration_start + act_offset[k];
+      checker_.on_activate(act);
+      checker_.on_precharge(act + steps[k].on_cycles);
+    }
+  };
+  replay_iteration(start);
+  if (iterations > 1) {
+    replay_iteration(start + (iterations - 1) * period);
+  }
+  const Cycle end = start + (iterations - 1) * period + period;
+
+  // Sense every hammered row once at its first activation, so pre-existing
+  // dose materializes before the burst restores it.
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    RowState& rs = state(steps[k].row, start);
+    sense_and_restore(steps[k].row, rs, start + act_offset[k]);
+  }
+
+  // Apply the aggregated dose to victims that are not themselves hammered
+  // (hammered rows restore themselves every iteration; their residual
+  // single-iteration dose is dropped, see header).
+  auto is_hammered = [&](int row) {
+    return std::any_of(steps.begin(), steps.end(), [row](const HammerStep& s) {
+      return s.row == row;
+    });
+  };
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    const int aggressor = steps[k].row;
+    const double dose =
+        fault_->taggon_factor(steps[k].on_cycles) *
+        static_cast<double>(iterations);
+    static constexpr int kDistances[] = {-2, -1, 1, 2};
+    for (int d : kDistances) {
+      const int victim = aggressor + d;
+      if (victim < 0 || victim >= kRowsPerBank) continue;
+      if (!same_subarray(aggressor, victim)) continue;
+      if (is_hammered(victim)) continue;
+      state(victim, start);  // may rehash; re-find aggressor below
+      RowState* aggr = find_state(aggressor);
+      find_state(victim)->ledger.add(-d, aggr->version, aggr->bits, dose);
+    }
+    if (defense_) {
+      defense_->on_activate_bulk(aggressor, iterations, end);
+    }
+    counters_.activations += iterations;
+  }
+
+  // Hammered rows were restored by their own final activation.
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    RowState* rs = find_state(steps[k].row);
+    rs->ledger.clear();
+    rs->last_restore = start + (iterations - 1) * period + act_offset[k];
+  }
+  return end;
+}
+
+}  // namespace hbmrd::dram

@@ -1,0 +1,157 @@
+// One DRAM bank: the row array, the open-row state machine, disturbance
+// dose accumulation, lazy bitflip materialization, refresh, and the defense
+// hook. All row indices at this layer are *physical*.
+//
+// Memory model: only rows that have been touched (written, activated, or
+// disturbed) carry state; everything else is implicit (power-on contents,
+// fully charged). A touched row costs ~1 KiB plus its dose epochs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "disturb/dose.h"
+#include "disturb/fault_model.h"
+#include "dram/defense.h"
+#include "dram/geometry.h"
+#include "dram/row_data.h"
+#include "dram/timing.h"
+
+namespace hbmrd::dram {
+
+/// Ambient conditions shared by all banks of a stack; owned by the Stack.
+struct Environment {
+  double temperature_c = 60.0;
+};
+
+/// Device-side event counters (diagnostics; benches report them).
+struct BankCounters {
+  std::uint64_t activations = 0;
+  std::uint64_t refresh_commands = 0;
+  std::uint64_t defense_victim_refreshes = 0;
+  std::uint64_t bitflips_materialized = 0;
+};
+
+/// One activation of the hammer fast path: a row kept open for `on_cycles`.
+struct HammerStep {
+  /// Physical at the Bank layer; Stack::bulk_hammer accepts logical rows
+  /// and translates them.
+  int row = 0;
+  Cycle on_cycles = 0;
+};
+
+class Bank {
+ public:
+  Bank(BankAddress address, const disturb::FaultModel* fault_model,
+       const Environment* env, TimingParams timing);
+
+  Bank(const Bank&) = delete;
+  Bank& operator=(const Bank&) = delete;
+  Bank(Bank&&) = default;
+  Bank& operator=(Bank&&) = default;
+
+  [[nodiscard]] const BankAddress& address() const { return address_; }
+
+  // -- Commands (timing-checked) -------------------------------------------
+
+  void activate(int physical_row, Cycle now);
+  void precharge(Cycle now);
+
+  /// Column access on the open row.
+  void read_column(int column, std::span<std::uint64_t> out, Cycle now);
+  void write_column(int column, std::span<const std::uint64_t> data,
+                    Cycle now);
+
+  /// Per-bank portion of a REF command: refreshes the next
+  /// timing.rows_per_ref() rows (refresh pointer) plus any victim rows the
+  /// attached defense requests.
+  void refresh(Cycle now);
+
+  /// Refresh one specific physical row (used for documented-TRR-Mode
+  /// refreshes and defense victim refreshes).
+  void refresh_row(int physical_row, Cycle now);
+
+  // -- Hammer fast path ------------------------------------------------------
+
+  /// Semantically equivalent to repeating the given ACT(+on-time)+PRE
+  /// sequence `iterations` times starting at `start`. The bank must be
+  /// precharged; each step's on-time must be at least tRAS. Victim dose is
+  /// exact; the (negligible) residual self-dose of rows activated inside
+  /// the loop is dropped (they are restored by their own activations).
+  /// Returns the cycle at which the burst completes (bank precharged).
+  Cycle bulk_hammer(std::span<const HammerStep> steps,
+                    std::uint64_t iterations, Cycle start);
+
+  // -- Defense ---------------------------------------------------------------
+
+  void set_defense(std::unique_ptr<ReadDisturbDefense> defense) {
+    defense_ = std::move(defense);
+  }
+  [[nodiscard]] ReadDisturbDefense* defense() { return defense_.get(); }
+
+  // -- Introspection / simulator-only helpers -------------------------------
+
+  [[nodiscard]] bool is_open() const { return open_row_.has_value(); }
+  [[nodiscard]] int open_row() const;
+  [[nodiscard]] int refresh_pointer() const { return refresh_pointer_; }
+
+  /// Drops all per-row simulator state (contents revert to power-on).
+  /// Memory-reclaim hook for long sweeps; not a DRAM operation.
+  void drop_row_states() { rows_.clear(); }
+
+  /// Number of rows currently carrying state.
+  [[nodiscard]] std::size_t touched_rows() const { return rows_.size(); }
+
+  /// Cumulative device-side event counters.
+  [[nodiscard]] const BankCounters& counters() const { return counters_; }
+
+  /// Dose ledger of a row, if it has state (tests/diagnostics only).
+  [[nodiscard]] const disturb::DoseLedger* ledger(int physical_row) const;
+
+ private:
+  struct RowState {
+    RowBits bits;
+    Cycle last_restore = 0;
+    std::uint64_t version = 0;
+    disturb::DoseLedger ledger;
+    /// Cached minimum cell retention of this row at the reference
+    /// temperature (seconds); < 0 = not yet computed. Senses skip the
+    /// retention scan entirely while the unrefreshed time stays below it.
+    double min_retention_ref_s = -1.0;
+  };
+
+  RowState& state(int physical_row, Cycle now);
+  [[nodiscard]] RowState* find_state(int physical_row);
+
+  /// Sense: applies retention decay and disturbance flips to the stored
+  /// bits, then clears the dose ledger and resets the retention clock.
+  void sense_and_restore(int physical_row, RowState& row, Cycle now);
+
+  /// Minimum cell retention of a row at the reference temperature.
+  [[nodiscard]] double min_retention_ref_seconds(int physical_row) const;
+
+  /// Applies the disturbance of one aggressor activation burst to the
+  /// aggressor's in-subarray neighbours.
+  void disturb_neighbors(int aggressor_row, const RowState& aggressor,
+                         double dose, Cycle now);
+
+  void check_row(int physical_row) const;
+
+  BankAddress address_;
+  const disturb::FaultModel* fault_;
+  const Environment* env_;
+  TimingParams timing_;
+  BankTimingChecker checker_;
+
+  std::optional<int> open_row_;
+  int refresh_pointer_ = 0;
+  std::unordered_map<int, RowState> rows_;
+  std::unique_ptr<ReadDisturbDefense> defense_;
+  BankCounters counters_;
+};
+
+}  // namespace hbmrd::dram

@@ -1,0 +1,53 @@
+#include "dram/chip_profiles.h"
+
+#include "util/rng.h"
+
+namespace hbmrd::dram {
+
+std::array<ChipProfile, kChipCount> chip_profiles(
+    std::uint64_t platform_seed) {
+  // Per-chip vulnerability multipliers, calibrated so the minimum HC_first
+  // measured across each chip tracks the paper's per-chip minima
+  // (Obsv. 4/5: 18087, 16611, 15500, 17164, 15500, 14531 for Chips 0-5).
+  constexpr std::array<double, kChipCount> kChipFactor = {
+      1.10, 0.97, 0.96, 1.03, 0.99, 0.90};
+
+  // Die-to-die spread: larger than the chip-to-chip factor spread so that
+  // the within-chip channel variation dominates (Obsv. 11). Chip 5 is the
+  // paper's exception with a tight die spread.
+  constexpr std::array<double, kChipCount> kSigmaDie = {
+      0.15, 0.15, 0.15, 0.15, 0.15, 0.05};
+
+  // Vendor row mapping per chip (arbitrary assignment across the three
+  // modeled schemes; reverse engineered by study/mapping_re.h).
+  constexpr std::array<MappingScheme, kChipCount> kMapping = {
+      MappingScheme::kPairSwap,    MappingScheme::kPairSwap,
+      MappingScheme::kIdentity,    MappingScheme::kIdentity,
+      MappingScheme::kInterleave8, MappingScheme::kInterleave8,
+  };
+
+  // Ambient temperatures of the uncontrolled chips (Fig. 3 shows stable
+  // per-chip temperatures); Chip 0 is driven to 82 C by the rig.
+  constexpr std::array<double, kChipCount> kAmbient = {
+      60.0, 55.0, 52.0, 57.5, 54.0, 56.0};
+
+  std::array<ChipProfile, kChipCount> profiles;
+  for (int i = 0; i < kChipCount; ++i) {
+    ChipProfile& p = profiles[static_cast<std::size_t>(i)];
+    p.index = i;
+    p.label = "Chip " + std::to_string(i);
+    p.board = (i == 0) ? "Bittware XUPVVH" : "AMD Xilinx Alveo U50";
+    p.mapping = kMapping[static_cast<std::size_t>(i)];
+    p.has_undocumented_trr = (i == 0);
+    p.temperature_controlled = (i == 0);
+    p.target_temperature_c = 82.0;
+    p.ambient_temperature_c = kAmbient[static_cast<std::size_t>(i)];
+
+    p.disturb.seed = util::hash_key(platform_seed, 0xC41Full, i);
+    p.disturb.chip_factor = kChipFactor[static_cast<std::size_t>(i)];
+    p.disturb.sigma_die = kSigmaDie[static_cast<std::size_t>(i)];
+  }
+  return profiles;
+}
+
+}  // namespace hbmrd::dram

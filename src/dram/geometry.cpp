@@ -1,0 +1,34 @@
+#include "dram/geometry.h"
+
+#include <string>
+
+namespace hbmrd::dram {
+
+void validate(const BankAddress& addr) {
+  if (addr.channel < 0 || addr.channel >= kChannels) {
+    throw std::out_of_range("channel " + std::to_string(addr.channel) +
+                            " outside [0, " + std::to_string(kChannels) + ")");
+  }
+  if (addr.pseudo_channel < 0 || addr.pseudo_channel >= kPseudoChannels) {
+    throw std::out_of_range("pseudo channel " +
+                            std::to_string(addr.pseudo_channel) +
+                            " outside [0, " +
+                            std::to_string(kPseudoChannels) + ")");
+  }
+  if (addr.bank < 0 || addr.bank >= kBanksPerPseudoChannel) {
+    throw std::out_of_range("bank " + std::to_string(addr.bank) +
+                            " outside [0, " +
+                            std::to_string(kBanksPerPseudoChannel) + ")");
+  }
+}
+
+void validate(const RowAddress& addr) {
+  validate(addr.bank);
+  if (addr.row < 0 || addr.row >= kRowsPerBank) {
+    throw std::out_of_range("row " + std::to_string(addr.row) +
+                            " outside [0, " + std::to_string(kRowsPerBank) +
+                            ")");
+  }
+}
+
+}  // namespace hbmrd::dram

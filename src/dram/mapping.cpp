@@ -1,0 +1,90 @@
+#include "dram/mapping.h"
+
+#include <stdexcept>
+
+namespace hbmrd::dram {
+
+std::string to_string(MappingScheme scheme) {
+  switch (scheme) {
+    case MappingScheme::kIdentity:
+      return "identity";
+    case MappingScheme::kPairSwap:
+      return "pair-swap";
+    case MappingScheme::kInterleave8:
+      return "interleave-8";
+    case MappingScheme::kMirror8:
+      return "mirror-8";
+  }
+  throw std::invalid_argument("unknown mapping scheme");
+}
+
+namespace {
+
+void check_row(int row) {
+  if (row < 0 || row >= kRowsPerBank) {
+    throw std::out_of_range("row index " + std::to_string(row));
+  }
+}
+
+int pair_swap(int row) {
+  // {0,1,2,3} -> {0,2,1,3}: swap the middle pair of each 4-row block.
+  const int offset = row & 3;
+  if (offset == 1) return row + 1;
+  if (offset == 2) return row - 1;
+  return row;
+}
+
+int interleave8_to_physical(int row) {
+  // logical offset o in a block of 8 maps to physical offset:
+  //   even o -> o / 2, odd o -> 4 + o / 2, i.e. {0,4,1,5,2,6,3,7}.
+  const int block = row & ~7;
+  const int o = row & 7;
+  const int phys = (o & 1) ? 4 + (o >> 1) : (o >> 1);
+  return block | phys;
+}
+
+int mirror8(int row) {
+  // Reverse within each block of 8; an involution.
+  return (row & ~7) | (7 - (row & 7));
+}
+
+int interleave8_to_logical(int row) {
+  const int block = row & ~7;
+  const int p = row & 7;
+  const int logical = (p < 4) ? (p << 1) : (((p - 4) << 1) | 1);
+  return block | logical;
+}
+
+}  // namespace
+
+int RowMapping::to_physical(int logical_row) const {
+  check_row(logical_row);
+  switch (scheme_) {
+    case MappingScheme::kIdentity:
+      return logical_row;
+    case MappingScheme::kPairSwap:
+      return pair_swap(logical_row);  // involution
+    case MappingScheme::kInterleave8:
+      return interleave8_to_physical(logical_row);
+    case MappingScheme::kMirror8:
+      return mirror8(logical_row);
+  }
+  throw std::invalid_argument("unknown mapping scheme");
+}
+
+int RowMapping::to_logical(int physical_row) const {
+  check_row(physical_row);
+  switch (scheme_) {
+    case MappingScheme::kIdentity:
+      return physical_row;
+    case MappingScheme::kPairSwap:
+      return pair_swap(physical_row);
+    case MappingScheme::kInterleave8:
+      return interleave8_to_logical(physical_row);
+    case MappingScheme::kMirror8:
+      return mirror8(physical_row);
+  }
+  throw std::invalid_argument("unknown mapping scheme");
+}
+
+}  // namespace hbmrd::dram

@@ -1,0 +1,50 @@
+// Logical-to-physical row address mapping.
+//
+// DRAM manufacturers remap memory-controller-visible (logical) row addresses
+// to internal (physical) rows (paper Sec. 3.1). Adjacency — and therefore
+// read disturbance — is a property of *physical* rows, so a characterization
+// study must reverse engineer the scheme before picking aggressor rows.
+// We model the mapping as a per-chip bijection chosen from a small family of
+// schemes observed in real devices; study/mapping_re.h recovers the scheme
+// through the command interface alone.
+#pragma once
+
+#include <string>
+
+#include "dram/geometry.h"
+
+namespace hbmrd::dram {
+
+enum class MappingScheme {
+  /// physical == logical.
+  kIdentity,
+  /// Within every block of 4 logical rows, the middle pair is swapped:
+  /// logical {0,1,2,3} -> physical {0,2,1,3}.
+  kPairSwap,
+  /// Within every block of 8 logical rows, even rows come first:
+  /// logical {0..7} -> physical {0,4,1,5,2,6,3,7} (a 2-way interleave).
+  kInterleave8,
+  /// Every block of 8 logical rows is reversed:
+  /// logical {0..7} -> physical {7,6,5,4,3,2,1,0} (an involution).
+  kMirror8,
+};
+
+[[nodiscard]] std::string to_string(MappingScheme scheme);
+
+class RowMapping {
+ public:
+  explicit RowMapping(MappingScheme scheme) : scheme_(scheme) {}
+
+  [[nodiscard]] MappingScheme scheme() const { return scheme_; }
+
+  /// Logical -> physical row index; total bijection on [0, kRowsPerBank).
+  [[nodiscard]] int to_physical(int logical_row) const;
+
+  /// Physical -> logical row index (inverse of to_physical).
+  [[nodiscard]] int to_logical(int physical_row) const;
+
+ private:
+  MappingScheme scheme_;
+};
+
+}  // namespace hbmrd::dram

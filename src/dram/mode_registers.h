@@ -1,0 +1,80 @@
+// HBM2 mode registers, limited to the features the study interacts with:
+// the ECC enable bit (disabled during characterization, Sec. 3.1) and the
+// standard-documented TRR Mode (Sec. 7 footnote 2). Register/bit positions
+// are a simplification of JESD235; the typed accessors are the contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace hbmrd::dram {
+
+class ModeRegisters {
+ public:
+  static constexpr int kRegisterCount = 16;
+
+  // Register/bit assignments (simplified):
+  //   MR4[0]      ECC enable
+  //   MR3[15]     TRR Mode enable
+  //   MR9[13:0]   TRR Mode target row
+  //   MR11[3:0]   TRR Mode target bank
+  static constexpr int kEccRegister = 4;
+  static constexpr std::uint32_t kEccBit = 1u << 0;
+  static constexpr int kTrrModeRegister = 3;
+  static constexpr std::uint32_t kTrrModeBit = 1u << 15;
+  static constexpr int kTrrRowRegister = 9;
+  static constexpr int kTrrBankRegister = 11;
+
+  void write(int reg, std::uint32_t value) {
+    check(reg);
+    regs_[static_cast<std::size_t>(reg)] = value;
+  }
+  [[nodiscard]] std::uint32_t read(int reg) const {
+    check(reg);
+    return regs_[static_cast<std::size_t>(reg)];
+  }
+
+  [[nodiscard]] bool ecc_enabled() const {
+    return (read(kEccRegister) & kEccBit) != 0;
+  }
+  void set_ecc_enabled(bool on) {
+    auto v = read(kEccRegister);
+    write(kEccRegister, on ? (v | kEccBit) : (v & ~kEccBit));
+  }
+
+  [[nodiscard]] bool trr_mode_enabled() const {
+    return (read(kTrrModeRegister) & kTrrModeBit) != 0;
+  }
+  void set_trr_mode_enabled(bool on) {
+    auto v = read(kTrrModeRegister);
+    write(kTrrModeRegister, on ? (v | kTrrModeBit) : (v & ~kTrrModeBit));
+  }
+
+  [[nodiscard]] int trr_target_row() const {
+    return static_cast<int>(read(kTrrRowRegister) & 0x3fffu);
+  }
+  [[nodiscard]] int trr_target_bank() const {
+    return static_cast<int>(read(kTrrBankRegister) & 0xfu);
+  }
+  [[nodiscard]] int trr_target_pseudo_channel() const {
+    return static_cast<int>((read(kTrrBankRegister) >> 4) & 0x1u);
+  }
+  void set_trr_target(int pseudo_channel, int bank, int row) {
+    write(kTrrRowRegister, static_cast<std::uint32_t>(row) & 0x3fffu);
+    write(kTrrBankRegister,
+          (static_cast<std::uint32_t>(bank) & 0xfu) |
+              ((static_cast<std::uint32_t>(pseudo_channel) & 0x1u) << 4));
+  }
+
+ private:
+  static void check(int reg) {
+    if (reg < 0 || reg >= kRegisterCount) {
+      throw std::out_of_range("mode register index");
+    }
+  }
+
+  std::array<std::uint32_t, kRegisterCount> regs_{};
+};
+
+}  // namespace hbmrd::dram

@@ -1,0 +1,63 @@
+#include "dram/row_data.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hbmrd::dram {
+
+RowBits RowBits::filled(std::uint8_t byte_pattern) {
+  RowBits row;
+  std::uint64_t word = 0;
+  for (int i = 0; i < 8; ++i) {
+    word |= static_cast<std::uint64_t>(byte_pattern) << (8 * i);
+  }
+  for (auto& w : row.words_) w = word;
+  return row;
+}
+
+int RowBits::count_diff(const RowBits& other) const {
+  int count = 0;
+  for (int w = 0; w < kWords; ++w) {
+    count += std::popcount(words_[static_cast<std::size_t>(w)] ^
+                           other.words_[static_cast<std::size_t>(w)]);
+  }
+  return count;
+}
+
+std::vector<int> RowBits::diff_positions(const RowBits& other) const {
+  std::vector<int> positions;
+  for (int w = 0; w < kWords; ++w) {
+    std::uint64_t diff = words_[static_cast<std::size_t>(w)] ^
+                         other.words_[static_cast<std::size_t>(w)];
+    while (diff != 0) {
+      const int bit = std::countr_zero(diff);
+      positions.push_back(w * 64 + bit);
+      diff &= diff - 1;
+    }
+  }
+  return positions;
+}
+
+void RowBits::set_column(int column, std::span<const std::uint64_t> words) {
+  if (column < 0 || column >= kColumns) {
+    throw std::out_of_range("column index");
+  }
+  if (words.size() != kWordsPerColumn) {
+    throw std::invalid_argument("column data must be kWordsPerColumn words");
+  }
+  const auto base = static_cast<std::size_t>(column * kWordsPerColumn);
+  for (std::size_t i = 0; i < words.size(); ++i) words_[base + i] = words[i];
+}
+
+void RowBits::get_column(int column, std::span<std::uint64_t> words) const {
+  if (column < 0 || column >= kColumns) {
+    throw std::out_of_range("column index");
+  }
+  if (words.size() != kWordsPerColumn) {
+    throw std::invalid_argument("column buffer must be kWordsPerColumn words");
+  }
+  const auto base = static_cast<std::size_t>(column * kWordsPerColumn);
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] = words_[base + i];
+}
+
+}  // namespace hbmrd::dram

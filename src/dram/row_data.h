@@ -1,0 +1,59 @@
+// Fixed-size bit container for one DRAM row (8192 bits / 1 KiB).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dram/geometry.h"
+
+namespace hbmrd::dram {
+
+class RowBits {
+ public:
+  static constexpr int kWords = kRowBits / 64;
+
+  constexpr RowBits() = default;
+
+  /// Row filled with a repeating byte pattern (how the paper's data patterns
+  /// of Table 1 are expressed).
+  [[nodiscard]] static RowBits filled(std::uint8_t byte_pattern);
+
+  [[nodiscard]] bool get(int bit) const {
+    return (words_[static_cast<std::size_t>(bit >> 6)] >> (bit & 63)) & 1u;
+  }
+
+  void set(int bit, bool value) {
+    const auto w = static_cast<std::size_t>(bit >> 6);
+    const std::uint64_t mask = 1ull << (bit & 63);
+    if (value) {
+      words_[w] |= mask;
+    } else {
+      words_[w] &= ~mask;
+    }
+  }
+
+  /// Number of differing bits between two rows.
+  [[nodiscard]] int count_diff(const RowBits& other) const;
+
+  /// Bit positions where the two rows differ.
+  [[nodiscard]] std::vector<int> diff_positions(const RowBits& other) const;
+
+  /// One column (kBitsPerColumn bits) as a word span view helper.
+  void set_column(int column, std::span<const std::uint64_t> words);
+  void get_column(int column, std::span<std::uint64_t> words) const;
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+  [[nodiscard]] std::span<std::uint64_t> words() { return words_; }
+
+  friend bool operator==(const RowBits&, const RowBits&) = default;
+
+ private:
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+static_assert(kBitsPerColumn % 64 == 0);
+inline constexpr int kWordsPerColumn = kBitsPerColumn / 64;
+
+}  // namespace hbmrd::dram

@@ -1,0 +1,176 @@
+#include "dram/stack.h"
+
+#include <stdexcept>
+
+#include "ecc/secded.h"
+
+namespace hbmrd::dram {
+
+Stack::Stack(StackConfig config)
+    : fault_(config.disturb),
+      mapping_(config.mapping),
+      timing_(config.timing),
+      env_{config.initial_temperature_c} {
+  banks_.reserve(static_cast<std::size_t>(kChannels) * kPseudoChannels *
+                 kBanksPerPseudoChannel);
+  for (int ch = 0; ch < kChannels; ++ch) {
+    for (int pc = 0; pc < kPseudoChannels; ++pc) {
+      for (int b = 0; b < kBanksPerPseudoChannel; ++b) {
+        const BankAddress addr{ch, pc, b};
+        banks_.emplace_back(addr, &fault_, &env_, timing_);
+        if (config.defense_factory) {
+          banks_.back().set_defense(config.defense_factory(addr));
+        }
+      }
+    }
+  }
+}
+
+std::size_t Stack::bank_index(const BankAddress& address) const {
+  validate(address);
+  return (static_cast<std::size_t>(address.channel) * kPseudoChannels +
+          static_cast<std::size_t>(address.pseudo_channel)) *
+             kBanksPerPseudoChannel +
+         static_cast<std::size_t>(address.bank);
+}
+
+Bank& Stack::bank(const BankAddress& address) {
+  return banks_[bank_index(address)];
+}
+
+void Stack::activate(const RowAddress& address, Cycle now) {
+  validate(address);
+  const int physical = mapping_.to_physical(address.row);
+  bank(address.bank).activate(physical, now);
+}
+
+void Stack::precharge(const BankAddress& address, Cycle now) {
+  bank(address).precharge(now);
+}
+
+void Stack::precharge_all(int channel, Cycle now) {
+  for (int pc = 0; pc < kPseudoChannels; ++pc) {
+    for (int b = 0; b < kBanksPerPseudoChannel; ++b) {
+      bank({channel, pc, b}).precharge(now);
+    }
+  }
+}
+
+void Stack::read_column(const BankAddress& address, int column,
+                        std::span<std::uint64_t> out, Cycle now) {
+  Bank& bk = bank(address);
+  bk.read_column(column, out, now);
+  if (!mode_registers_.ecc_enabled()) return;
+
+  // Sideband ECC: decode each 64-bit word against the parity stored when
+  // the word was last written under ECC. Words never written under ECC
+  // pass through unmodified.
+  const ParityKey key{bank_index(address), bk.open_row()};
+  const auto it = parity_.find(key);
+  if (it == parity_.end()) return;
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    const std::size_t word_index =
+        static_cast<std::size_t>(column) * kWordsPerColumn + w;
+    const auto result =
+        ecc::Secded72_64::decode(out[w], it->second[word_index]);
+    switch (result.status) {
+      case ecc::DecodeStatus::kClean:
+        break;
+      case ecc::DecodeStatus::kCorrectedData:
+      case ecc::DecodeStatus::kCorrectedParity:
+        ++ecc_counters_.corrected_words;
+        break;
+      case ecc::DecodeStatus::kDetectedUncorrectable:
+        ++ecc_counters_.detected_uncorrectable_words;
+        break;
+    }
+    out[w] = result.data;
+  }
+}
+
+void Stack::write_column(const BankAddress& address, int column,
+                         std::span<const std::uint64_t> data, Cycle now) {
+  Bank& bk = bank(address);
+  bk.write_column(column, data, now);
+  if (!mode_registers_.ecc_enabled()) return;
+
+  const ParityKey key{bank_index(address), bk.open_row()};
+  auto& row_parity = parity_[key];
+  if (row_parity.empty()) {
+    row_parity.resize(static_cast<std::size_t>(RowBits::kWords), 0);
+  }
+  for (std::size_t w = 0; w < data.size(); ++w) {
+    const std::size_t word_index =
+        static_cast<std::size_t>(column) * kWordsPerColumn + w;
+    row_parity[word_index] = ecc::Secded72_64::encode(data[w]);
+  }
+}
+
+void Stack::refresh(int channel, Cycle now) {
+  if (channel < 0 || channel >= kChannels) {
+    throw std::out_of_range("channel index");
+  }
+  for (int pc = 0; pc < kPseudoChannels; ++pc) {
+    for (int b = 0; b < kBanksPerPseudoChannel; ++b) {
+      bank({channel, pc, b}).refresh(now);
+    }
+  }
+  // Documented TRR Mode (Sec. 7, footnote 2): while armed, every REF also
+  // refreshes the neighbours of the mode-register-designated target row.
+  if (mode_registers_.trr_mode_enabled()) {
+    const BankAddress target{channel, mode_registers_.trr_target_pseudo_channel(),
+                             mode_registers_.trr_target_bank()};
+    const int physical =
+        mapping_.to_physical(mode_registers_.trr_target_row());
+    Bank& bk = bank(target);
+    if (physical - 1 >= 0) bk.refresh_row(physical - 1, now);
+    if (physical + 1 < kRowsPerBank) bk.refresh_row(physical + 1, now);
+  }
+}
+
+void Stack::mode_register_set(int reg, std::uint32_t value) {
+  mode_registers_.write(reg, value);
+}
+
+std::uint32_t Stack::mode_register_read(int reg) const {
+  return mode_registers_.read(reg);
+}
+
+Cycle Stack::bulk_hammer(const BankAddress& address,
+                         std::span<const HammerStep> logical_steps,
+                         std::uint64_t iterations, Cycle start) {
+  std::vector<HammerStep> physical_steps(logical_steps.begin(),
+                                         logical_steps.end());
+  for (auto& step : physical_steps) {
+    step.row = mapping_.to_physical(step.row);
+  }
+  return bank(address).bulk_hammer(physical_steps, iterations, start);
+}
+
+BankCounters Stack::total_counters() const {
+  BankCounters totals;
+  for (const auto& bank : banks_) {
+    const auto& c = bank.counters();
+    totals.activations += c.activations;
+    totals.refresh_commands += c.refresh_commands;
+    totals.defense_victim_refreshes += c.defense_victim_refreshes;
+    totals.bitflips_materialized += c.bitflips_materialized;
+  }
+  return totals;
+}
+
+void Stack::drop_row_states(const BankAddress& address) {
+  bank(address).drop_row_states();
+  // Drop the matching parity as well so a later ECC read does not decode
+  // stale parity against power-on contents.
+  const std::size_t index = bank_index(address);
+  for (auto it = parity_.begin(); it != parity_.end();) {
+    if (it->first.first == index) {
+      it = parity_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace hbmrd::dram

@@ -1,0 +1,109 @@
+// One HBM2 stack: 8 channels x 2 pseudo channels x 16 banks, the mode
+// registers, logical->physical row mapping, optional sideband ECC, and the
+// documented TRR Mode. This is the device side of the HBM2 command
+// interface; the host side lives in src/bender/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "disturb/fault_model.h"
+#include "dram/bank.h"
+#include "dram/mapping.h"
+#include "dram/mode_registers.h"
+
+namespace hbmrd::dram {
+
+struct StackConfig {
+  disturb::DisturbParams disturb;
+  MappingScheme mapping = MappingScheme::kIdentity;
+  TimingParams timing{};
+  /// Builds the per-bank in-DRAM defense (e.g. the undocumented TRR of
+  /// Sec. 7); null means the chip has no proprietary defense.
+  std::function<std::unique_ptr<ReadDisturbDefense>(const BankAddress&)>
+      defense_factory;
+  double initial_temperature_c = 60.0;
+};
+
+/// Counters exposed for the ECC analysis of Sec. 8 (Fig. 15).
+struct EccCounters {
+  std::uint64_t corrected_words = 0;
+  std::uint64_t detected_uncorrectable_words = 0;
+};
+
+class Stack {
+ public:
+  explicit Stack(StackConfig config);
+
+  // -- Command interface (logical row addresses) ----------------------------
+
+  void activate(const RowAddress& address, Cycle now);
+  void precharge(const BankAddress& address, Cycle now);
+  /// Precharges every bank of one channel (PREA).
+  void precharge_all(int channel, Cycle now);
+
+  void read_column(const BankAddress& address, int column,
+                   std::span<std::uint64_t> out, Cycle now);
+  void write_column(const BankAddress& address, int column,
+                    std::span<const std::uint64_t> data, Cycle now);
+
+  /// REF to one channel: refreshes all its banks (refresh pointer plus any
+  /// defense victim refreshes), and services the documented TRR Mode when
+  /// it is armed through the mode registers.
+  void refresh(int channel, Cycle now);
+
+  void mode_register_set(int reg, std::uint32_t value);
+  [[nodiscard]] std::uint32_t mode_register_read(int reg) const;
+  [[nodiscard]] ModeRegisters& mode_registers() { return mode_registers_; }
+
+  /// Hammer fast path (see Bank::bulk_hammer); rows are logical.
+  Cycle bulk_hammer(const BankAddress& address,
+                    std::span<const HammerStep> logical_steps,
+                    std::uint64_t iterations, Cycle start);
+
+  // -- Environment -----------------------------------------------------------
+
+  void set_temperature(double celsius) { env_.temperature_c = celsius; }
+  [[nodiscard]] double temperature() const { return env_.temperature_c; }
+
+  // -- Introspection (tests, diagnostics; not part of the host protocol) ----
+
+  [[nodiscard]] Bank& bank(const BankAddress& address);
+  [[nodiscard]] const RowMapping& mapping() const { return mapping_; }
+  [[nodiscard]] const disturb::FaultModel& fault_model() const {
+    return fault_;
+  }
+  [[nodiscard]] const TimingParams& timing() const { return timing_; }
+  [[nodiscard]] const EccCounters& ecc_counters() const {
+    return ecc_counters_;
+  }
+
+  /// Simulator-only memory reclaim: drops row state in one bank.
+  void drop_row_states(const BankAddress& address);
+
+  /// Sum of all banks' device-side event counters.
+  [[nodiscard]] BankCounters total_counters() const;
+
+ private:
+  [[nodiscard]] std::size_t bank_index(const BankAddress& address) const;
+
+  disturb::FaultModel fault_;
+  RowMapping mapping_;
+  TimingParams timing_;
+  Environment env_;
+  ModeRegisters mode_registers_;
+  std::vector<Bank> banks_;
+
+  // Sideband ECC parity, stored per (bank, logical row) when ECC is on.
+  // 8 parity bits per 64-bit data word; see src/ecc/. Parity cells are not
+  // subject to simulated disturbance (documented simplification).
+  using ParityKey = std::pair<std::size_t, int>;  // (bank index, physical row)
+  std::map<ParityKey, std::vector<std::uint8_t>> parity_;
+  EccCounters ecc_counters_;
+};
+
+}  // namespace hbmrd::dram

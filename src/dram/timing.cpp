@@ -1,0 +1,56 @@
+#include "dram/timing.h"
+
+namespace hbmrd::dram {
+
+void BankTimingChecker::require(bool ok, const char* rule, Cycle now) const {
+  if (!ok) {
+    throw TimingViolation(std::string("timing violation: ") + rule +
+                          " at cycle " + std::to_string(now));
+  }
+}
+
+void BankTimingChecker::on_activate(Cycle now) {
+  require(!open_, "ACT to an already-open bank (missing PRE)", now);
+  if (ever_activated_) {
+    require(now >= last_act_ + p_.t_rc, "tRC (ACT to ACT)", now);
+    require(now >= last_pre_ + p_.t_rp, "tRP (PRE to ACT)", now);
+  }
+  if (ever_refreshed_) {
+    require(now >= last_ref_ + p_.t_rfc, "tRFC (REF to ACT)", now);
+  }
+  open_ = true;
+  ever_activated_ = true;
+  last_act_ = now;
+}
+
+void BankTimingChecker::on_precharge(Cycle now) {
+  // PRE to an already-precharged bank is a legal no-op (PREA does this).
+  if (!open_) return;
+  require(now >= last_act_ + p_.t_ras, "tRAS (ACT to PRE)", now);
+  open_ = false;
+  last_pre_ = now;
+}
+
+void BankTimingChecker::on_read(Cycle now) const {
+  require(open_, "RD to a closed bank", now);
+  require(now >= last_act_ + p_.t_rcd, "tRCD (ACT to RD)", now);
+}
+
+void BankTimingChecker::on_write(Cycle now) const {
+  require(open_, "WR to a closed bank", now);
+  require(now >= last_act_ + p_.t_rcd, "tRCD (ACT to WR)", now);
+}
+
+void BankTimingChecker::on_refresh(Cycle now) {
+  require(!open_, "REF with an open bank (missing PRE)", now);
+  if (ever_refreshed_) {
+    require(now >= last_ref_ + p_.t_rfc, "tRFC (REF to REF)", now);
+  }
+  if (ever_activated_) {
+    require(now >= last_pre_ + p_.t_rp, "tRP (PRE to REF)", now);
+  }
+  ever_refreshed_ = true;
+  last_ref_ = now;
+}
+
+}  // namespace hbmrd::dram

@@ -1,0 +1,51 @@
+#include "ecc/hamming74.h"
+
+namespace hbmrd::ecc {
+
+namespace {
+
+// Codeword bit layout (1-indexed positions 1..7):
+//   p1 p2 d1 p4 d2 d3 d4   -> stored as bits 0..6 of the byte.
+// Data nibble bits: d1 = bit0, d2 = bit1, d3 = bit2, d4 = bit3.
+
+int bit(std::uint8_t v, int i) { return (v >> i) & 1; }
+
+int syndrome_of(std::uint8_t codeword) {
+  const int c1 = bit(codeword, 0), c2 = bit(codeword, 1),
+            c3 = bit(codeword, 2), c4 = bit(codeword, 3),
+            c5 = bit(codeword, 4), c6 = bit(codeword, 5),
+            c7 = bit(codeword, 6);
+  const int s1 = c1 ^ c3 ^ c5 ^ c7;  // positions with bit0 set: 1,3,5,7
+  const int s2 = c2 ^ c3 ^ c6 ^ c7;  // positions with bit1 set: 2,3,6,7
+  const int s4 = c4 ^ c5 ^ c6 ^ c7;  // positions with bit2 set: 4,5,6,7
+  return s1 | (s2 << 1) | (s4 << 2);
+}
+
+}  // namespace
+
+std::uint8_t Hamming74::encode(std::uint8_t nibble) {
+  const int d1 = bit(nibble, 0), d2 = bit(nibble, 1), d3 = bit(nibble, 2),
+            d4 = bit(nibble, 3);
+  const int p1 = d1 ^ d2 ^ d4;
+  const int p2 = d1 ^ d3 ^ d4;
+  const int p4 = d2 ^ d3 ^ d4;
+  return static_cast<std::uint8_t>(p1 | (p2 << 1) | (d1 << 2) | (p4 << 3) |
+                                   (d2 << 4) | (d3 << 5) | (d4 << 6));
+}
+
+std::uint8_t Hamming74::decode(std::uint8_t codeword) {
+  std::uint8_t cw = codeword & 0x7f;
+  const int syndrome = syndrome_of(cw);
+  if (syndrome != 0) {
+    cw = static_cast<std::uint8_t>(cw ^ (1u << (syndrome - 1)));
+  }
+  const int d1 = bit(cw, 2), d2 = bit(cw, 4), d3 = bit(cw, 5),
+            d4 = bit(cw, 6);
+  return static_cast<std::uint8_t>(d1 | (d2 << 1) | (d3 << 2) | (d4 << 3));
+}
+
+bool Hamming74::had_error(std::uint8_t codeword) {
+  return syndrome_of(codeword & 0x7f) != 0;
+}
+
+}  // namespace hbmrd::ecc

@@ -1,0 +1,24 @@
+// (7,4) Hamming code: corrects any single-bit error in a 7-bit codeword
+// carrying 4 data bits. Sec. 8.1 uses it as the strawman "ECC strong enough
+// for HBM RowHammer": correcting the worst observed per-word multiplicity
+// would need this code's 75% storage overhead.
+#pragma once
+
+#include <cstdint>
+
+namespace hbmrd::ecc {
+
+class Hamming74 {
+ public:
+  /// Encodes the low 4 bits of `nibble` into a 7-bit codeword.
+  [[nodiscard]] static std::uint8_t encode(std::uint8_t nibble);
+
+  /// Decodes a 7-bit codeword, correcting up to one bitflip.
+  /// Returns the 4 data bits.
+  [[nodiscard]] static std::uint8_t decode(std::uint8_t codeword);
+
+  /// True if decoding had to correct a bit.
+  [[nodiscard]] static bool had_error(std::uint8_t codeword);
+};
+
+}  // namespace hbmrd::ecc

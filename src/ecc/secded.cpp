@@ -1,0 +1,108 @@
+#include "ecc/secded.h"
+
+#include <array>
+#include <bit>
+
+namespace hbmrd::ecc {
+
+namespace {
+
+constexpr bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Codeword positions 1..71; positions that are powers of two carry the 7
+/// positional check bits, the other 64 carry data. Data bit k lives at
+/// kDataPosition[k].
+constexpr std::array<int, 64> make_data_positions() {
+  std::array<int, 64> table{};
+  int k = 0;
+  for (int pos = 1; pos <= 71; ++pos) {
+    if (!is_power_of_two(pos)) table[static_cast<std::size_t>(k++)] = pos;
+  }
+  return table;
+}
+
+constexpr std::array<int, 64> kDataPosition = make_data_positions();
+
+/// Positional parity p_i covers every codeword position with bit i set.
+/// Precomputed as 64-bit masks over the *data* bits (check bits are added
+/// separately where needed).
+constexpr std::array<std::uint64_t, 7> make_parity_masks() {
+  std::array<std::uint64_t, 7> masks{};
+  for (int k = 0; k < 64; ++k) {
+    const int pos = kDataPosition[static_cast<std::size_t>(k)];
+    for (int i = 0; i < 7; ++i) {
+      if (pos & (1 << i)) {
+        masks[static_cast<std::size_t>(i)] |= 1ull << k;
+      }
+    }
+  }
+  return masks;
+}
+
+constexpr std::array<std::uint64_t, 7> kParityMask = make_parity_masks();
+
+constexpr std::uint8_t kOverallBit = 1u << 7;
+
+std::uint8_t positional_checks(std::uint64_t data) {
+  std::uint8_t checks = 0;
+  for (int i = 0; i < 7; ++i) {
+    const int parity =
+        std::popcount(data & kParityMask[static_cast<std::size_t>(i)]) & 1;
+    checks |= static_cast<std::uint8_t>(parity << i);
+  }
+  return checks;
+}
+
+/// Data bit index stored at a codeword position, or -1 for check positions.
+int data_bit_at_position(int pos) {
+  if (is_power_of_two(pos)) return -1;
+  // Invert kDataPosition; positions are dense so a scan is fine here
+  // (decode with an error is not a hot path).
+  for (int k = 0; k < 64; ++k) {
+    if (kDataPosition[static_cast<std::size_t>(k)] == pos) return k;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::uint8_t Secded72_64::encode(std::uint64_t data) {
+  const std::uint8_t checks = positional_checks(data);
+  const int overall =
+      (std::popcount(data) + std::popcount(static_cast<unsigned>(checks))) & 1;
+  return static_cast<std::uint8_t>(checks |
+                                   (overall != 0 ? kOverallBit : 0));
+}
+
+DecodeResult Secded72_64::decode(std::uint64_t data, std::uint8_t check) {
+  const std::uint8_t stored_checks = check & 0x7f;
+  const bool stored_overall = (check & kOverallBit) != 0;
+
+  const std::uint8_t recomputed = positional_checks(data);
+  const int syndrome = stored_checks ^ recomputed;
+  const int overall_recomputed =
+      (std::popcount(data) +
+       std::popcount(static_cast<unsigned>(stored_checks))) &
+      1;
+  const bool overall_mismatch = (overall_recomputed != 0) != stored_overall;
+
+  if (syndrome == 0 && !overall_mismatch) {
+    return {data, DecodeStatus::kClean};
+  }
+  if (syndrome == 0 && overall_mismatch) {
+    // The overall parity bit itself flipped.
+    return {data, DecodeStatus::kCorrectedParity};
+  }
+  if (overall_mismatch) {
+    // Odd number of flips; assume one and correct it.
+    const int bit = data_bit_at_position(syndrome);
+    if (bit < 0) {
+      return {data, DecodeStatus::kCorrectedParity};
+    }
+    return {data ^ (1ull << bit), DecodeStatus::kCorrectedData};
+  }
+  // Non-zero syndrome with matching overall parity: even number of flips.
+  return {data, DecodeStatus::kDetectedUncorrectable};
+}
+
+}  // namespace hbmrd::ecc

@@ -1,0 +1,36 @@
+// (72,64) SECDED code: single-error-correcting, double-error-detecting
+// Hamming code over a 64-bit data word with 8 check bits (extended Hamming:
+// 7 positional check bits plus one overall parity bit). This is the code
+// class the paper's Sec. 8.1 argues RowHammer defeats: >=2 bitflips in a
+// word are at best detected, >=3 can be silently miscorrected.
+#pragma once
+
+#include <cstdint>
+
+namespace hbmrd::ecc {
+
+enum class DecodeStatus {
+  kClean,                   // no error
+  kCorrectedData,           // single data-bit error, corrected
+  kCorrectedParity,         // single check-bit error, data unaffected
+  kDetectedUncorrectable,   // double-bit error detected
+};
+
+struct DecodeResult {
+  std::uint64_t data = 0;
+  DecodeStatus status = DecodeStatus::kClean;
+};
+
+class Secded72_64 {
+ public:
+  /// Computes the 8 check bits for a data word.
+  [[nodiscard]] static std::uint8_t encode(std::uint64_t data);
+
+  /// Decodes a (possibly corrupted) data word + check bits.
+  /// Three or more bitflips are beyond the code's guarantees and may be
+  /// reported as (mis)corrected — exactly the failure mode Sec. 8 exploits.
+  [[nodiscard]] static DecodeResult decode(std::uint64_t data,
+                                           std::uint8_t check);
+};
+
+}  // namespace hbmrd::ecc

@@ -1,0 +1,250 @@
+#include "shell/shell.h"
+
+#include <array>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "bender/assembly.h"
+#include "study/ber.h"
+#include "study/hc_first.h"
+#include "study/retention.h"
+#include "study/wcdp.h"
+
+namespace hbmrd::shell {
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  help                                   this text
+  chips                                  list the six chips
+  chip <index>                           select the active chip
+  map [trust]                            reverse engineer (or trust) the row mapping
+  write <ch> <pc> <bank> <row> <byte>    fill a row with a byte pattern
+  read <ch> <pc> <bank> <row> [byte]     read a row; diff against byte if given
+  hammer <ch> <pc> <bank> <count> <row...> [on=<ns>]
+                                         hammer rows in order, count times each
+  ber <ch> <pc> <bank> <row> [count]     double-sided BER (default 256K hammers)
+  hcfirst <ch> <pc> <bank> <row>         minimum hammer count for the first flip
+  wcdp <ch> <pc> <bank> <row>            worst-case data pattern of a row
+  retention <ch> <pc> <bank> <row>       retention time (64 ms steps, up to 2 s)
+  idle <seconds>                         let the DRAM sit unrefreshed
+  refresh <seconds> <channel>            idle with REF every tREFI
+  temp                                   chip temperature
+  runfile <path>                         execute an assembly program file
+  seed                                   print the platform seed
+  quit                                   exit
+)";
+
+int parse_int(const std::string& token) {
+  std::size_t used = 0;
+  const int value = std::stoi(token, &used, 0);
+  if (used != token.size()) throw std::invalid_argument("bad int " + token);
+  return value;
+}
+
+}  // namespace
+
+struct Shell::State {
+  explicit State(std::uint64_t seed) : seed(seed), platform(seed) {}
+
+  std::uint64_t seed;
+  bender::Platform platform;
+  int chip_index = 0;
+  std::array<std::unique_ptr<study::AddressMap>, dram::kChipCount> maps;
+
+  bender::HbmChip& chip() { return platform.chip(chip_index); }
+
+  const study::AddressMap& map() {
+    auto& slot = maps[static_cast<std::size_t>(chip_index)];
+    if (!slot) {
+      slot = std::make_unique<study::AddressMap>(
+          study::AddressMap::reverse_engineer(chip(),
+                                              dram::BankAddress{0, 0, 0}));
+    }
+    return *slot;
+  }
+};
+
+Shell::Shell(std::uint64_t seed) : state_(std::make_unique<State>(seed)) {}
+Shell::~Shell() = default;
+
+bool Shell::execute(const std::string& line, std::ostream& out) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  if (tokens.empty() || tokens[0][0] == '#') return true;
+  const std::string& cmd = tokens[0];
+
+  try {
+    auto need = [&](std::size_t n) {
+      if (tokens.size() < n + 1) {
+        throw std::invalid_argument("usage: see 'help'");
+      }
+    };
+    auto bank_at = [&](std::size_t i) {
+      return dram::BankAddress{parse_int(tokens[i]), parse_int(tokens[i + 1]),
+                               parse_int(tokens[i + 2])};
+    };
+
+    if (cmd == "help") {
+      out << kHelp;
+    } else if (cmd == "chips") {
+      for (int i = 0; i < state_->platform.chip_count(); ++i) {
+        const auto& profile = state_->platform.chip(i).profile();
+        out << (i == state_->chip_index ? "* " : "  ") << profile.label
+            << " on " << profile.board << "\n";
+      }
+    } else if (cmd == "chip") {
+      need(1);
+      const int index = parse_int(tokens[1]);
+      (void)state_->platform.chip(index);  // validates
+      state_->chip_index = index;
+      out << "active: " << state_->platform.chip(index).profile().label
+          << "\n";
+    } else if (cmd == "map") {
+      if (tokens.size() > 1 && tokens[1] == "trust") {
+        state_->maps[static_cast<std::size_t>(state_->chip_index)] =
+            std::make_unique<study::AddressMap>(study::AddressMap::from_scheme(
+                state_->chip().profile().mapping));
+      }
+      out << "row mapping: " << dram::to_string(state_->map().scheme())
+          << "\n";
+    } else if (cmd == "write") {
+      need(5);
+      const auto bank = bank_at(1);
+      state_->chip().write_row(
+          {bank, parse_int(tokens[4])},
+          dram::RowBits::filled(static_cast<std::uint8_t>(
+              parse_int(tokens[5]))));
+      out << "ok\n";
+    } else if (cmd == "read") {
+      need(4);
+      const auto bank = bank_at(1);
+      const auto bits =
+          state_->chip().read_row({bank, parse_int(tokens[4])});
+      if (tokens.size() > 5) {
+        const auto expected = dram::RowBits::filled(
+            static_cast<std::uint8_t>(parse_int(tokens[5])));
+        const auto diff = bits.diff_positions(expected);
+        out << diff.size() << " bitflips";
+        for (std::size_t i = 0; i < diff.size() && i < 16; ++i) {
+          out << ' ' << diff[i];
+        }
+        if (diff.size() > 16) out << " ...";
+        out << "\n";
+      } else {
+        out << "word0=0x" << std::hex << bits.words()[0] << std::dec << "\n";
+      }
+    } else if (cmd == "hammer") {
+      need(5);
+      const auto bank = bank_at(1);
+      const auto count = static_cast<std::uint64_t>(parse_int(tokens[4]));
+      std::vector<int> rows;
+      dram::Cycle on_cycles = 0;
+      for (std::size_t i = 5; i < tokens.size(); ++i) {
+        if (tokens[i].rfind("on=", 0) == 0) {
+          on_cycles = dram::ns_to_cycles(std::stod(tokens[i].substr(3)));
+        } else {
+          rows.push_back(parse_int(tokens[i]));
+        }
+      }
+      state_->chip().hammer(bank, rows, count, on_cycles);
+      out << "hammered " << rows.size() << " row(s) x " << count << "\n";
+    } else if (cmd == "ber") {
+      need(4);
+      const auto bank = bank_at(1);
+      study::BerConfig config;
+      if (tokens.size() > 5) {
+        config.hammer_count = static_cast<std::uint64_t>(
+            parse_int(tokens[5]));
+      }
+      const auto result = study::measure_row_ber(
+          state_->chip(), state_->map(), {bank, parse_int(tokens[4])},
+          config);
+      out << result.bitflips << " bitflips (BER " << 100.0 * result.ber
+          << "%)\n";
+    } else if (cmd == "hcfirst") {
+      need(4);
+      const auto bank = bank_at(1);
+      const auto hc = study::find_hc_first(
+          state_->chip(), state_->map(), {bank, parse_int(tokens[4])},
+          study::HcSearchConfig{});
+      if (hc) {
+        out << "HC_first = " << *hc << "\n";
+      } else {
+        out << "no bitflip within the search bound\n";
+      }
+    } else if (cmd == "wcdp") {
+      need(4);
+      const auto bank = bank_at(1);
+      const auto result = study::select_row_wcdp(
+          state_->chip(), state_->map(), {bank, parse_int(tokens[4])});
+      out << "WCDP = " << study::to_string(result.wcdp) << "\n";
+    } else if (cmd == "retention") {
+      need(4);
+      const auto bank = bank_at(1);
+      const auto retention = study::profile_row_retention(
+          state_->chip(), {bank, parse_int(tokens[4])});
+      if (retention) {
+        out << "retention " << *retention << " s\n";
+      } else {
+        out << "> 2 s (no failure found)\n";
+      }
+    } else if (cmd == "idle") {
+      need(1);
+      state_->chip().idle(std::stod(tokens[1]));
+      out << "ok\n";
+    } else if (cmd == "refresh") {
+      need(2);
+      state_->chip().idle_with_refresh(std::stod(tokens[1]),
+                                       parse_int(tokens[2]));
+      out << "ok\n";
+    } else if (cmd == "temp") {
+      out << state_->chip().temperature_c() << " C\n";
+    } else if (cmd == "runfile") {
+      need(1);
+      std::ifstream file(tokens[1]);
+      if (!file) throw std::runtime_error("cannot open " + tokens[1]);
+      std::ostringstream text;
+      text << file.rdbuf();
+      const auto result =
+          state_->chip().run(bender::parse_program(text.str()));
+      out << "ran; " << result.row_count() << " row(s) read, "
+          << result.elapsed() << " cycles\n";
+    } else if (cmd == "seed") {
+      out << "0x" << std::hex << state_->seed << std::dec << "\n";
+    } else if (cmd == "quit" || cmd == "exit") {
+      return true;
+    } else {
+      throw std::invalid_argument("unknown command '" + cmd +
+                                  "' (try 'help')");
+    }
+    return true;
+  } catch (const std::exception& error) {
+    out << "error: " << error.what() << "\n";
+    return false;
+  }
+}
+
+int Shell::run(std::istream& in, std::ostream& out) {
+  int failures = 0;
+  std::string line;
+  out << "hbmrd shell — 'help' for commands\n";
+  while (true) {
+    out << "> " << std::flush;
+    if (!std::getline(in, line)) break;
+    std::istringstream peek(line);
+    std::string first;
+    peek >> first;
+    if (first == "quit" || first == "exit") break;
+    if (!execute(line, out)) ++failures;
+  }
+  return failures;
+}
+
+}  // namespace hbmrd::shell

@@ -1,0 +1,33 @@
+// Interactive shell over the simulated testbed — the counterpart of the
+// interactive frontends DRAM testing infrastructures ship. Drives the full
+// public API (read/write/hammer/BER/HC_first/retention/assembly programs)
+// from a line-oriented command language; scriptable via stdin.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+
+namespace hbmrd::shell {
+
+class Shell {
+ public:
+  explicit Shell(std::uint64_t seed = dram::kDefaultPlatformSeed);
+  ~Shell();
+
+  /// Reads commands from `in` until EOF or `quit`; writes results to
+  /// `out`. Returns the number of commands that failed.
+  int run(std::istream& in, std::ostream& out);
+
+  /// Executes a single command line; returns false if it failed.
+  bool execute(const std::string& line, std::ostream& out);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace hbmrd::shell

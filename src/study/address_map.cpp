@@ -1,0 +1,129 @@
+#include "study/address_map.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "study/patterns.h"
+
+namespace hbmrd::study {
+
+namespace {
+
+/// Strong enough that any physically adjacent row flips tens of cells.
+constexpr std::uint64_t kProbeHammerCount = 600'000;
+
+/// Distance-2 rows (coupling ~1.5% of adjacent) stay an order of magnitude
+/// below the weakest observed thresholds at this dose; still, adjacency
+/// requires more than a single stray flip.
+constexpr int kMinFlipsForAdjacency = 2;
+
+/// Logical window probed around the block: covers every possible physical
+/// neighbour for in-block permutations of block size <= 8.
+constexpr int kWindowBefore = 8;
+constexpr int kWindowAfter = 16;
+
+const std::array<dram::MappingScheme, 4> kCandidateSchemes = {
+    dram::MappingScheme::kIdentity,
+    dram::MappingScheme::kPairSwap,
+    dram::MappingScheme::kInterleave8,
+    dram::MappingScheme::kMirror8,
+};
+
+/// Hammers logical row `aggressor` single-sided and returns the logical rows
+/// in the window that exhibit bitflips.
+std::set<int> flipped_neighbors(bender::HbmChip& chip,
+                                const dram::BankAddress& bank, int aggressor,
+                                int window_begin, int window_end) {
+  const auto victim_bits = victim_row_bits(DataPattern::kCheckered0);
+  const auto aggressor_bits = aggressor_row_bits(DataPattern::kCheckered0);
+
+  bender::ProgramBuilder builder;
+  for (int row = window_begin; row < window_end; ++row) {
+    builder.write_row(bank, row,
+                      row == aggressor ? aggressor_bits : victim_bits);
+  }
+  const std::array<int, 1> rows = {aggressor};
+  builder.hammer(bank, rows, kProbeHammerCount);
+  for (int row = window_begin; row < window_end; ++row) {
+    if (row != aggressor) builder.read_row(bank, row);
+  }
+  const auto result = chip.run(std::move(builder).build());
+
+  std::set<int> flipped;
+  std::size_t read_index = 0;
+  for (int row = window_begin; row < window_end; ++row) {
+    if (row == aggressor) continue;
+    if (result.row(read_index).count_diff(victim_bits) >=
+        kMinFlipsForAdjacency) {
+      flipped.insert(row);
+    }
+    ++read_index;
+  }
+  return flipped;
+}
+
+}  // namespace
+
+AddressMap AddressMap::reverse_engineer(bender::HbmChip& chip,
+                                        const dram::BankAddress& bank,
+                                        int probe_base) {
+  if (probe_base % 8 != 0 || probe_base < kWindowBefore ||
+      probe_base + 8 + kWindowAfter > dram::kRowsPerBank) {
+    throw std::invalid_argument("probe_base must be 8-aligned and interior");
+  }
+  const int window_begin = probe_base - kWindowBefore;
+  const int window_end = probe_base + kWindowAfter;
+
+  // Observed adjacency: logical aggressor -> logical rows that flipped.
+  std::array<std::set<int>, 8> observed;
+  for (int offset = 0; offset < 8; ++offset) {
+    observed[static_cast<std::size_t>(offset)] = flipped_neighbors(
+        chip, bank, probe_base + offset, window_begin, window_end);
+  }
+
+  for (const auto scheme : kCandidateSchemes) {
+    const dram::RowMapping mapping(scheme);
+    bool matches = true;
+    for (int offset = 0; offset < 8 && matches; ++offset) {
+      const int aggressor = probe_base + offset;
+      const int physical = mapping.to_physical(aggressor);
+      std::set<int> predicted;
+      for (int d : {-1, 1}) {
+        const int neighbor_physical = physical + d;
+        if (neighbor_physical < 0 || neighbor_physical >= dram::kRowsPerBank) {
+          continue;
+        }
+        // Disturbance does not cross subarray boundaries, so an edge-of-
+        // subarray aggressor predicts only one flipped neighbour.
+        if (!dram::same_subarray(physical, neighbor_physical)) continue;
+        predicted.insert(mapping.to_logical(neighbor_physical));
+      }
+      matches = predicted == observed[static_cast<std::size_t>(offset)];
+    }
+    if (matches) return AddressMap(scheme);
+  }
+  throw std::runtime_error(
+      "mapping reverse engineering: observed adjacency matches no known "
+      "scheme family");
+}
+
+std::vector<int> AddressMap::aggressors_of(int victim_logical) const {
+  return physical_ring(victim_logical, 1);
+}
+
+std::vector<int> AddressMap::physical_ring(int victim_logical,
+                                           int max_distance) const {
+  const int physical = mapping_.to_physical(victim_logical);
+  std::vector<int> logical_rows;
+  for (int d = 1; d <= max_distance; ++d) {
+    for (int signed_d : {-d, d}) {
+      const int neighbor = physical + signed_d;
+      if (neighbor < 0 || neighbor >= dram::kRowsPerBank) continue;
+      logical_rows.push_back(mapping_.to_logical(neighbor));
+    }
+  }
+  return logical_rows;
+}
+
+}  // namespace hbmrd::study

@@ -1,0 +1,60 @@
+// Logical-to-physical row mapping reverse engineering (Sec. 3.1).
+//
+// Read disturbance acts on *physically* adjacent rows, so the study first
+// recovers the vendor's logical->physical mapping through the command
+// interface alone: a logical row is hammered single-sided with a dose strong
+// enough to flip any physically adjacent row but at least an order of
+// magnitude too weak for distance-2 rows (the blast-radius ratio); the
+// logical addresses that exhibit flips are the physical neighbours. Probing
+// every logical offset of one mapping block yields the in-block permutation,
+// which is matched against the known scheme family.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bender/platform.h"
+#include "dram/mapping.h"
+
+namespace hbmrd::study {
+
+class AddressMap {
+ public:
+  /// Recovers the mapping of `chip` by probing rows of `bank`.
+  /// `probe_base` must be at least 8-aligned and away from subarray edges.
+  [[nodiscard]] static AddressMap reverse_engineer(
+      bender::HbmChip& chip, const dram::BankAddress& bank,
+      int probe_base = 4096);
+
+  /// Ground-truth constructor for tests and for skipping the (already
+  /// verified) probing step in long benchmark runs.
+  [[nodiscard]] static AddressMap from_scheme(dram::MappingScheme scheme) {
+    return AddressMap(scheme);
+  }
+
+  [[nodiscard]] dram::MappingScheme scheme() const {
+    return mapping_.scheme();
+  }
+  [[nodiscard]] int to_physical(int logical_row) const {
+    return mapping_.to_physical(logical_row);
+  }
+  [[nodiscard]] int to_logical(int physical_row) const {
+    return mapping_.to_logical(physical_row);
+  }
+
+  /// Logical addresses of the rows physically adjacent to the victim
+  /// (2 entries, or 1 at the bank edges).
+  [[nodiscard]] std::vector<int> aggressors_of(int victim_logical) const;
+
+  /// Logical addresses of physical rows victim_phys +- distance (for the
+  /// V +- [2:8] initialization of Table 1).
+  [[nodiscard]] std::vector<int> physical_ring(int victim_logical,
+                                               int max_distance) const;
+
+ private:
+  explicit AddressMap(dram::MappingScheme scheme) : mapping_(scheme) {}
+
+  dram::RowMapping mapping_;
+};
+
+}  // namespace hbmrd::study

@@ -1,0 +1,68 @@
+#include "study/ber.h"
+
+#include <algorithm>
+
+namespace hbmrd::study {
+
+namespace {
+
+/// Builds the Table 1 initialization + double-sided hammer + victim readback
+/// program for one victim row.
+bender::Program make_ber_program(const AddressMap& map,
+                                 const dram::RowAddress& victim,
+                                 const BerConfig& config) {
+  const auto victim_bits = victim_row_bits(config.pattern);
+  const auto aggressor_bits = aggressor_row_bits(config.pattern);
+  const auto aggressors = map.aggressors_of(victim.row);
+
+  bender::ProgramBuilder builder;
+  builder.write_row(victim.bank, victim.row, victim_bits);
+  for (int row : aggressors) {
+    builder.write_row(victim.bank, row, aggressor_bits);
+  }
+  // V +- [2:init_ring] store the victim byte (Table 1).
+  for (int row : map.physical_ring(victim.row, config.init_ring)) {
+    if (std::find(aggressors.begin(), aggressors.end(), row) !=
+        aggressors.end()) {
+      continue;
+    }
+    builder.write_row(victim.bank, row, victim_bits);
+  }
+  builder.hammer(victim.bank, aggressors, config.hammer_count,
+                 config.on_cycles);
+  builder.read_row(victim.bank, victim.row);
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+RowBerResult measure_row_ber(bender::HbmChip& chip, const AddressMap& map,
+                             const dram::RowAddress& victim,
+                             const BerConfig& config) {
+  const auto result = chip.run(make_ber_program(map, victim, config));
+  const auto read_back = result.row(0);
+  const auto expected = victim_row_bits(config.pattern);
+
+  RowBerResult row_result;
+  row_result.victim = victim;
+  row_result.flipped_bits = read_back.diff_positions(expected);
+  row_result.bitflips = static_cast<int>(row_result.flipped_bits.size());
+  row_result.ber =
+      static_cast<double>(row_result.bitflips) / dram::kRowBits;
+  return row_result;
+}
+
+std::vector<RowBerResult> measure_bank_ber(bender::HbmChip& chip,
+                                           const AddressMap& map,
+                                           const dram::BankAddress& bank,
+                                           const std::vector<int>& victim_rows,
+                                           const BerConfig& config) {
+  std::vector<RowBerResult> results;
+  results.reserve(victim_rows.size());
+  for (int row : victim_rows) {
+    results.push_back(measure_row_ber(chip, map, {bank, row}, config));
+  }
+  return results;
+}
+
+}  // namespace hbmrd::study

@@ -1,0 +1,48 @@
+// RowHammer bit error rate (BER) measurement (Sec. 4): the fraction of a
+// victim row's 8192 cells that flip under a double-sided hammer of a given
+// hammer count, data pattern, and aggressor on-time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+#include "study/patterns.h"
+
+namespace hbmrd::study {
+
+struct BerConfig {
+  DataPattern pattern = DataPattern::kCheckered0;
+  /// Activations per aggressor row (Sec. 3.1: hammer count 1000 means each
+  /// of the two aggressors is activated 1000 times).
+  std::uint64_t hammer_count = 256 * 1024;
+  /// Aggressor row on-time; 0 = minimum (tRAS-limited ~30 ns).
+  dram::Cycle on_cycles = 0;
+  /// How far out the victim-side initialization extends (Table 1 uses
+  /// V +- [2:8]; only +-2 interacts in this model, the rest is fidelity).
+  int init_ring = 8;
+};
+
+struct RowBerResult {
+  dram::RowAddress victim;
+  int bitflips = 0;
+  double ber = 0.0;  // bitflips / kRowBits
+  /// Bit positions that flipped (for the word-level analysis of Fig. 15).
+  std::vector<int> flipped_bits;
+};
+
+/// Measures BER on one victim row (logical address).
+[[nodiscard]] RowBerResult measure_row_ber(bender::HbmChip& chip,
+                                           const AddressMap& map,
+                                           const dram::RowAddress& victim,
+                                           const BerConfig& config);
+
+/// Measures BER over a set of victim rows of one bank; returns one result
+/// per row (order preserved).
+[[nodiscard]] std::vector<RowBerResult> measure_bank_ber(
+    bender::HbmChip& chip, const AddressMap& map,
+    const dram::BankAddress& bank, const std::vector<int>& victim_rows,
+    const BerConfig& config);
+
+}  // namespace hbmrd::study

@@ -1,0 +1,96 @@
+#include "study/bypass.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbmrd::study {
+
+BypassPlan plan_bypass(const dram::TimingParams& timing,
+                       const BypassConfig& config) {
+  if (config.dummy_rows < 1) {
+    throw std::invalid_argument("bypass needs at least one dummy row");
+  }
+  BypassPlan plan;
+  plan.total_budget = timing.activation_budget();
+  plan.aggressor_acts_total = 2 * config.aggressor_acts;
+  plan.dummy_acts_total = plan.total_budget - plan.aggressor_acts_total;
+  if (plan.dummy_acts_total < config.dummy_rows) {
+    throw std::invalid_argument(
+        "aggressor activations leave no budget for the dummy rows");
+  }
+  plan.acts_per_dummy = plan.dummy_acts_total / config.dummy_rows;
+  return plan;
+}
+
+BypassResult run_bypass_attack(bender::HbmChip& chip, const AddressMap& map,
+                               const dram::RowAddress& victim,
+                               const BypassConfig& config) {
+  const auto& timing = chip.stack().timing();
+  const BypassPlan plan = plan_bypass(timing, config);
+
+  const auto aggressors = map.aggressors_of(victim.row);
+  if (aggressors.size() != 2) {
+    throw std::invalid_argument(
+        "bypass attack needs a double-sided victim (not at a bank edge)");
+  }
+
+  // Dummy rows: far from the victim so their own hammering cannot touch it,
+  // spread 16 physical rows apart from each other.
+  const int victim_physical = map.to_physical(victim.row);
+  std::vector<int> dummies;
+  for (int i = 0; i < config.dummy_rows; ++i) {
+    const int physical =
+        (victim_physical + 4000 + 16 * i) % dram::kRowsPerBank;
+    dummies.push_back(map.to_logical(physical));
+  }
+
+  // Table 1 initialization.
+  const auto victim_bits = victim_row_bits(config.pattern);
+  const auto aggressor_bits = aggressor_row_bits(config.pattern);
+  bender::ProgramBuilder builder;
+  builder.write_row(victim.bank, victim.row, victim_bits);
+  for (int row : aggressors) {
+    builder.write_row(victim.bank, row, aggressor_bits);
+  }
+  for (int row : map.physical_ring(victim.row, config.init_ring)) {
+    if (std::find(aggressors.begin(), aggressors.end(), row) !=
+        aggressors.end()) {
+      continue;
+    }
+    builder.write_row(victim.bank, row, victim_bits);
+  }
+
+  // One tREFI window: REF, a leading dummy ACT (absorbs the first-ACT
+  // detector), the double-sided hammer burst, then round-robin trailing
+  // dummy activations (flush the recency sampler). The full 78-ACT budget
+  // plus the REF occupies exactly tREFI under natural command timing.
+  builder.loop_begin(config.windows);
+  builder.ref(victim.bank.channel);
+  auto act_pre = [&](int row) {
+    builder.act(victim.bank, row).pre(victim.bank);
+  };
+  act_pre(dummies[0]);
+  for (int i = 0; i < config.aggressor_acts; ++i) {
+    act_pre(aggressors[0]);
+    act_pre(aggressors[1]);
+  }
+  for (int i = 1; i < plan.dummy_acts_total; ++i) {
+    act_pre(dummies[static_cast<std::size_t>(i) %
+                    static_cast<std::size_t>(config.dummy_rows)]);
+  }
+  builder.loop_end();
+  builder.read_row(victim.bank, victim.row);
+
+  const auto result = chip.run(std::move(builder).build());
+  const auto read_back = result.row(0);
+
+  BypassResult bypass_result;
+  bypass_result.victim = victim;
+  bypass_result.plan = plan;
+  bypass_result.bitflips = read_back.count_diff(victim_bits);
+  bypass_result.ber =
+      static_cast<double>(bypass_result.bitflips) / dram::kRowBits;
+  return bypass_result;
+}
+
+}  // namespace hbmrd::study

@@ -1,0 +1,53 @@
+// The specialized TRR-bypass access pattern of Sec. 7 / Fig. 14: every
+// tREFI window spends the full activation budget (78 ACTs) on a leading
+// dummy activation, `aggressor_acts` double-sided hammers per aggressor,
+// and trailing round-robin dummy activations that flush the TRR's recency
+// sampler. Aggressor counts stay at or below half the window total so the
+// half-count rule never triggers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+#include "study/patterns.h"
+
+namespace hbmrd::study {
+
+struct BypassConfig {
+  int dummy_rows = 8;       // Fig. 14 x-axis (>= 4 bypasses the sampler)
+  int aggressor_acts = 34;  // per aggressor per window (Fig. 14: 18..34)
+  /// tREFI windows; the paper repeats its pattern 8205 * 2 times (~2 tREFW).
+  std::uint64_t windows = 2 * 8205;
+  DataPattern pattern = DataPattern::kCheckered0;
+  int init_ring = 8;
+};
+
+struct BypassPlan {
+  int total_budget = 0;          // floor((tREFI - tRFC) / tRC) = 78
+  int aggressor_acts_total = 0;  // 2 * aggressor_acts
+  int dummy_acts_total = 0;      // budget - aggressors
+  int acts_per_dummy = 0;        // floor(dummy_acts_total / dummy_rows)
+};
+
+/// The activation budget split for a configuration (for reporting; throws
+/// if the aggressor activations alone exceed the budget).
+[[nodiscard]] BypassPlan plan_bypass(const dram::TimingParams& timing,
+                                     const BypassConfig& config);
+
+struct BypassResult {
+  dram::RowAddress victim;
+  int bitflips = 0;
+  double ber = 0.0;
+  BypassPlan plan;
+};
+
+/// Runs the attack against one victim row with periodic refresh obeyed
+/// (one REF per tREFI window, as the memory controller would issue it).
+[[nodiscard]] BypassResult run_bypass_attack(bender::HbmChip& chip,
+                                             const AddressMap& map,
+                                             const dram::RowAddress& victim,
+                                             const BypassConfig& config);
+
+}  // namespace hbmrd::study

@@ -1,0 +1,51 @@
+#include "study/hcn.h"
+
+namespace hbmrd::study {
+
+HcnResult measure_hcn(bender::HbmChip& chip, const AddressMap& map,
+                      const dram::RowAddress& victim,
+                      const HcSearchConfig& config) {
+  HcnResult result;
+  result.victim = victim;
+
+  std::uint64_t lower = 1;  // flips(lower - 1) is known to be < n
+  for (int n = 1; n <= kHcnFlips; ++n) {
+    // Bracket [lo, hi] with flips(lo) < n <= flips(hi), starting from the
+    // previous result (flip counts are monotone in hammer count).
+    std::uint64_t lo = lower;
+    if (bitflips_at(chip, map, victim, lo, config) >= n) {
+      result.hc[static_cast<std::size_t>(n - 1)] = lo;
+      continue;
+    }
+    std::uint64_t hi = std::max<std::uint64_t>(lo * 2, 1024);
+    bool found = false;
+    while (hi < config.max_hammer_count) {
+      if (bitflips_at(chip, map, victim, hi, config) >= n) {
+        found = true;
+        break;
+      }
+      lo = hi;
+      hi *= 2;
+    }
+    if (!found) {
+      hi = config.max_hammer_count;
+      if (bitflips_at(chip, map, victim, hi, config) < n) {
+        // This and all later bitflip counts are out of reach.
+        break;
+      }
+    }
+    while (lo + 1 < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (bitflips_at(chip, map, victim, mid, config) < n) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    result.hc[static_cast<std::size_t>(n - 1)] = hi;
+    lower = hi;
+  }
+  return result;
+}
+
+}  // namespace hbmrd::study

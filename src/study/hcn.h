@@ -1,0 +1,49 @@
+// Sec. 5: hammer counts to induce the first ten bitflips in a row
+// (HC_first .. HC_tenth), their normalization to HC_first, and the
+// additional-hammer-count metric of Fig. 11.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "study/hc_first.h"
+
+namespace hbmrd::study {
+
+inline constexpr int kHcnFlips = 10;
+
+struct HcnResult {
+  dram::RowAddress victim;
+  /// hc[k] is the smallest hammer count inducing k+1 bitflips; nullopt when
+  /// the search bound was reached first.
+  std::array<std::optional<std::uint64_t>, kHcnFlips> hc;
+
+  /// All ten hammer counts were found.
+  [[nodiscard]] bool complete() const {
+    for (const auto& h : hc) {
+      if (!h) return false;
+    }
+    return true;
+  }
+
+  /// HC_(k+1) normalized to HC_first (Fig. 10); requires complete().
+  [[nodiscard]] double normalized(int k) const {
+    return static_cast<double>(*hc[static_cast<std::size_t>(k)]) /
+           static_cast<double>(*hc[0]);
+  }
+
+  /// HC_tenth - HC_first (Fig. 11); requires complete().
+  [[nodiscard]] std::uint64_t additional_to_tenth() const {
+    return *hc[kHcnFlips - 1] - *hc[0];
+  }
+};
+
+/// Measures HC_1..HC_10 for one victim row with incremental binary searches
+/// (the k-th search starts from the (k-1)-th result).
+[[nodiscard]] HcnResult measure_hcn(bender::HbmChip& chip,
+                                    const AddressMap& map,
+                                    const dram::RowAddress& victim,
+                                    const HcSearchConfig& config);
+
+}  // namespace hbmrd::study

@@ -1,0 +1,66 @@
+#include "study/patterns.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace hbmrd::study {
+
+std::string to_string(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kRowstripe0:
+      return "Rowstripe0";
+    case DataPattern::kRowstripe1:
+      return "Rowstripe1";
+    case DataPattern::kCheckered0:
+      return "Checkered0";
+    case DataPattern::kCheckered1:
+      return "Checkered1";
+  }
+  throw std::invalid_argument("unknown data pattern");
+}
+
+std::uint8_t victim_byte(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kRowstripe0:
+      return 0x00;
+    case DataPattern::kRowstripe1:
+      return 0xFF;
+    case DataPattern::kCheckered0:
+      return 0x55;
+    case DataPattern::kCheckered1:
+      return 0xAA;
+  }
+  throw std::invalid_argument("unknown data pattern");
+}
+
+std::uint8_t aggressor_byte(DataPattern pattern) {
+  // Aggressors always store the bitwise complement of the victim (Table 1).
+  return static_cast<std::uint8_t>(~victim_byte(pattern));
+}
+
+dram::RowBits victim_row_bits(DataPattern pattern) {
+  return dram::RowBits::filled(victim_byte(pattern));
+}
+
+dram::RowBits aggressor_row_bits(DataPattern pattern) {
+  return dram::RowBits::filled(aggressor_byte(pattern));
+}
+
+DataPattern select_wcdp(const std::array<std::uint64_t, 4>& hc_first,
+                        const std::array<double, 4>& ber_at_256k) {
+  std::size_t best = 0;
+  auto key = [&](std::size_t i) {
+    // "No bitflip" (0) must lose to any real HC_first.
+    const std::uint64_t hc = hc_first[i] == 0
+                                 ? std::numeric_limits<std::uint64_t>::max()
+                                 : hc_first[i];
+    return std::pair<std::uint64_t, double>(hc, -ber_at_256k[i]);
+  };
+  for (std::size_t i = 1; i < kAllPatterns.size(); ++i) {
+    if (key(i) < key(best)) best = i;
+  }
+  return kAllPatterns[best];
+}
+
+}  // namespace hbmrd::study

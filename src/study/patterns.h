@@ -1,0 +1,37 @@
+// The four data patterns of Table 1 and the worst-case data pattern (WCDP)
+// selection rule of Sec. 3.1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "dram/row_data.h"
+
+namespace hbmrd::study {
+
+enum class DataPattern { kRowstripe0, kRowstripe1, kCheckered0, kCheckered1 };
+
+inline constexpr std::array<DataPattern, 4> kAllPatterns = {
+    DataPattern::kRowstripe0, DataPattern::kRowstripe1,
+    DataPattern::kCheckered0, DataPattern::kCheckered1};
+
+[[nodiscard]] std::string to_string(DataPattern pattern);
+
+/// Byte written to the victim row (and to rows V +- [2:8], per Table 1).
+[[nodiscard]] std::uint8_t victim_byte(DataPattern pattern);
+
+/// Byte written to the two aggressor rows (V +- 1).
+[[nodiscard]] std::uint8_t aggressor_byte(DataPattern pattern);
+
+[[nodiscard]] dram::RowBits victim_row_bits(DataPattern pattern);
+[[nodiscard]] dram::RowBits aggressor_row_bits(DataPattern pattern);
+
+/// WCDP selection (Sec. 3.1): the pattern with the smallest HC_first; ties
+/// broken by the largest BER at a 256K hammer count. Indices parallel
+/// kAllPatterns; hc_first uses 0 for "no bitflip found" (always loses).
+[[nodiscard]] DataPattern select_wcdp(
+    const std::array<std::uint64_t, 4>& hc_first,
+    const std::array<double, 4>& ber_at_256k);
+
+}  // namespace hbmrd::study

@@ -1,0 +1,50 @@
+#include "study/retention.h"
+
+#include <cmath>
+
+namespace hbmrd::study {
+
+namespace {
+
+/// One write -> unrefreshed wait -> read trial; true when any cell failed.
+bool fails_at(bender::HbmChip& chip, const dram::RowAddress& row,
+              const dram::RowBits& bits, double seconds) {
+  chip.write_row(row, bits);
+  chip.idle(seconds);
+  return chip.read_row(row).count_diff(bits) > 0;
+}
+
+}  // namespace
+
+std::optional<double> profile_row_retention(bender::HbmChip& chip,
+                                            const dram::RowAddress& row,
+                                            double max_seconds,
+                                            DataPattern pattern) {
+  const auto bits = victim_row_bits(pattern);
+  // Fast rejection: a row that survives max_seconds needs no step scan.
+  if (!fails_at(chip, row, bits, max_seconds)) return std::nullopt;
+  for (double t = kRetentionStepSeconds; t < max_seconds + 1e-9;
+       t += kRetentionStepSeconds) {
+    if (fails_at(chip, row, bits, t)) return t;
+  }
+  return max_seconds;
+}
+
+std::vector<SideChannelRow> find_side_channel_rows(
+    bender::HbmChip& chip, const dram::BankAddress& bank, int row_begin,
+    int row_end, double min_seconds, double max_seconds, int count) {
+  std::vector<SideChannelRow> found;
+  for (int row = row_begin; row < row_end && static_cast<int>(found.size()) <
+                                                 count;
+       ++row) {
+    const dram::RowAddress address{bank, row};
+    const auto retention =
+        profile_row_retention(chip, address, max_seconds);
+    if (retention && *retention >= min_seconds) {
+      found.push_back(SideChannelRow{address, *retention});
+    }
+  }
+  return found;
+}
+
+}  // namespace hbmrd::study

@@ -1,0 +1,35 @@
+// Retention-time profiling (Sec. 7 methodology): a row's retention time is
+// the smallest T, probed in 64 ms increments, at which any of its cells
+// fails when the row sits unrefreshed for T. Rows with convenient retention
+// times serve as the U-TRR side channel.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bender/platform.h"
+#include "study/patterns.h"
+
+namespace hbmrd::study {
+
+inline constexpr double kRetentionStepSeconds = 0.064;
+
+struct SideChannelRow {
+  dram::RowAddress row;   // logical address
+  double retention_s = 0;  // measured in kRetentionStepSeconds steps
+};
+
+/// Smallest multiple of 64 ms (up to max_seconds) at which the row shows a
+/// retention failure; nullopt if it retains data through max_seconds.
+[[nodiscard]] std::optional<double> profile_row_retention(
+    bender::HbmChip& chip, const dram::RowAddress& row,
+    double max_seconds = 2.0,
+    DataPattern pattern = DataPattern::kCheckered0);
+
+/// Scans logical rows [row_begin, row_end) of a bank for up to `count` rows
+/// whose retention time lies in [min_seconds, max_seconds].
+[[nodiscard]] std::vector<SideChannelRow> find_side_channel_rows(
+    bender::HbmChip& chip, const dram::BankAddress& bank, int row_begin,
+    int row_end, double min_seconds, double max_seconds, int count);
+
+}  // namespace hbmrd::study

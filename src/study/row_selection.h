@@ -1,0 +1,57 @@
+// Victim-row selection helpers matching the paper's sampling choices
+// (Table 2 and the per-section row subsets).
+#pragma once
+
+#include <vector>
+
+#include "dram/geometry.h"
+
+namespace hbmrd::study {
+
+/// First n rows of a bank.
+[[nodiscard]] inline std::vector<int> first_rows(int n) {
+  std::vector<int> rows;
+  for (int r = 0; r < n && r < dram::kRowsPerBank; ++r) rows.push_back(r);
+  return rows;
+}
+
+/// n rows centred on the middle of the bank.
+[[nodiscard]] inline std::vector<int> middle_rows(int n) {
+  std::vector<int> rows;
+  const int begin = dram::kRowsPerBank / 2 - n / 2;
+  for (int r = begin; r < begin + n; ++r) rows.push_back(r);
+  return rows;
+}
+
+/// Last n rows of a bank.
+[[nodiscard]] inline std::vector<int> last_rows(int n) {
+  std::vector<int> rows;
+  for (int r = dram::kRowsPerBank - n; r < dram::kRowsPerBank; ++r) {
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+/// Sec. 5: n rows from each of the beginning, middle, and end of a bank.
+[[nodiscard]] inline std::vector<int> begin_middle_end_rows(int n_each) {
+  auto rows = first_rows(n_each);
+  const auto middle = middle_rows(n_each);
+  const auto last = last_rows(n_each);
+  rows.insert(rows.end(), middle.begin(), middle.end());
+  rows.insert(rows.end(), last.begin(), last.end());
+  return rows;
+}
+
+/// n rows evenly spread across the bank (scaled-down full-bank sweeps).
+[[nodiscard]] inline std::vector<int> spread_rows(int n) {
+  std::vector<int> rows;
+  if (n <= 0) return rows;
+  if (n >= dram::kRowsPerBank) return first_rows(dram::kRowsPerBank);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(static_cast<int>(
+        static_cast<long long>(i) * dram::kRowsPerBank / n));
+  }
+  return rows;
+}
+
+}  // namespace hbmrd::study

@@ -1,0 +1,107 @@
+#include "study/rowpress.h"
+
+#include <algorithm>
+#include <set>
+
+#include "study/ber.h"
+
+namespace hbmrd::study {
+
+dram::Cycle taggon_min(const dram::TimingParams& timing) {
+  return timing.t_ras;
+}
+
+std::vector<dram::Cycle> fig12_taggon_values(
+    const dram::TimingParams& timing) {
+  return {
+      timing.t_ras,                       // ~29-30 ns (tRAS-limited minimum)
+      2 * timing.t_ras,                   // ~58 ns
+      3 * timing.t_ras,                   // ~87 ns
+      4 * timing.t_ras,                   // ~116 ns
+      timing.t_refi,                      // 3.9 us
+      timing.max_ref_delay(),             // 9 * tREFI = 35.1 us
+  };
+}
+
+std::vector<dram::Cycle> fig13_taggon_values(
+    const dram::TimingParams& timing) {
+  return {
+      timing.t_ras,
+      timing.t_refi,
+      timing.max_ref_delay(),
+      timing.t_refw / 2,  // 16 ms: one activation pair per refresh window
+  };
+}
+
+dram::Cycle hammer_duration(const dram::TimingParams& timing, int aggressors,
+                            dram::Cycle on_cycles,
+                            std::uint64_t hammer_count) {
+  const dram::Cycle on = std::max(on_cycles, timing.t_ras);
+  // Canonical hammer schedule (Bank::bulk_hammer): per activation the bank
+  // is busy for max(on + tRP, tRC) cycles.
+  const dram::Cycle per_act = std::max(on + timing.t_rp, timing.t_rc);
+  return static_cast<dram::Cycle>(aggressors) * per_act * hammer_count;
+}
+
+std::uint64_t max_hammers_in(const dram::TimingParams& timing, int aggressors,
+                             dram::Cycle on_cycles,
+                             dram::Cycle window_cycles) {
+  const dram::Cycle one = hammer_duration(timing, aggressors, on_cycles, 1);
+  return std::max<std::uint64_t>(1, window_cycles / one);
+}
+
+std::vector<int> profile_retention_bits(bender::HbmChip& chip,
+                                        const dram::RowAddress& victim,
+                                        DataPattern pattern,
+                                        dram::Cycle duration_cycles,
+                                        int repeats) {
+  const auto expected = victim_row_bits(pattern);
+  std::set<int> failed;
+  for (int trial = 0; trial < std::max(repeats, 1); ++trial) {
+    chip.write_row(victim, expected);
+    chip.idle(dram::cycles_to_seconds(duration_cycles));
+    const auto read_back = chip.read_row(victim);
+    for (int bit : read_back.diff_positions(expected)) failed.insert(bit);
+  }
+  return {failed.begin(), failed.end()};
+}
+
+RowPressBerResult measure_rowpress_ber(bender::HbmChip& chip,
+                                       const AddressMap& map,
+                                       const dram::RowAddress& victim,
+                                       const RowPressBerConfig& config) {
+  BerConfig ber_config;
+  ber_config.pattern = config.pattern;
+  ber_config.hammer_count = config.hammer_count;
+  ber_config.on_cycles = config.on_cycles;
+  ber_config.init_ring = config.init_ring;
+  const auto raw = measure_row_ber(chip, map, victim, ber_config);
+
+  RowPressBerResult result;
+  result.victim = victim;
+  result.raw_bitflips = raw.bitflips;
+
+  // Footnote 6: experiments whose duration exceeds the refresh window are
+  // cleansed of retention failures profiled at the matching duration.
+  const dram::Cycle duration =
+      hammer_duration(chip.stack().timing(), 2, config.on_cycles,
+                      config.hammer_count);
+  std::vector<int> retention_bits;
+  if (duration > chip.stack().timing().t_refw) {
+    retention_bits = profile_retention_bits(
+        chip, victim, config.pattern, duration, config.retention_repeats);
+  }
+  int disturb_flips = 0;
+  for (int bit : raw.flipped_bits) {
+    if (!std::binary_search(retention_bits.begin(), retention_bits.end(),
+                            bit)) {
+      ++disturb_flips;
+    }
+  }
+  result.retention_excluded = raw.bitflips - disturb_flips;
+  result.disturb_bitflips = disturb_flips;
+  result.ber = static_cast<double>(disturb_flips) / dram::kRowBits;
+  return result;
+}
+
+}  // namespace hbmrd::study

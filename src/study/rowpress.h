@@ -1,0 +1,65 @@
+// Sec. 6: RowHammer/RowPress sensitivity to the aggressor row on-time
+// (tAggON), including the retention-failure filtering of footnote 6 for
+// experiments that outlast the 32 ms refresh window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+#include "study/patterns.h"
+
+namespace hbmrd::study {
+
+/// The paper's tAggON operating points.
+[[nodiscard]] dram::Cycle taggon_min(const dram::TimingParams& timing);
+[[nodiscard]] std::vector<dram::Cycle> fig12_taggon_values(
+    const dram::TimingParams& timing);  // 29/58/87/116 ns, tREFI, 9*tREFI
+[[nodiscard]] std::vector<dram::Cycle> fig13_taggon_values(
+    const dram::TimingParams& timing);  // min, tREFI, 9*tREFI, 16 ms
+
+/// Duration (cycles) of a double-sided hammer burst: `aggressors` rows per
+/// iteration, each open for on_cycles.
+[[nodiscard]] dram::Cycle hammer_duration(const dram::TimingParams& timing,
+                                          int aggressors,
+                                          dram::Cycle on_cycles,
+                                          std::uint64_t hammer_count);
+
+/// Largest hammer count whose burst fits in `window_cycles` (>= 1).
+[[nodiscard]] std::uint64_t max_hammers_in(const dram::TimingParams& timing,
+                                           int aggressors,
+                                           dram::Cycle on_cycles,
+                                           dram::Cycle window_cycles);
+
+struct RowPressBerConfig {
+  DataPattern pattern = DataPattern::kCheckered0;
+  std::uint64_t hammer_count = 150'000;  // Fig. 12 uses 150K
+  dram::Cycle on_cycles = 0;
+  /// Retention profiling repetitions (footnote 6 uses 5); a cell failing in
+  /// any repetition is excluded from the disturbance bitflip count.
+  int retention_repeats = 5;
+  int init_ring = 8;
+};
+
+struct RowPressBerResult {
+  dram::RowAddress victim;
+  int raw_bitflips = 0;        // as read back after the hammer burst
+  int retention_excluded = 0;  // bits failing pure retention at this duration
+  int disturb_bitflips = 0;    // raw minus retention-profiled bits
+  double ber = 0.0;            // disturb_bitflips / kRowBits
+};
+
+/// Fig. 12 measurement for one victim row: hammer at the configured tAggON,
+/// then subtract retention failures profiled at the matching duration.
+[[nodiscard]] RowPressBerResult measure_rowpress_ber(
+    bender::HbmChip& chip, const AddressMap& map,
+    const dram::RowAddress& victim, const RowPressBerConfig& config);
+
+/// Bit positions failing pure retention when the victim row sits
+/// unrefreshed for `duration_cycles` (union over `repeats` trials).
+[[nodiscard]] std::vector<int> profile_retention_bits(
+    bender::HbmChip& chip, const dram::RowAddress& victim,
+    DataPattern pattern, dram::Cycle duration_cycles, int repeats);
+
+}  // namespace hbmrd::study

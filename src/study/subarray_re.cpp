@@ -1,0 +1,91 @@
+#include "study/subarray_re.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "study/patterns.h"
+#include "study/rowpress.h"
+
+namespace hbmrd::study {
+
+namespace {
+
+/// RowPress-boosted probe: tREFI on-time at 30K activations yields a dose
+/// (~30K * 55) above the weakest-cell threshold of even the most resilient
+/// rows, so any same-subarray neighbour flips. Cross-subarray rows receive
+/// no dose at all, making the contrast unambiguous.
+constexpr std::uint64_t kProbeHammerCount = 30'000;
+
+}  // namespace
+
+bool disturbance_crosses(bender::HbmChip& chip, const AddressMap& map,
+                         const dram::BankAddress& bank, int low_physical) {
+  if (low_physical < 0 || low_physical + 1 >= dram::kRowsPerBank) {
+    throw std::out_of_range("disturbance_crosses: row at bank edge");
+  }
+  const int aggressor = map.to_logical(low_physical);
+  const int victim = map.to_logical(low_physical + 1);
+  const auto victim_bits = victim_row_bits(DataPattern::kCheckered0);
+  const auto aggressor_bits = aggressor_row_bits(DataPattern::kCheckered0);
+  const auto& timing = chip.stack().timing();
+  const dram::Cycle on_cycles = timing.t_refi;
+
+  bender::ProgramBuilder builder;
+  builder.write_row(bank, victim, victim_bits);
+  builder.write_row(bank, aggressor, aggressor_bits);
+  const std::array<int, 1> rows = {aggressor};
+  builder.hammer(bank, rows, kProbeHammerCount, on_cycles);
+  builder.read_row(bank, victim);
+  const auto result = chip.run(std::move(builder).build());
+  const auto flipped =
+      result.row(0).diff_positions(victim_bits);
+  if (flipped.empty()) return false;
+
+  // The burst outlasts the refresh window; exclude pure retention failures
+  // (footnote 6 methodology) before declaring a disturbance crossing.
+  const auto duration =
+      hammer_duration(timing, 1, on_cycles, kProbeHammerCount);
+  const auto retention_bits = profile_retention_bits(
+      chip, {bank, victim}, DataPattern::kCheckered0, duration, 1);
+  for (int bit : flipped) {
+    if (!std::binary_search(retention_bits.begin(), retention_bits.end(),
+                            bit)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SubarrayLayout find_subarray_layout(bender::HbmChip& chip,
+                                    const AddressMap& map,
+                                    const dram::BankAddress& bank,
+                                    const std::vector<int>& candidate_sizes) {
+  SubarrayLayout layout;
+  layout.starts.push_back(0);
+  int start = 0;
+  while (start < dram::kRowsPerBank) {
+    bool advanced = false;
+    for (int size : candidate_sizes) {
+      const int boundary = start + size;
+      if (boundary == dram::kRowsPerBank) {
+        // Last subarray ends at the bank edge; nothing left to probe.
+        return layout;
+      }
+      if (boundary > dram::kRowsPerBank) continue;
+      if (!disturbance_crosses(chip, map, bank, boundary - 1)) {
+        layout.starts.push_back(boundary);
+        start = boundary;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      throw std::runtime_error(
+          "find_subarray_layout: no candidate size matches at row " +
+          std::to_string(start));
+    }
+  }
+  return layout;
+}
+
+}  // namespace hbmrd::study

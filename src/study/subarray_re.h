@@ -1,0 +1,45 @@
+// Subarray boundary reverse engineering (Sec. 4.2, footnote 3): read
+// disturbance does not cross subarray boundaries, so single-sided hammering
+// of a row at the edge of a subarray flips cells in only one of its two
+// physical neighbours. The prober walks the bank, testing the two known
+// subarray sizes (768 / 832 rows) at each step.
+#pragma once
+
+#include <vector>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+
+namespace hbmrd::study {
+
+struct SubarrayLayout {
+  /// Physical start row of each subarray, ascending; front() == 0.
+  std::vector<int> starts;
+
+  [[nodiscard]] int count() const { return static_cast<int>(starts.size()); }
+  [[nodiscard]] int size_of(int index) const {
+    const auto i = static_cast<std::size_t>(index);
+    const int end = i + 1 < starts.size() ? starts[i + 1]
+                                          : dram::kRowsPerBank;
+    return end - starts[i];
+  }
+};
+
+/// True when disturbance crosses from physical row `low` to `low + 1`
+/// (i.e. the two rows share a subarray). Uses a RowPress-boosted
+/// single-sided hammer strong enough for any row, with retention-profiled
+/// bits excluded.
+[[nodiscard]] bool disturbance_crosses(bender::HbmChip& chip,
+                                       const AddressMap& map,
+                                       const dram::BankAddress& bank,
+                                       int low_physical);
+
+/// Recovers the full subarray layout of a bank by testing the candidate
+/// sizes at each walk position. Throws std::runtime_error if neither
+/// candidate matches at some position.
+[[nodiscard]] SubarrayLayout find_subarray_layout(
+    bender::HbmChip& chip, const AddressMap& map,
+    const dram::BankAddress& bank,
+    const std::vector<int>& candidate_sizes = {768, 832});
+
+}  // namespace hbmrd::study

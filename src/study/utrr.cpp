@@ -1,0 +1,201 @@
+#include "study/utrr.h"
+
+#include <stdexcept>
+
+namespace hbmrd::study {
+
+namespace {
+
+/// Side-channel rows need a retention time long enough that the probe's REF
+/// bursts are negligible and short enough to keep probe wall-time small.
+constexpr double kMinRetentionS = 0.192;
+constexpr double kMaxRetentionS = 1.024;
+
+/// Logical scan range for side-channel rows: physically far above the
+/// refresh pointer (which starts at row 0 and advances 2 rows per REF), so
+/// the few hundred REFs a discovery issues cannot touch them.
+constexpr int kScanBegin = 2000;
+constexpr int kScanEnd = 6000;
+
+/// Trials for the period discovery: enough to observe three TRR-capable
+/// REFs for a period up to ~20.
+constexpr int kPeriodTrials = 64;
+
+}  // namespace
+
+TrrProbe::TrrProbe(bender::HbmChip& chip, const AddressMap& map,
+                   dram::BankAddress bank)
+    : chip_(chip), map_(map), bank_(bank) {}
+
+void TrrProbe::activate_once(int logical_row) {
+  bender::ProgramBuilder builder;
+  builder.act(bank_, logical_row).pre(bank_);
+  chip_.run(std::move(builder).build());
+}
+
+void TrrProbe::activity_window(const std::vector<int>& rows,
+                               const std::vector<std::uint64_t>& counts) {
+  if (rows.size() != counts.size()) {
+    throw std::invalid_argument("activity_window: size mismatch");
+  }
+  bender::ProgramBuilder builder;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::uint64_t n = 0; n < counts[i]; ++n) {
+      builder.act(bank_, rows[i]).pre(bank_);
+    }
+  }
+  chip_.run(std::move(builder).build());
+}
+
+void TrrProbe::issue_ref() {
+  bender::ProgramBuilder builder;
+  builder.ref(bank_.channel);
+  chip_.run(std::move(builder).build());
+  ++refs_issued_;
+}
+
+void TrrProbe::advance_to_phase(int phase, int period) {
+  // Always issues at least one REF: the arm sequences rely on the *last*
+  // REF being TRR-capable with nothing issued after it.
+  do {
+    issue_ref();
+  } while (static_cast<int>(refs_issued_ % static_cast<std::uint64_t>(
+                                               period)) != phase);
+}
+
+std::vector<int> TrrProbe::junk_rows(int count, int away_from) const {
+  // Physically isolated rows (8 apart, far from the side-channel row) so
+  // junk activity cannot disturb or refresh anything the probe measures.
+  std::vector<int> rows;
+  const int away_physical = map_.to_physical(away_from);
+  int physical = 8000;
+  while (static_cast<int>(rows.size()) < count) {
+    if (std::abs(physical - away_physical) > 64) {
+      rows.push_back(map_.to_logical(physical));
+    }
+    physical += 8;
+  }
+  return rows;
+}
+
+bool TrrProbe::side_channel_refreshed(const SideChannelRow& side,
+                                      const std::function<void()>& arm) {
+  const auto bits = victim_row_bits(DataPattern::kCheckered0);
+  // 0.7 T per half: each half alone stays below the retention time, while
+  // both halves together exceed it — so the row survives iff something
+  // refreshed it between the halves.
+  const double wait_s = 0.7 * side.retention_s;
+  chip_.write_row(side.row, bits);
+  chip_.idle(wait_s);
+  arm();
+  chip_.idle(wait_s);
+  return chip_.read_row(side.row).count_diff(bits) == 0;
+}
+
+TrrDiscovery TrrProbe::discover() {
+  TrrDiscovery discovery;
+
+  side_rows_ = find_side_channel_rows(chip_, bank_, kScanBegin, kScanEnd,
+                                      kMinRetentionS, kMaxRetentionS, 2);
+  if (side_rows_.empty()) {
+    throw std::runtime_error(
+        "TrrProbe: no side-channel rows with usable retention in scan range");
+  }
+  const SideChannelRow& side = side_rows_.front();
+  const int physical = map_.to_physical(side.row.row);
+  if (physical + 1 >= dram::kRowsPerBank || physical - 1 < 0) {
+    throw std::runtime_error("TrrProbe: side-channel row at bank edge");
+  }
+  const int aggr_above = map_.to_logical(physical + 1);
+  const int aggr_below = map_.to_logical(physical - 1);
+
+  // -- Obsv. 24: find the TRR cadence. One REF per trial; the side-channel
+  // row survives exactly in trials whose REF was TRR-capable (the single
+  // aggressor activation keeps the aggressor in the TRR's sampler).
+  std::vector<std::uint64_t> capable_counters;
+  for (int trial = 0; trial < kPeriodTrials; ++trial) {
+    const bool refreshed = side_channel_refreshed(side, [&] {
+      activate_once(aggr_above);
+      issue_ref();
+    });
+    if (refreshed) capable_counters.push_back(refs_issued_);
+  }
+  if (capable_counters.size() < 2) {
+    return discovery;  // no TRR observed on this chip
+  }
+  const auto period =
+      static_cast<int>(capable_counters[1] - capable_counters[0]);
+  for (std::size_t i = 2; i < capable_counters.size(); ++i) {
+    if (static_cast<int>(capable_counters[i] - capable_counters[i - 1]) !=
+        period) {
+      throw std::runtime_error("TrrProbe: inconsistent TRR cadence");
+    }
+  }
+  discovery.trr_period = period;
+  discovery.capable_phase = static_cast<int>(
+      capable_counters[0] % static_cast<std::uint64_t>(period));
+  // The side-channel row is the aggressor's -1 neighbour in these trials.
+  discovery.refreshes_minus_neighbor = true;
+
+  // -- Obsv. 25: the +1 neighbour is refreshed as well (hammer from below).
+  discovery.refreshes_plus_neighbor = side_channel_refreshed(side, [&] {
+    activate_once(aggr_below);
+    advance_to_phase(discovery.capable_phase, period);
+  });
+
+  // -- Obsv. 26: first-ACT-after-capable-REF detection survives 16 windows
+  // of unrelated junk activity.
+  const auto junk = junk_rows(5, side.row.row);
+  const std::vector<std::uint64_t> ones(junk.size(), 1);
+  const bool first_act_probe = side_channel_refreshed(side, [&] {
+    advance_to_phase(discovery.capable_phase, period);  // capable REF fired
+    activate_once(aggr_above);  // the first ACT after it
+    for (int window = 0; window < period; ++window) {
+      activity_window(junk, ones);
+      issue_ref();
+    }
+  });
+  // Control: identical, but one junk ACT precedes the aggressor so the
+  // aggressor is *not* the first row activated.
+  const bool first_act_control = side_channel_refreshed(side, [&] {
+    advance_to_phase(discovery.capable_phase, period);
+    activate_once(junk[0]);
+    activate_once(aggr_above);
+    for (int window = 0; window < period; ++window) {
+      activity_window(junk, ones);
+      issue_ref();
+    }
+  });
+  discovery.first_act_detected = first_act_probe && !first_act_control;
+
+  // -- Obsv. 27: the half-count rule. An initial REF closes the window that
+  // contains the side-channel row's own initialization ACT; then the
+  // aggressor receives 5 of the window's 9 activations (> half) in the
+  // probe and 4 of 8 (= half, not more) in the control. Trailing junk
+  // activations flush the recency sampler either way, so only the count
+  // rule can cause a detection.
+  const auto junk4 = junk_rows(4, side.row.row);
+  const std::vector<std::uint64_t> ones4(junk4.size(), 1);
+  discovery.half_count_detected = side_channel_refreshed(side, [&] {
+    issue_ref();
+    std::vector<int> rows = {aggr_above};
+    rows.insert(rows.end(), junk4.begin(), junk4.end());
+    std::vector<std::uint64_t> counts = {5};
+    counts.insert(counts.end(), ones4.begin(), ones4.end());
+    activity_window(rows, counts);
+    advance_to_phase(discovery.capable_phase, period);
+  });
+  discovery.below_half_not_detected = !side_channel_refreshed(side, [&] {
+    issue_ref();
+    std::vector<int> rows = {aggr_above};
+    rows.insert(rows.end(), junk4.begin(), junk4.end());
+    std::vector<std::uint64_t> counts = {4};
+    counts.insert(counts.end(), ones4.begin(), ones4.end());
+    activity_window(rows, counts);
+    advance_to_phase(discovery.capable_phase, period);
+  });
+
+  return discovery;
+}
+
+}  // namespace hbmrd::study

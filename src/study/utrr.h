@@ -1,0 +1,78 @@
+// U-TRR-style reverse engineering of the undocumented TRR mechanism
+// (Sec. 7): retention-weak "side channel" rows reveal whether the TRR
+// refreshed them, exposing the mechanism's refresh cadence and its
+// aggressor-detection rules (Obsv. 24-27).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+#include "study/retention.h"
+
+namespace hbmrd::study {
+
+struct TrrDiscovery {
+  /// REFs between TRR-capable REFs (Obsv. 24; expected 17). 0 = none found.
+  int trr_period = 0;
+  /// Indices (mod trr_period) of the probe's REF counter at capable REFs.
+  int capable_phase = 0;
+  /// Obsv. 25: both neighbours of a detected aggressor get refreshed.
+  bool refreshes_plus_neighbor = false;
+  bool refreshes_minus_neighbor = false;
+  /// Obsv. 26: the first row activated after a TRR-capable REF is detected
+  /// even after 16 intervening windows of unrelated activity.
+  bool first_act_detected = false;
+  /// Obsv. 27: a row activated more than half of a REF-to-REF window's
+  /// activations is detected ...
+  bool half_count_detected = false;
+  /// ... and one at exactly half is not.
+  bool below_half_not_detected = false;
+
+  [[nodiscard]] bool chip_has_trr() const { return trr_period > 0; }
+};
+
+/// Probes one bank of a chip for an undocumented TRR mechanism.
+///
+/// The probe issues its own REF commands and keeps a local REF phase
+/// counter; run it on a freshly powered chip (or after bounded refresh
+/// activity) so the refresh pointer stays far from the side-channel rows.
+class TrrProbe {
+ public:
+  TrrProbe(bender::HbmChip& chip, const AddressMap& map,
+           dram::BankAddress bank);
+
+  /// Runs the full discovery sequence. Throws std::runtime_error when no
+  /// usable side-channel rows exist in the scanned range.
+  [[nodiscard]] TrrDiscovery discover();
+
+  /// Number of REF commands this probe has issued so far.
+  [[nodiscard]] std::uint64_t refs_issued() const { return refs_issued_; }
+
+ private:
+  /// Writes the side-channel row, waits, runs `arm` (activations + REFs via
+  /// the probe's helpers), waits again, and reads the row back.
+  /// True = the row survived, i.e. something refreshed it in between.
+  bool side_channel_refreshed(const SideChannelRow& side,
+                              const std::function<void()>& arm);
+
+  void activate_once(int logical_row);
+  /// Activates `row` `count` times followed by each junk row once.
+  void activity_window(const std::vector<int>& rows,
+                       const std::vector<std::uint64_t>& counts);
+  void issue_ref();
+  /// Issues REFs until the probe's counter is `phase` (mod period).
+  void advance_to_phase(int phase, int period);
+
+  [[nodiscard]] std::vector<int> junk_rows(int count, int away_from) const;
+
+  bender::HbmChip& chip_;
+  const AddressMap& map_;
+  dram::BankAddress bank_;
+  std::uint64_t refs_issued_ = 0;
+  std::vector<SideChannelRow> side_rows_;
+};
+
+}  // namespace hbmrd::study

@@ -1,0 +1,28 @@
+// Per-row worst-case data pattern determination (Sec. 3.1): for each row,
+// the WCDP is the pattern with the smallest HC_first, ties broken by the
+// largest BER at a 256K hammer count.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "study/hc_first.h"
+#include "study/patterns.h"
+
+namespace hbmrd::study {
+
+struct WcdpResult {
+  DataPattern wcdp = DataPattern::kCheckered0;
+  /// Indexed parallel to kAllPatterns; nullopt = no flip within bound.
+  std::array<std::optional<std::uint64_t>, 4> hc_first;
+  std::array<double, 4> ber_at_256k{};
+};
+
+/// Measures all four patterns on one victim row and applies the paper's
+/// WCDP selection rule.
+[[nodiscard]] WcdpResult select_row_wcdp(bender::HbmChip& chip,
+                                         const AddressMap& map,
+                                         const dram::RowAddress& victim,
+                                         const HcSearchConfig& base = {});
+
+}  // namespace hbmrd::study

@@ -1,0 +1,41 @@
+#include "study/words.h"
+
+#include <algorithm>
+#include <array>
+
+namespace hbmrd::study {
+
+void WordAnalysis::accumulate(const std::vector<int>& flipped_bits) {
+  constexpr int kWordsPerRow = dram::kRowBits / 64;
+  std::array<int, kWordsPerRow> flips_per_word{};
+  for (int bit : flipped_bits) {
+    ++flips_per_word[static_cast<std::size_t>(bit / 64)];
+  }
+  words_tested_ += kWordsPerRow;
+  for (int flips : flips_per_word) {
+    if (static_cast<std::size_t>(flips) >= count_by_flips_.size()) {
+      count_by_flips_.resize(static_cast<std::size_t>(flips) + 1, 0);
+    }
+    ++count_by_flips_[static_cast<std::size_t>(flips)];
+    max_flips_ = std::max(max_flips_, flips);
+  }
+}
+
+std::uint64_t WordAnalysis::words_with_exactly(int flips) const {
+  if (flips < 0 ||
+      static_cast<std::size_t>(flips) >= count_by_flips_.size()) {
+    return 0;
+  }
+  return count_by_flips_[static_cast<std::size_t>(flips)];
+}
+
+std::uint64_t WordAnalysis::words_with_more_than(int flips) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = static_cast<std::size_t>(flips) + 1;
+       i < count_by_flips_.size(); ++i) {
+    total += count_by_flips_[i];
+  }
+  return total;
+}
+
+}  // namespace hbmrd::study

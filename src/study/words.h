@@ -1,0 +1,42 @@
+// Word-level bitflip multiplicity analysis (Sec. 8.1, Fig. 15): how many
+// 64-bit words carry exactly one, exactly two, or more than two RowHammer
+// bitflips, and what that means for SECDED ECC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.h"
+
+namespace hbmrd::study {
+
+class WordAnalysis {
+ public:
+  /// Folds one victim row's flipped bit positions into the counters.
+  void accumulate(const std::vector<int>& flipped_bits);
+
+  [[nodiscard]] std::uint64_t words_tested() const { return words_tested_; }
+  [[nodiscard]] std::uint64_t words_with_exactly(int flips) const;
+  [[nodiscard]] std::uint64_t words_with_more_than(int flips) const;
+  [[nodiscard]] int max_flips_in_word() const { return max_flips_; }
+
+  /// SECDED outcome classes over words with at least one flip:
+  /// 1 flip -> corrected, 2 flips -> detected-uncorrectable, >2 -> beyond
+  /// the code's guarantees (silent corruption possible).
+  [[nodiscard]] std::uint64_t secded_corrected() const {
+    return words_with_exactly(1);
+  }
+  [[nodiscard]] std::uint64_t secded_detected() const {
+    return words_with_exactly(2);
+  }
+  [[nodiscard]] std::uint64_t secded_beyond_guarantee() const {
+    return words_with_more_than(2);
+  }
+
+ private:
+  std::uint64_t words_tested_ = 0;
+  std::vector<std::uint64_t> count_by_flips_;  // index = flips per word
+  int max_flips_ = 0;
+};
+
+}  // namespace hbmrd::study

@@ -1,0 +1,89 @@
+#include "thermal/rig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hbmrd::thermal {
+
+ThermalPlant::ThermalPlant(PlantParams params, std::uint64_t seed,
+                           double initial_c)
+    : p_(params), noise_(seed), temperature_c_(initial_c) {
+  if (p_.tau_s <= 0.0) throw std::invalid_argument("tau must be positive");
+}
+
+void ThermalPlant::step(double dt_s, double pad_duty, double fan_duty) {
+  if (dt_s < 0.0) throw std::invalid_argument("negative time step");
+  pad_duty = std::clamp(pad_duty, 0.0, 1.0);
+  fan_duty = std::clamp(fan_duty, 0.0, 1.0);
+  // Slow ambient drift over the day (Fig. 3 traces are stable but not flat).
+  const double ambient =
+      p_.ambient_c +
+      p_.diurnal_swing_c * std::sin(2.0 * M_PI * time_s_ / 86400.0);
+  const double equilibrium = ambient + p_.pad_heating_c * pad_duty -
+                             p_.fan_cooling_c * fan_duty;
+  // Exact first-order step (stable for any dt).
+  const double alpha = 1.0 - std::exp(-dt_s / p_.tau_s);
+  temperature_c_ += (equilibrium - temperature_c_) * alpha;
+  time_s_ += dt_s;
+}
+
+double ThermalPlant::sensor_c() {
+  return temperature_c_ + p_.sensor_noise_c * noise_.next_normal();
+}
+
+BangBangController::Actuation BangBangController::update(double measured_c) {
+  if (measured_c < target_c_ - hysteresis_c_) {
+    heating_ = true;
+  } else if (measured_c > target_c_ + hysteresis_c_) {
+    heating_ = false;
+  }
+  Actuation act;
+  if (heating_) {
+    act.pad_duty = 1.0;
+  } else {
+    act.fan_duty = 1.0;
+  }
+  return act;
+}
+
+TemperatureRig::TemperatureRig(PlantParams params, std::uint64_t seed,
+                               double initial_c, bool controlled,
+                               double target_c)
+    : plant_(params, seed, initial_c),
+      controller_(target_c),
+      controlled_(controlled) {}
+
+TemperatureRig TemperatureRig::controlled(std::uint64_t seed,
+                                          double target_c) {
+  PlantParams params;
+  // The pad must be able to reach the target above ambient.
+  params.pad_heating_c = std::max(50.0, target_c - params.ambient_c + 10.0);
+  return TemperatureRig(params, seed, params.ambient_c, true, target_c);
+}
+
+TemperatureRig TemperatureRig::ambient(std::uint64_t seed, double ambient_c) {
+  PlantParams params;
+  params.ambient_c = ambient_c;
+  return TemperatureRig(params, seed, ambient_c, false, ambient_c);
+}
+
+void TemperatureRig::advance(double dt_s) {
+  // Control loop at 1 Hz; plant integrated at the same rate.
+  while (dt_s > 0.0) {
+    const double step = std::min(dt_s, 1.0);
+    double pad = 0.0;
+    double fan = 0.0;
+    if (controlled_) {
+      const auto act = controller_.update(plant_.sensor_c());
+      pad = act.pad_duty;
+      fan = act.fan_duty;
+    }
+    plant_.step(step, pad, fan);
+    dt_s -= step;
+  }
+}
+
+double TemperatureRig::temperature_c() { return plant_.sensor_c(); }
+
+}  // namespace hbmrd::thermal

@@ -1,0 +1,95 @@
+// Thermal substrate: the heating-pad / cooling-fan / Arduino-controller rig
+// of the paper's testing setup (Fig. 2) and the resulting chip-temperature
+// traces (Fig. 3). Chip 0 is closed-loop controlled to 82 C; the five Alveo
+// chips idle at a stable ambient with slow drift and sensor noise.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace hbmrd::thermal {
+
+struct PlantParams {
+  double ambient_c = 45.0;       // board-level ambient incl. workload heat
+  double tau_s = 120.0;          // first-order thermal time constant
+  double pad_heating_c = 50.0;   // steady-state lift at full pad duty
+  double fan_cooling_c = 15.0;   // steady-state drop at full fan duty
+  double sensor_noise_c = 0.15;  // in-chip temperature sensor noise (1 sigma)
+  double diurnal_swing_c = 1.0;  // slow ambient swing over a day
+};
+
+/// First-order thermal model of one chip + pad + fan.
+class ThermalPlant {
+ public:
+  ThermalPlant(PlantParams params, std::uint64_t seed, double initial_c);
+
+  /// Advances the plant by dt seconds with the given actuator duties
+  /// (each in [0, 1]).
+  void step(double dt_s, double pad_duty, double fan_duty);
+
+  /// Noisy sensor reading (what the Arduino and the host see).
+  [[nodiscard]] double sensor_c();
+
+  /// Noise-free plant state (tests only).
+  [[nodiscard]] double true_c() const { return temperature_c_; }
+  [[nodiscard]] double time_s() const { return time_s_; }
+
+ private:
+  PlantParams p_;
+  util::Stream noise_;
+  double temperature_c_;
+  double time_s_ = 0.0;
+};
+
+/// Bang-bang controller with hysteresis, as an Arduino would implement it.
+class BangBangController {
+ public:
+  explicit BangBangController(double target_c, double hysteresis_c = 0.5)
+      : target_c_(target_c), hysteresis_c_(hysteresis_c) {}
+
+  struct Actuation {
+    double pad_duty = 0.0;
+    double fan_duty = 0.0;
+  };
+
+  [[nodiscard]] Actuation update(double measured_c);
+  [[nodiscard]] double target_c() const { return target_c_; }
+
+ private:
+  double target_c_;
+  double hysteresis_c_;
+  bool heating_ = true;
+};
+
+/// One chip's thermal rig: plant plus (for controlled chips) the
+/// controller loop. Drives the Stack temperature during experiments.
+class TemperatureRig {
+ public:
+  /// Chip 0 setup: pad + fan + controller targeting `target_c`.
+  [[nodiscard]] static TemperatureRig controlled(std::uint64_t seed,
+                                                 double target_c);
+
+  /// Alveo setup: no actuators, stable ambient.
+  [[nodiscard]] static TemperatureRig ambient(std::uint64_t seed,
+                                              double ambient_c);
+
+  /// Advances the rig by dt seconds (control loop at 1 Hz internally).
+  void advance(double dt_s);
+
+  /// Current sensor temperature.
+  [[nodiscard]] double temperature_c();
+
+  [[nodiscard]] bool is_controlled() const { return controlled_; }
+  [[nodiscard]] double time_s() const { return plant_.time_s(); }
+
+ private:
+  TemperatureRig(PlantParams params, std::uint64_t seed, double initial_c,
+                 bool controlled, double target_c);
+
+  ThermalPlant plant_;
+  BangBangController controller_;
+  bool controlled_;
+};
+
+}  // namespace hbmrd::thermal

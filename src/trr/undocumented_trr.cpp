@@ -1,0 +1,85 @@
+#include "trr/undocumented_trr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbmrd::trr {
+
+UndocumentedTrr::UndocumentedTrr(TrrParams params) : p_(params) {
+  if (p_.trr_ref_interval < 1 || p_.sampler_capacity < 0 ||
+      p_.pending_capacity < 1) {
+    throw std::invalid_argument("UndocumentedTrr: bad parameters");
+  }
+}
+
+void UndocumentedTrr::latch_pending(int physical_row) {
+  if (std::find(pending_.begin(), pending_.end(), physical_row) !=
+      pending_.end()) {
+    return;
+  }
+  pending_.push_back(physical_row);
+  while (static_cast<int>(pending_.size()) > p_.pending_capacity) {
+    pending_.pop_front();
+  }
+}
+
+void UndocumentedTrr::note_activation(int physical_row, std::uint64_t count) {
+  window_counts_[physical_row] += count;
+  window_total_ += count;
+
+  if (first_act_armed_) {
+    first_act_armed_ = false;
+    first_act_row_ = physical_row;
+  }
+
+  // Move-to-front recency sampler over distinct rows.
+  const auto it = std::find(sampler_.begin(), sampler_.end(), physical_row);
+  if (it != sampler_.end()) sampler_.erase(it);
+  sampler_.push_front(physical_row);
+  while (static_cast<int>(sampler_.size()) > p_.sampler_capacity) {
+    sampler_.pop_back();
+  }
+}
+
+void UndocumentedTrr::on_activate(int physical_row, dram::Cycle /*now*/) {
+  note_activation(physical_row, 1);
+}
+
+void UndocumentedTrr::on_activate_bulk(int physical_row, std::uint64_t count,
+                                       dram::Cycle /*now*/) {
+  if (count == 0) return;
+  note_activation(physical_row, count);
+}
+
+std::vector<int> UndocumentedTrr::on_refresh(dram::Cycle /*now*/) {
+  // Half-count rule, evaluated over the window between two REFs (Obsv. 27).
+  for (const auto& [row, count] : window_counts_) {
+    if (count * 2 > window_total_) latch_pending(row);
+  }
+  window_counts_.clear();
+  window_total_ = 0;
+
+  ++ref_count_;
+  std::vector<int> victims;
+  if (ref_count_ % static_cast<std::uint64_t>(p_.trr_ref_interval) == 0) {
+    // TRR-capable REF: refresh both neighbours (Obsv. 25) of every detected
+    // aggressor — the latched half-count rows, the first-ACT row, and the
+    // recency sampler contents.
+    std::vector<int> detected(pending_.begin(), pending_.end());
+    if (first_act_row_) detected.push_back(*first_act_row_);
+    detected.insert(detected.end(), sampler_.begin(), sampler_.end());
+    std::sort(detected.begin(), detected.end());
+    detected.erase(std::unique(detected.begin(), detected.end()),
+                   detected.end());
+    for (int row : detected) {
+      victims.push_back(row - 1);
+      victims.push_back(row + 1);
+    }
+    pending_.clear();
+    first_act_row_.reset();
+    first_act_armed_ = true;
+  }
+  return victims;
+}
+
+}  // namespace hbmrd::trr

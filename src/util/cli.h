@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for benchmark harnesses and examples.
+// Supports `--name value`, `--name=value`, and boolean `--name` flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hbmrd::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if the flag was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // name -> value ("" if none)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hbmrd::util

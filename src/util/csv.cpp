@@ -1,0 +1,64 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hbmrd::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : path_(path), columns_(columns.size()), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  if (columns.empty()) {
+    throw std::invalid_argument("CsvWriter: need at least one column");
+  }
+  row(columns);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(std::string text) {
+  cells_.push_back(std::move(text));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(double value) {
+  std::ostringstream out;
+  out << value;
+  return cell(out.str());
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(
+    unsigned long long value) {
+  return cell(std::to_string(value));
+}
+
+CsvWriter::RowBuilder::~RowBuilder() { writer_.row(cells_); }
+
+}  // namespace hbmrd::util

@@ -1,0 +1,50 @@
+// Minimal CSV writer used by the benchmark harnesses to export the data
+// series behind each figure (pass --csv <dir> to any bench).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hbmrd::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be created.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Appends one row; must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& writer) : writer_(writer) {}
+    RowBuilder& cell(std::string text);
+    RowBuilder& cell(double value);
+    RowBuilder& cell(long long value);
+    RowBuilder& cell(unsigned long long value);
+    RowBuilder& cell(int value) { return cell(static_cast<long long>(value)); }
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder add() { return RowBuilder(*this); }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+};
+
+}  // namespace hbmrd::util

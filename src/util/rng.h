@@ -1,0 +1,93 @@
+// Deterministic, counter-based random number generation.
+//
+// All stochastic behaviour in the simulator (cell thresholds, retention
+// times, process variation factors, ...) is derived by hashing a fixed
+// key tuple (seed, coordinates...) rather than by consuming a stateful
+// stream. This guarantees that
+//   * the same platform seed reproduces the exact same chip, bit for bit,
+//   * a cell's properties do not depend on the order in which experiments
+//     touch the chip, and
+//   * no per-cell state has to be stored (4 Gib of cells per stack).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hbmrd::util {
+
+/// SplitMix64 finalizer; a high-quality 64-bit mixing function.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combines an arbitrary tuple of integers into one well-mixed 64-bit hash.
+template <typename... Parts>
+[[nodiscard]] constexpr std::uint64_t hash_key(std::uint64_t seed,
+                                               Parts... parts) noexcept {
+  std::uint64_t h = mix64(seed);
+  ((h = mix64(h ^ static_cast<std::uint64_t>(parts))), ...);
+  return h;
+}
+
+/// Maps a 64-bit hash to a double uniformly distributed in [0, 1).
+[[nodiscard]] constexpr double to_unit(std::uint64_t h) noexcept {
+  // Use the top 53 bits so the result is exactly representable.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [0, 1) for a key tuple.
+template <typename... Parts>
+[[nodiscard]] constexpr double uniform(std::uint64_t seed,
+                                       Parts... parts) noexcept {
+  return to_unit(hash_key(seed, parts...));
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9 over the full open interval).
+[[nodiscard]] double inverse_normal_cdf(double p) noexcept;
+
+/// Standard normal deviate for a key tuple.
+template <typename... Parts>
+[[nodiscard]] double normal(std::uint64_t seed, Parts... parts) noexcept {
+  // Clamp away from {0, 1}; to_unit can return exactly 0.
+  double u = uniform(seed, parts...);
+  if (u < 1e-300) u = 1e-300;
+  return inverse_normal_cdf(u);
+}
+
+/// Log-normal deviate: exp(mu + sigma * z) for a key tuple.
+template <typename... Parts>
+[[nodiscard]] double lognormal(double mu, double sigma, std::uint64_t seed,
+                               Parts... parts) noexcept {
+  return __builtin_exp(mu + sigma * normal(seed, parts...));
+}
+
+/// Small stateful generator for the few places where a stream is the natural
+/// model (e.g. thermal noise over a time series). Still fully deterministic.
+class Stream {
+ public:
+  explicit constexpr Stream(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() noexcept {
+    state_ += 0x9e3779b97f4a7c15ull;
+    return mix64(state_);
+  }
+  constexpr double next_unit() noexcept { return to_unit(next_u64()); }
+  double next_normal() noexcept {
+    double u = next_unit();
+    if (u < 1e-300) u = 1e-300;
+    return inverse_normal_cdf(u);
+  }
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t next_below(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hbmrd::util

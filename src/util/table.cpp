@@ -1,0 +1,88 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbmrd::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width does not match headers");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string text) {
+  cells_.push_back(std::move(text));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(unsigned long long value) {
+  return cell(std::to_string(value));
+}
+
+Table::RowBuilder::~RowBuilder() {
+  // Completing the row in the destructor lets call sites chain cells fluently.
+  // add_row validates the width; a mismatched row is a programming error that
+  // surfaces as std::terminate, which is acceptable for a printing helper.
+  table_.add_row(std::move(cells_));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+          << cells[c] << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << "+";
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void print_banner(std::ostream& out, const std::string& title) {
+  out << "\n== " << title << " ==\n";
+}
+
+}  // namespace hbmrd::util

@@ -1,0 +1,58 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to render
+// the paper's tables and figure data series in a uniform format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hbmrd::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric/text rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(std::string text);
+    RowBuilder& cell(double value, int precision = 4);
+    RowBuilder& cell(long long value);
+    RowBuilder& cell(unsigned long long value);
+    RowBuilder& cell(int value) { return cell(static_cast<long long>(value)); }
+    RowBuilder& cell(std::size_t value) {
+      return cell(static_cast<unsigned long long>(value));
+    }
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// Prints a section banner ("== title ==") used between benchmark outputs.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace hbmrd::util

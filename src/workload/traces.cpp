@@ -1,0 +1,109 @@
+#include "workload/traces.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hbmrd::workload {
+
+std::vector<defense::Activation> uniform_trace(const TraceConfig& config) {
+  util::Stream rng(config.seed);
+  std::vector<defense::Activation> trace;
+  trace.reserve(config.activations);
+  for (std::size_t i = 0; i < config.activations; ++i) {
+    trace.push_back(defense::Activation{
+        config.bank,
+        static_cast<int>(rng.next_below(dram::kRowsPerBank))});
+  }
+  return trace;
+}
+
+std::vector<defense::Activation> zipf_trace(const TraceConfig& config,
+                                            double exponent,
+                                            int distinct_rows) {
+  if (distinct_rows < 1 || distinct_rows > dram::kRowsPerBank) {
+    throw std::invalid_argument("zipf_trace: bad distinct_rows");
+  }
+  // Precompute the CDF of the Zipf ranks.
+  std::vector<double> cdf(static_cast<std::size_t>(distinct_rows));
+  double total = 0.0;
+  for (int rank = 0; rank < distinct_rows; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+    cdf[static_cast<std::size_t>(rank)] = total;
+  }
+  // Rank -> row: spread popular rows across the bank deterministically so
+  // hot rows are not physically adjacent to each other.
+  auto rank_to_row = [&](int rank) {
+    return static_cast<int>(
+        util::hash_key(config.seed, 0x21Full, rank) %
+        static_cast<std::uint64_t>(dram::kRowsPerBank));
+  };
+  util::Stream rng(config.seed);
+  std::vector<defense::Activation> trace;
+  trace.reserve(config.activations);
+  for (std::size_t i = 0; i < config.activations; ++i) {
+    const double u = rng.next_unit() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const int rank = static_cast<int>(it - cdf.begin());
+    trace.push_back(defense::Activation{config.bank, rank_to_row(rank)});
+  }
+  return trace;
+}
+
+std::vector<defense::Activation> streaming_trace(const TraceConfig& config,
+                                                 int stride) {
+  if (stride < 1) throw std::invalid_argument("streaming_trace: bad stride");
+  std::vector<defense::Activation> trace;
+  trace.reserve(config.activations);
+  int row = 0;
+  for (std::size_t i = 0; i < config.activations; ++i) {
+    trace.push_back(defense::Activation{config.bank, row});
+    row = (row + stride) % dram::kRowsPerBank;
+  }
+  return trace;
+}
+
+std::vector<defense::Activation> attack_trace(const TraceConfig& config,
+                                              const study::AddressMap& map,
+                                              int victim_logical,
+                                              double attack_share) {
+  if (attack_share <= 0.0 || attack_share > 1.0) {
+    throw std::invalid_argument("attack_trace: bad attack_share");
+  }
+  const auto aggressors = map.aggressors_of(victim_logical);
+  const auto cover = zipf_trace(config);
+  util::Stream rng(config.seed ^ 0xA77Aull);
+  std::vector<defense::Activation> trace;
+  trace.reserve(config.activations);
+  std::size_t aggressor_turn = 0;
+  for (std::size_t i = 0; i < config.activations; ++i) {
+    if (rng.next_unit() < attack_share) {
+      trace.push_back(defense::Activation{
+          config.bank,
+          aggressors[aggressor_turn % aggressors.size()]});
+      ++aggressor_turn;
+    } else {
+      trace.push_back(cover[i]);
+    }
+  }
+  return trace;
+}
+
+TraceStats analyze(const std::vector<defense::Activation>& trace) {
+  TraceStats stats;
+  stats.activations = trace.size();
+  std::map<int, std::size_t> counts;
+  for (const auto& activation : trace) ++counts[activation.row];
+  stats.distinct_rows = counts.size();
+  for (const auto& [row, count] : counts) {
+    if (count > stats.hottest_row_count) {
+      stats.hottest_row_count = count;
+      stats.hottest_row = row;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hbmrd::workload

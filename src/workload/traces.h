@@ -1,0 +1,54 @@
+// Synthetic activation-trace generators: the benign and adversarial
+// workloads the defense evaluation (Sec. 8.2 extension) runs through
+// defense::ProtectedSession. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "defense/protected_session.h"
+#include "study/address_map.h"
+
+namespace hbmrd::workload {
+
+struct TraceConfig {
+  dram::BankAddress bank{0, 0, 0};
+  std::size_t activations = 100'000;
+  std::uint64_t seed = 1;
+};
+
+/// Uniform random rows across the bank (DRAM-unfriendly, defense-friendly:
+/// no row ever gets hot).
+[[nodiscard]] std::vector<defense::Activation> uniform_trace(
+    const TraceConfig& config);
+
+/// Zipf-distributed row popularity (realistic skewed working sets; the
+/// head rows get hot enough to brush against naive defense thresholds).
+[[nodiscard]] std::vector<defense::Activation> zipf_trace(
+    const TraceConfig& config, double exponent = 1.1,
+    int distinct_rows = 4096);
+
+/// Strided streaming (e.g. a sequential scan with a row-sized stride) —
+/// maximal row turnover, minimal reuse.
+[[nodiscard]] std::vector<defense::Activation> streaming_trace(
+    const TraceConfig& config, int stride = 1);
+
+/// Double-sided RowHammer burst against `victim_logical`'s neighbours,
+/// optionally camouflaged inside a benign zipf stream: `attack_share` of
+/// all activations go to the aggressor pair.
+[[nodiscard]] std::vector<defense::Activation> attack_trace(
+    const TraceConfig& config, const study::AddressMap& map,
+    int victim_logical, double attack_share = 1.0);
+
+/// Row-reuse statistics of a trace (diagnostics for the eval tables).
+struct TraceStats {
+  std::size_t activations = 0;
+  std::size_t distinct_rows = 0;
+  std::size_t hottest_row_count = 0;
+  int hottest_row = -1;
+};
+
+[[nodiscard]] TraceStats analyze(
+    const std::vector<defense::Activation>& trace);
+
+}  // namespace hbmrd::workload

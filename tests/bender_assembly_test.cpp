@@ -1,0 +1,81 @@
+#include "bender/assembly.h"
+
+#include "bender/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hbmrd::bender {
+namespace {
+
+constexpr dram::BankAddress kBank{1, 0, 3};
+
+Program sample_program() {
+  ProgramBuilder builder;
+  builder.write_row(kBank, 42, dram::RowBits::filled(0xA5));
+  const std::array<int, 2> rows = {100, 102};
+  builder.hammer(kBank, rows, 5000, 60);
+  builder.ref(1).mrs(4, 1).pre_all(1);
+  builder.read_row(kBank, 42);
+  return std::move(builder).build();
+}
+
+TEST(Assembly, RoundTripsExactly) {
+  const auto program = sample_program();
+  const auto text = to_text(program);
+  const auto parsed = parse_program(text);
+  ASSERT_EQ(parsed.instructions.size(), program.instructions.size());
+  EXPECT_EQ(parsed.wdata, program.wdata);
+  // Second round trip is textually identical (stable format).
+  EXPECT_EQ(to_text(parsed), text);
+}
+
+TEST(Assembly, TextIsHumanReadable) {
+  ProgramBuilder builder;
+  builder.act(kBank, 7).wait(18).pre(kBank);
+  const auto text = to_text(std::move(builder).build());
+  EXPECT_EQ(text, "ACT 1 0 3 7\nWAIT 18\nPRE 1 0 3\n");
+}
+
+TEST(Assembly, ParsesCommentsAndBlankLines) {
+  const auto program = parse_program(
+      "# a comment\n"
+      "\n"
+      "ACT 0 0 0 5   # trailing comment\n"
+      "PRE 0 0 0\n");
+  ASSERT_EQ(program.instructions.size(), 2u);
+  EXPECT_EQ(std::get<ActInstr>(program.instructions[0]).row, 5);
+}
+
+TEST(Assembly, ParsedProgramExecutes) {
+  dram::StackConfig config;
+  config.disturb.seed = 0xA55E;
+  dram::Stack stack(config);
+  Executor executor(&stack);
+  ProgramBuilder builder;
+  builder.write_row(kBank, 9, dram::RowBits::filled(0x3C));
+  builder.read_row(kBank, 9);
+  const auto original = std::move(builder).build();
+  const auto result = executor.run(parse_program(to_text(original)));
+  EXPECT_EQ(result.row(0), dram::RowBits::filled(0x3C));
+}
+
+TEST(Assembly, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_program("FOO 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_program("ACT 0 0 0\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_program("ACT 0 0 0 1 junk\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_program("WR 0 0 0 1 0x1\n"),  // missing words
+               std::invalid_argument);
+  // Error messages carry the line number.
+  try {
+    (void)parse_program("ACT 0 0 0 1\nBAD\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hbmrd::bender

@@ -1,0 +1,129 @@
+#include "bender/platform.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hbmrd::bender {
+namespace {
+
+TEST(ChipProfiles, MatchTable3) {
+  const auto profiles = dram::chip_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].board, "Bittware XUPVVH");
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_EQ(profiles[static_cast<std::size_t>(i)].board,
+              "AMD Xilinx Alveo U50");
+  }
+  EXPECT_EQ(profiles[0].label, "Chip 0");
+  EXPECT_EQ(profiles[5].label, "Chip 5");
+  // Only Chip 0 is temperature-controlled and carries the undocumented TRR.
+  EXPECT_TRUE(profiles[0].has_undocumented_trr);
+  EXPECT_TRUE(profiles[0].temperature_controlled);
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_FALSE(profiles[static_cast<std::size_t>(i)].has_undocumented_trr);
+    EXPECT_FALSE(profiles[static_cast<std::size_t>(i)].temperature_controlled);
+  }
+  // Chip seeds differ (distinct silicon).
+  EXPECT_NE(profiles[0].disturb.seed, profiles[1].disturb.seed);
+  // Chip 5 has the tight die spread (Obsv. 11's exception).
+  EXPECT_LT(profiles[5].disturb.sigma_die, profiles[0].disturb.sigma_die / 2);
+}
+
+TEST(Platform, ChipAccessAndBounds) {
+  Platform platform;
+  EXPECT_EQ(platform.chip_count(), 6);
+  EXPECT_EQ(platform.chip(3).profile().index, 3);
+  EXPECT_THROW((void)platform.chip(-1), std::out_of_range);
+  EXPECT_THROW((void)platform.chip(6), std::out_of_range);
+}
+
+TEST(Platform, Chip0RunsAtTargetTemperature) {
+  Platform platform;
+  EXPECT_NEAR(platform.chip(0).temperature_c(), 82.0, 2.0);
+  EXPECT_NEAR(platform.chip(2).temperature_c(),
+              platform.chip(2).profile().ambient_temperature_c, 3.0);
+}
+
+TEST(Platform, WriteReadRoundTripOnEveryChip) {
+  Platform platform;
+  const dram::RowAddress addr{{1, 0, 2}, 1234};
+  for (int i = 0; i < platform.chip_count(); ++i) {
+    auto& chip = platform.chip(i);
+    chip.write_row(addr, dram::RowBits::filled(0x5A));
+    EXPECT_EQ(chip.read_row(addr), dram::RowBits::filled(0x5A)) << i;
+  }
+}
+
+TEST(Platform, HammerConvenienceInducesDisturbance) {
+  Platform platform;
+  auto& chip = platform.chip(2);  // identity mapping
+  const dram::BankAddress bank{0, 0, 0};
+  chip.write_row({bank, 4300}, dram::RowBits::filled(0x55));
+  chip.write_row({bank, 4299}, dram::RowBits::filled(0xAA));
+  chip.write_row({bank, 4301}, dram::RowBits::filled(0xAA));
+  const std::array<int, 2> rows = {4299, 4301};
+  chip.hammer(bank, rows, 2'000'000);
+  EXPECT_GT(chip.read_row({bank, 4300}).count_diff(dram::RowBits::filled(0x55)),
+            0);
+}
+
+TEST(Platform, IdleDecaysAndRefreshPreserves) {
+  Platform platform;
+  auto& chip = platform.chip(0);  // 82 C: retention-weak rows abound
+  const dram::BankAddress bank{0, 0, 0};
+  // Find a row that decays within 2 s when unrefreshed.
+  int weak = -1;
+  for (int row = 3000; row < 3400; ++row) {
+    chip.write_row({bank, row}, dram::RowBits::filled(0xFF));
+    chip.idle(2.0);
+    if (chip.read_row({bank, row}).count_diff(dram::RowBits::filled(0xFF)) >
+        0) {
+      weak = row;
+      break;
+    }
+  }
+  ASSERT_GE(weak, 0);
+  // The same wait with periodic refresh keeps the data intact.
+  chip.write_row({bank, weak}, dram::RowBits::filled(0xFF));
+  chip.idle_with_refresh(2.0, /*channel=*/0);
+  EXPECT_EQ(chip.read_row({bank, weak}).count_diff(dram::RowBits::filled(0xFF)),
+            0);
+}
+
+TEST(Platform, EccModeRegisterToggle) {
+  Platform platform;
+  auto& chip = platform.chip(1);
+  EXPECT_FALSE(chip.stack().mode_registers().ecc_enabled());
+  chip.set_ecc_enabled(true);
+  EXPECT_TRUE(chip.stack().mode_registers().ecc_enabled());
+  chip.set_ecc_enabled(false);
+  EXPECT_FALSE(chip.stack().mode_registers().ecc_enabled());
+}
+
+TEST(Platform, DeterministicAcrossInstances) {
+  Platform a;
+  Platform b;
+  const dram::BankAddress bank{0, 0, 0};
+  auto measure = [&](Platform& p) {
+    auto& chip = p.chip(4);
+    chip.write_row({bank, 5000}, dram::RowBits::filled(0x55));
+    chip.write_row({bank, 4999}, dram::RowBits::filled(0xAA));
+    chip.write_row({bank, 5001}, dram::RowBits::filled(0xAA));
+    const std::array<int, 2> rows = {4999, 5001};
+    chip.hammer(bank, rows, 500'000);
+    return chip.read_row({bank, 5000});
+  };
+  EXPECT_EQ(measure(a), measure(b));
+}
+
+TEST(Platform, DifferentSeedsDifferentSilicon) {
+  Platform a(1);
+  Platform b(2);
+  const dram::RowAddress addr{{0, 0, 0}, 77};
+  // Power-on contents differ between seeds.
+  EXPECT_NE(a.chip(0).read_row(addr), b.chip(0).read_row(addr));
+}
+
+}  // namespace
+}  // namespace hbmrd::bender

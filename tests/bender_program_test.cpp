@@ -1,0 +1,85 @@
+#include "bender/program.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hbmrd::bender {
+namespace {
+
+constexpr dram::BankAddress kBank{0, 0, 0};
+
+TEST(ProgramBuilder, BuildsRawSequence) {
+  ProgramBuilder builder;
+  builder.act(kBank, 10).wait(5).pre(kBank).ref(0).mrs(4, 1);
+  const auto program = std::move(builder).build();
+  ASSERT_EQ(program.instructions.size(), 5u);
+  EXPECT_TRUE(std::holds_alternative<ActInstr>(program.instructions[0]));
+  EXPECT_TRUE(std::holds_alternative<WaitInstr>(program.instructions[1]));
+  EXPECT_TRUE(std::holds_alternative<PreInstr>(program.instructions[2]));
+  EXPECT_TRUE(std::holds_alternative<RefInstr>(program.instructions[3]));
+  EXPECT_TRUE(std::holds_alternative<MrsInstr>(program.instructions[4]));
+  EXPECT_EQ(std::get<ActInstr>(program.instructions[0]).row, 10);
+}
+
+TEST(ProgramBuilder, WriteRowExpandsToColumnWrites) {
+  ProgramBuilder builder;
+  builder.write_row(kBank, 7, dram::RowBits::filled(0xAB));
+  const auto program = std::move(builder).build();
+  // ACT + 32 WR + PRE.
+  ASSERT_EQ(program.instructions.size(), 2u + dram::kColumns);
+  EXPECT_EQ(program.wdata.size(), static_cast<std::size_t>(dram::kColumns));
+  const auto& wr = std::get<WrInstr>(program.instructions[1]);
+  EXPECT_EQ(wr.column, 0);
+  // Slot data carries the pattern.
+  EXPECT_EQ(program.wdata[0][0] & 0xFFu, 0xABu);
+}
+
+TEST(ProgramBuilder, ReadRowExpandsToColumnReads) {
+  ProgramBuilder builder;
+  builder.read_row(kBank, 7);
+  const auto program = std::move(builder).build();
+  ASSERT_EQ(program.instructions.size(), 2u + dram::kColumns);
+  EXPECT_TRUE(std::holds_alternative<RdInstr>(program.instructions[5]));
+}
+
+TEST(ProgramBuilder, HammerEmitsCountedLoop) {
+  ProgramBuilder builder;
+  const std::array<int, 2> rows = {100, 102};
+  builder.hammer(kBank, rows, 5000, 60);
+  const auto program = std::move(builder).build();
+  const auto& begin = std::get<LoopBeginInstr>(program.instructions[0]);
+  EXPECT_EQ(begin.iterations, 5000u);
+  // act + wait + pre per row, then loop end.
+  ASSERT_EQ(program.instructions.size(), 1u + 2 * 3 + 1);
+  EXPECT_TRUE(std::holds_alternative<LoopEndInstr>(program.instructions.back()));
+}
+
+TEST(ProgramBuilder, HammerWithMinimumOnTimeOmitsWait) {
+  ProgramBuilder builder;
+  const std::array<int, 1> rows = {100};
+  builder.hammer(kBank, rows, 10);
+  const auto program = std::move(builder).build();
+  ASSERT_EQ(program.instructions.size(), 4u);  // loop, act, pre, end
+}
+
+TEST(ProgramBuilder, ValidatesLoops) {
+  ProgramBuilder builder;
+  EXPECT_THROW(builder.loop_begin(0), std::invalid_argument);
+  EXPECT_THROW(builder.loop_end(), std::invalid_argument);
+  builder.loop_begin(2);
+  EXPECT_THROW(builder.loop_begin(2), std::invalid_argument);  // nested
+  ProgramBuilder unterminated;
+  unterminated.loop_begin(2);
+  EXPECT_THROW(std::move(unterminated).build(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, ValidatesHammerArguments) {
+  ProgramBuilder builder;
+  const std::array<int, 1> rows = {5};
+  EXPECT_THROW(builder.hammer(kBank, {}, 100), std::invalid_argument);
+  EXPECT_THROW(builder.hammer(kBank, rows, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbmrd::bender

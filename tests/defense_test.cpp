@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "bender/platform.h"
+#include "defense/blockhammer.h"
+#include "defense/graphene.h"
+#include "defense/para.h"
+#include "defense/protected_session.h"
+#include "study/patterns.h"
+
+namespace hbmrd::defense {
+namespace {
+
+const auto kMap = study::AddressMap::from_scheme(dram::MappingScheme::kIdentity);
+constexpr dram::BankAddress kBank{0, 0, 0};
+
+TEST(Para, ProbabilityFollowsTheFormula) {
+  ParaConfig config;
+  config.protect_threshold = 10'000;
+  config.escape_probability = 1e-6;
+  Para para(config, &kMap);
+  // (1-p)^T == escape.
+  EXPECT_NEAR(std::pow(1.0 - para.probability(), 10'000.0), 1e-6, 1e-8);
+}
+
+TEST(Para, RefreshRateMatchesProbability) {
+  ParaConfig config;
+  config.protect_threshold = 1000;
+  config.escape_probability = 1e-4;  // p ~ 0.0092
+  Para para(config, &kMap);
+  std::uint64_t refreshes = 0;
+  constexpr int kActs = 200'000;
+  for (int i = 0; i < kActs; ++i) {
+    refreshes += para.on_activate(kBank, 5000, 0).refresh_rows.size();
+  }
+  const double per_act =
+      static_cast<double>(refreshes) / (2.0 * kActs);  // 2 victims/refresh
+  EXPECT_NEAR(per_act, para.probability(), 0.15 * para.probability());
+  EXPECT_EQ(para.stats().observed_activations, kActs);
+}
+
+TEST(Para, RefreshTargetsPhysicalNeighbors) {
+  ParaConfig config;
+  config.protect_threshold = 2;  // p ~ 1: refresh on (almost) every ACT
+  config.escape_probability = 1e-9;
+  Para para(config, &kMap);
+  const auto decision = para.on_activate(kBank, 5000, 0);
+  ASSERT_EQ(decision.refresh_rows.size(), 2u);
+  EXPECT_EQ(decision.refresh_rows[0], 4999);
+  EXPECT_EQ(decision.refresh_rows[1], 5001);
+}
+
+TEST(Para, RejectsBadConfig) {
+  ParaConfig config;
+  EXPECT_THROW(Para(config, nullptr), std::invalid_argument);
+  config.protect_threshold = 0;
+  EXPECT_THROW(Para(config, &kMap), std::invalid_argument);
+}
+
+TEST(MisraGries, ExactBelowCapacity) {
+  MisraGries table(8);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(table.observe(42), i + 1u);
+  EXPECT_EQ(table.observe(43), 1u);
+}
+
+TEST(MisraGries, UndercountBoundedByWindowOverEntries) {
+  MisraGries table(4);
+  // Stream: heavy element appears 1000 times among 3000 others.
+  std::uint64_t last = 0;
+  util::Stream rng(1);
+  for (int i = 0; i < 4000; ++i) {
+    if (i % 4 == 0) {
+      last = table.observe(7);
+    } else {
+      table.observe(1000 + static_cast<int>(rng.next_below(500)));
+    }
+  }
+  // True count 1000; estimate undercounts by at most 4000/4 = 1000 and
+  // never overcounts.
+  EXPECT_LE(last, 1000u);
+  EXPECT_GE(last + 1000u, 1000u);
+}
+
+TEST(Graphene, DetectsHeavyHitterBeforeThreshold) {
+  GrapheneConfig config;
+  config.protect_threshold = 1000;
+  config.table_entries = 16;
+  config.window_activations = 8000;  // undercount margin 500
+  Graphene graphene(config, &kMap);
+  EXPECT_EQ(graphene.trigger_count(), 500u);
+  std::uint64_t refreshed_at = 0;
+  for (std::uint64_t act = 1; act <= 1000; ++act) {
+    if (!graphene.on_activate(kBank, 5000, 0).refresh_rows.empty()) {
+      refreshed_at = act;
+      break;
+    }
+  }
+  ASSERT_GT(refreshed_at, 0u) << "heavy hitter never refreshed";
+  EXPECT_LE(refreshed_at, 1000u);
+  // After the refresh the counter restarts: the next trigger is another
+  // trigger_count activations away.
+  std::uint64_t second = 0;
+  for (std::uint64_t act = 1; act <= 1000; ++act) {
+    if (!graphene.on_activate(kBank, 5000, 0).refresh_rows.empty()) {
+      second = act;
+      break;
+    }
+  }
+  EXPECT_EQ(second, graphene.trigger_count());
+}
+
+TEST(Graphene, WindowBoundaryResetsTables) {
+  GrapheneConfig config;
+  config.protect_threshold = 100;
+  config.table_entries = 8;
+  config.window_activations = 400;
+  Graphene graphene(config, &kMap);
+  for (int i = 0; i < 40; ++i) graphene.on_activate(kBank, 5000, 0);
+  graphene.on_window_boundary();
+  // Counter restarted: the trigger is a full trigger_count away again.
+  std::uint64_t hits = 0;
+  for (std::uint64_t act = 1; act <= graphene.trigger_count() - 1; ++act) {
+    hits += graphene.on_activate(kBank, 5000, 0).refresh_rows.size();
+  }
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(Graphene, RejectsUndersizedTable) {
+  GrapheneConfig config;
+  config.protect_threshold = 100;
+  config.table_entries = 4;
+  config.window_activations = 100'000;  // undercount 25000 >> threshold
+  EXPECT_THROW(Graphene(config, &kMap), std::invalid_argument);
+}
+
+TEST(CountingBloom, NeverUndercounts) {
+  CountingBloom filter(64, 2, 9);
+  for (int i = 0; i < 100; ++i) filter.observe(5);
+  EXPECT_GE(filter.estimate(5), 100u);
+  filter.decay();
+  EXPECT_GE(filter.estimate(5), 50u);
+}
+
+TEST(BlockHammer, BlacklistsAndStalls) {
+  BlockHammerConfig config;
+  config.protect_threshold = 1000;
+  config.blacklist_threshold = 100;
+  BlockHammer defense(config);
+  dram::Cycle stalls = 0;
+  for (int i = 0; i < 200; ++i) {
+    stalls += defense.on_activate(kBank, 5000, 0).stall_cycles;
+  }
+  // The first 100 activations pass freely, the rest are throttled.
+  EXPECT_EQ(defense.stats().stalled_activations, 100u);
+  EXPECT_EQ(stalls, 100 * defense.throttle_stall());
+  // The stall paces the row below the protect threshold per window.
+  const auto window = config.window_cycles;
+  EXPECT_GE(defense.throttle_stall() *
+                (config.protect_threshold - config.blacklist_threshold),
+            window - (config.protect_threshold -
+                      config.blacklist_threshold));
+}
+
+TEST(BlockHammer, RejectsBadThresholds) {
+  BlockHammerConfig config;
+  config.blacklist_threshold = config.protect_threshold;
+  EXPECT_THROW(BlockHammer{config}, std::invalid_argument);
+}
+
+// -- Integration: each defense stops a real attack on the simulator -------
+
+struct DefenseIntegration : ::testing::Test {
+  bender::Platform platform;
+  bender::HbmChip& chip = platform.chip(2);  // identity mapping, no TRR
+  dram::RowAddress victim{kBank, 4300};
+  std::array<int, 2> aggressors = {4299, 4301};
+
+  void init_rows() {
+    chip.write_row(victim, study::victim_row_bits(study::DataPattern::kCheckered0));
+    for (int row : aggressors) {
+      chip.write_row({kBank, row},
+                     study::aggressor_row_bits(study::DataPattern::kCheckered0));
+    }
+  }
+
+  int run_attack(std::unique_ptr<ControllerDefense> defense,
+                 std::uint64_t count) {
+    init_rows();
+    ProtectedSession session(&chip, std::move(defense));
+    session.hammer(kBank, aggressors, count);
+    return chip.read_row(victim).count_diff(
+        study::victim_row_bits(study::DataPattern::kCheckered0));
+  }
+};
+
+TEST_F(DefenseIntegration, UndefendedAttackFlips) {
+  EXPECT_GT(run_attack(std::make_unique<BlockHammer>([] {
+              BlockHammerConfig config;
+              config.blacklist_threshold = 400'000;  // effectively off
+              config.protect_threshold = 800'000;
+              return config;
+            }()),
+                       300'000),
+            0);
+}
+
+TEST_F(DefenseIntegration, ParaProtects) {
+  ParaConfig config;
+  config.protect_threshold = 8'000;
+  EXPECT_EQ(run_attack(std::make_unique<Para>(config, &kMap), 300'000), 0);
+}
+
+TEST_F(DefenseIntegration, GrapheneProtects) {
+  GrapheneConfig config;
+  config.protect_threshold = 8'000;
+  config.table_entries = 64;
+  config.window_activations = 300'000;
+  EXPECT_EQ(run_attack(std::make_unique<Graphene>(config, &kMap), 150'000),
+            0);
+}
+
+TEST_F(DefenseIntegration, BlockHammerThrottlingProtects) {
+  // Throttling alone never refreshes victims; the session's periodic REF
+  // duty (pointer refresh per tREFW) is what clears the bounded dose.
+  BlockHammerConfig config;
+  config.protect_threshold = 4'000;
+  config.blacklist_threshold = 500;
+  auto defense = std::make_unique<BlockHammer>(config);
+  auto* raw = defense.get();
+  EXPECT_EQ(run_attack(std::move(defense), 120'000), 0);
+  EXPECT_GT(raw->stats().stalled_activations, 100'000u);
+}
+
+TEST_F(DefenseIntegration, GrapheneOverheadFarBelowPara) {
+  // Deterministic tracking refreshes only when a row actually approaches
+  // the threshold; PARA pays on every activation in expectation.
+  ParaConfig para_config;
+  para_config.protect_threshold = 8'000;
+  auto para = std::make_unique<Para>(para_config, &kMap);
+  auto* para_raw = para.get();
+  run_attack(std::move(para), 100'000);
+
+  GrapheneConfig graphene_config;
+  graphene_config.protect_threshold = 8'000;
+  graphene_config.table_entries = 64;
+  graphene_config.window_activations = 200'000;
+  auto graphene = std::make_unique<Graphene>(graphene_config, &kMap);
+  auto* graphene_raw = graphene.get();
+  run_attack(std::move(graphene), 100'000);
+
+  EXPECT_LT(graphene_raw->stats().refresh_overhead_per_kilo_act(),
+            para_raw->stats().refresh_overhead_per_kilo_act());
+}
+
+}  // namespace
+}  // namespace hbmrd::defense

@@ -1,0 +1,77 @@
+#include "disturb/dose.h"
+
+#include <gtest/gtest.h>
+
+namespace hbmrd::disturb {
+namespace {
+
+TEST(DoseLedger, StartsEmpty) {
+  DoseLedger ledger;
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_EQ(ledger.adjacent_dose(), 0.0);
+  EXPECT_TRUE(ledger.epochs().empty());
+}
+
+TEST(DoseLedger, MergesSameDistanceAndVersion) {
+  DoseLedger ledger;
+  const auto bits = dram::RowBits::filled(0xAA);
+  ledger.add(1, 7, bits, 10.0);
+  ledger.add(1, 7, bits, 5.0);
+  ASSERT_EQ(ledger.epochs().size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.epochs()[0].dose, 15.0);
+  EXPECT_EQ(ledger.epochs()[0].distance, 1);
+}
+
+TEST(DoseLedger, SeparatesDistancesAndVersions) {
+  DoseLedger ledger;
+  const auto bits = dram::RowBits::filled(0xAA);
+  ledger.add(1, 7, bits, 10.0);
+  ledger.add(-1, 7, bits, 4.0);
+  ledger.add(1, 8, bits, 2.0);  // content changed: new epoch
+  EXPECT_EQ(ledger.epochs().size(), 3u);
+  EXPECT_DOUBLE_EQ(ledger.adjacent_dose(), 16.0);
+}
+
+TEST(DoseLedger, MergesWithEarlierEpochAfterInterleaving) {
+  // The hammer pattern A B A B ... must not grow the epoch list.
+  DoseLedger ledger;
+  const auto bits_a = dram::RowBits::filled(0xAA);
+  const auto bits_b = dram::RowBits::filled(0x55);
+  for (int i = 0; i < 100; ++i) {
+    ledger.add(1, 1, bits_a, 1.0);
+    ledger.add(-1, 2, bits_b, 1.0);
+  }
+  ASSERT_EQ(ledger.epochs().size(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.epochs()[0].dose, 100.0);
+  EXPECT_DOUBLE_EQ(ledger.epochs()[1].dose, 100.0);
+}
+
+TEST(DoseLedger, AdjacentDoseIgnoresBlastRadius) {
+  DoseLedger ledger;
+  const auto bits = dram::RowBits::filled(0x00);
+  ledger.add(2, 1, bits, 50.0);
+  ledger.add(-2, 1, bits, 50.0);
+  EXPECT_DOUBLE_EQ(ledger.adjacent_dose(), 0.0);
+  ledger.add(-1, 1, bits, 3.0);
+  EXPECT_DOUBLE_EQ(ledger.adjacent_dose(), 3.0);
+}
+
+TEST(DoseLedger, ClearResets) {
+  DoseLedger ledger;
+  ledger.add(1, 1, dram::RowBits{}, 1.0);
+  EXPECT_FALSE(ledger.empty());
+  ledger.clear();
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_EQ(ledger.epochs().size(), 0u);
+}
+
+TEST(DoseLedger, EpochKeepsAggressorSnapshot) {
+  DoseLedger ledger;
+  auto bits = dram::RowBits::filled(0xFF);
+  ledger.add(1, 1, bits, 1.0);
+  bits.set(0, false);  // mutating the caller's copy must not leak in
+  EXPECT_TRUE(ledger.epochs()[0].aggressor_bits.get(0));
+}
+
+}  // namespace
+}  // namespace hbmrd::disturb

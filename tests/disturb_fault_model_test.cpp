@@ -1,0 +1,251 @@
+#include "disturb/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dram/timing.h"
+
+namespace hbmrd::disturb {
+namespace {
+
+using dram::BankAddress;
+
+DisturbParams params() {
+  DisturbParams p;
+  p.seed = 0xFA17ull;
+  return p;
+}
+
+constexpr BankAddress kBank{0, 0, 0};
+
+TEST(FaultModel, ThresholdsAreDeterministic) {
+  const FaultModel a(params());
+  const FaultModel b(params());
+  for (int bit : {0, 1, 4095, 8191}) {
+    EXPECT_DOUBLE_EQ(a.cell_threshold(kBank, 500, bit),
+                     b.cell_threshold(kBank, 500, bit));
+  }
+  auto different = params();
+  different.seed = 0xDEADull;
+  const FaultModel c(different);
+  EXPECT_NE(a.cell_threshold(kBank, 500, 0), c.cell_threshold(kBank, 500, 0));
+}
+
+TEST(FaultModel, ThresholdUniformMatchesThreshold) {
+  // threshold <= dose  <=>  uniform <= Phi(ln(dose/median)/sigma) with the
+  // (median, sigma) of the cell's population.
+  const FaultModel model(params());
+  const RowContext ctx = model.row_context(kBank, 500);
+  for (int bit = 0; bit < 512; ++bit) {
+    double median = ctx.bulk_median;
+    double sigma = ctx.bulk_sigma;
+    if (model.is_outlier_cell(kBank, 500, bit)) {
+      median = ctx.outlier_median;
+      sigma = ctx.outlier_sigma;
+    } else if (model.is_weak_cell(kBank, 500, bit, ctx.weak_density)) {
+      median = ctx.weak_median;
+      sigma = ctx.weak_sigma;
+    }
+    const double threshold = model.cell_threshold(kBank, 500, bit);
+    const double u = model.cell_threshold_uniform(kBank, 500, bit);
+    for (double dose : {threshold * 0.9, threshold * 1.1}) {
+      const bool direct = threshold <= dose;
+      const bool via_cdf =
+          u <= FaultModel::normal_cdf(std::log(dose / median) / sigma);
+      EXPECT_EQ(direct, via_cdf) << "bit " << bit << " dose " << dose;
+    }
+  }
+}
+
+TEST(FaultModel, RowContextPopulations) {
+  const FaultModel model(params());
+  const RowContext ctx = model.row_context(kBank, 1234);
+  EXPECT_GE(ctx.weak_sigma, params().sigma_cell_min);
+  EXPECT_LE(ctx.weak_sigma, params().sigma_cell_max);
+  EXPECT_DOUBLE_EQ(ctx.bulk_median,
+                   ctx.weak_median * params().bulk_multiplier);
+  EXPECT_GT(ctx.weak_density, 0.0);
+  EXPECT_LE(ctx.weak_density, 0.25);
+
+  // The measured weak fraction matches the row's density, and the weak
+  // population sits far below the bulk.
+  int weak_count = 0;
+  std::vector<double> weak_logs;
+  for (int bit = 0; bit < dram::kRowBits; ++bit) {
+    if (model.is_weak_cell(kBank, 1234, bit, ctx.weak_density)) {
+      ++weak_count;
+      weak_logs.push_back(
+          std::log(model.cell_threshold(kBank, 1234, bit) / ctx.weak_median));
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(weak_count) / dram::kRowBits,
+              ctx.weak_density, 4.0 * std::sqrt(ctx.weak_density / 8192.0));
+  ASSERT_GT(weak_logs.size(), 20u);
+  double mean = 0;
+  for (double x : weak_logs) mean += x;
+  mean /= static_cast<double>(weak_logs.size());
+  EXPECT_NEAR(mean, 0.0, 3.0 * ctx.weak_sigma /
+                             std::sqrt(static_cast<double>(weak_logs.size())));
+}
+
+TEST(FaultModel, ResilientSubarraysHaveLowerWeakDensity) {
+  // Obsv. 15: middle (subarray 10) and last (subarray 20) subarrays are
+  // more resilient — modeled as a quadratically lower weak-cell density.
+  // Average over rows to cancel the per-row density jitter.
+  const FaultModel model(params());
+  auto mean_density = [&](int subarray) {
+    double sum = 0;
+    const int start = dram::subarray_start(subarray);
+    for (int i = 0; i < 200; ++i) {
+      sum += model.row_context(kBank, start + 200 + i).weak_density;
+    }
+    return sum / 200.0;
+  };
+  const double regular = mean_density(0);
+  EXPECT_GT(regular, 2.5 * mean_density(dram::kMiddleSubarray));
+  EXPECT_GT(regular, 2.5 * mean_density(dram::kLastSubarray));
+}
+
+TEST(FaultModel, WeakDensityPeaksMidSubarray) {
+  // Obsv. 14: vulnerability (weak density) peaks toward the middle of a
+  // subarray. Average across rows and subarrays to cancel jitter.
+  const FaultModel model(params());
+  double edge = 0, mid = 0;
+  int n = 0;
+  for (int sa : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    const int start = dram::subarray_start(sa);
+    const int size = dram::subarray_size(sa);
+    for (int i = 0; i < 8; ++i) {
+      edge += model.row_context(kBank, start + 1 + i).weak_density;
+      edge += model.row_context(kBank, start + size - 2 - i).weak_density;
+      mid += model.row_context(kBank, start + size / 2 - 4 + i).weak_density;
+      mid += model.row_context(kBank, start + size / 2 + 4 + i).weak_density;
+      n += 2;
+    }
+  }
+  EXPECT_GT(mid / n, edge / n);
+}
+
+TEST(FaultModel, TAggOnFactorIsMonotoneAndAnchored) {
+  const FaultModel model(params());
+  const dram::TimingParams t;
+  // Anchors from the paper's aggregate scaling (Obsv. 23).
+  EXPECT_DOUBLE_EQ(model.taggon_factor(t.t_ras), 1.0);
+  EXPECT_NEAR(model.taggon_factor(t.t_refi), 55.0, 1.0);
+  EXPECT_NEAR(model.taggon_factor(t.max_ref_delay()), 222.0, 4.0);
+  EXPECT_NEAR(model.taggon_factor(t.t_refw / 2), 2.0e5, 2.0e4);
+  // Monotone non-decreasing over a broad sweep.
+  double prev = 0.0;
+  for (dram::Cycle on = 1; on < t.t_refw; on *= 2) {
+    const double f = model.taggon_factor(on);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  // Below the minimum on-time the factor clamps at 1.
+  EXPECT_DOUBLE_EQ(model.taggon_factor(1), 1.0);
+}
+
+TEST(FaultModel, CouplingPrefersOppositeBitsAndIntraBonus) {
+  const FaultModel model(params());
+  EXPECT_DOUBLE_EQ(model.coupling(false, true, false), 1.0);
+  EXPECT_DOUBLE_EQ(model.coupling(true, false, false), 1.0);
+  EXPECT_LT(model.coupling(true, true, false), 1.0);
+  EXPECT_GT(model.coupling(false, true, true),
+            model.coupling(false, true, false));
+}
+
+TEST(FaultModel, DistanceFactorBlastRadius) {
+  const FaultModel model(params());
+  EXPECT_DOUBLE_EQ(model.distance_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(model.distance_factor(-1), 1.0);
+  EXPECT_GT(model.distance_factor(2), 0.0);
+  EXPECT_LT(model.distance_factor(2), 0.1);
+  EXPECT_DOUBLE_EQ(model.distance_factor(3), 0.0);
+  EXPECT_DOUBLE_EQ(model.distance_factor(0), 0.0);
+}
+
+TEST(FaultModel, TrueCellFractionAndChargeSemantics) {
+  const FaultModel model(params());
+  int true_cells = 0;
+  constexpr int kSamples = 8192;
+  for (int bit = 0; bit < kSamples; ++bit) {
+    if (model.is_true_cell(kBank, 42, bit)) ++true_cells;
+  }
+  EXPECT_NEAR(static_cast<double>(true_cells) / kSamples,
+              params().true_cell_fraction, 0.02);
+  // A true cell is charged when storing 1; an anti cell when storing 0.
+  for (int bit = 0; bit < 16; ++bit) {
+    const bool is_true = model.is_true_cell(kBank, 42, bit);
+    EXPECT_EQ(model.is_charged(kBank, 42, bit, true), is_true);
+    EXPECT_EQ(model.is_charged(kBank, 42, bit, false), !is_true);
+  }
+}
+
+TEST(FaultModel, RetentionMixtureAndTemperatureScaling) {
+  const FaultModel model(params());
+  // Retention halves per +10 C for every cell.
+  for (int bit = 0; bit < 64; ++bit) {
+    const double cool = model.retention_seconds(kBank, 7, bit, 45.0);
+    const double warm = model.retention_seconds(kBank, 7, bit, 55.0);
+    EXPECT_NEAR(warm, cool / 2.0, cool * 1e-9);
+  }
+  // Leaky cells exist but are rare; scan a few rows' worth of cells.
+  int leaky = 0;
+  constexpr int kCells = 200'000;
+  for (int i = 0; i < kCells; ++i) {
+    if (model.is_leaky_cell(kBank, i / dram::kRowBits,
+                            i % dram::kRowBits)) {
+      ++leaky;
+    }
+  }
+  const double fraction = static_cast<double>(leaky) / kCells;
+  EXPECT_GT(fraction, params().leaky_cell_fraction / 4);
+  EXPECT_LT(fraction, params().leaky_cell_fraction * 4);
+}
+
+TEST(FaultModel, TemperatureVulnerabilityIsMildAndMonotone) {
+  const FaultModel model(params());
+  EXPECT_DOUBLE_EQ(model.temperature_vulnerability(60.0), 1.0);
+  EXPECT_GT(model.temperature_vulnerability(82.0), 1.0);
+  EXPECT_LT(model.temperature_vulnerability(82.0), 1.2);
+  EXPECT_LT(model.temperature_vulnerability(40.0), 1.0);
+  EXPECT_GE(model.temperature_vulnerability(-200.0), 0.1);  // clamped
+}
+
+TEST(FaultModel, DieFactorsGroupChannelPairs) {
+  // Channels 2k and 2k+1 share a die factor; with per-channel jitter far
+  // smaller than die spread, paired channels' mean thresholds are closer
+  // to each other than the extremes across dies. Verified statistically.
+  auto p = params();
+  p.sigma_channel = 0.0;  // isolate the die factor
+  p.sigma_bank = 0.0;
+  p.sigma_row = 0.0;
+  const FaultModel model(p);
+  std::vector<double> channel_level(8);
+  for (int ch = 0; ch < 8; ++ch) {
+    double sum = 0;
+    for (int row = 1000; row < 1100; ++row) {
+      sum += std::log(
+          model.row_context(BankAddress{ch, 0, 0}, row).weak_median);
+    }
+    channel_level[static_cast<std::size_t>(ch)] = sum / 100.0;
+  }
+  for (int die = 0; die < 4; ++die) {
+    EXPECT_NEAR(channel_level[static_cast<std::size_t>(2 * die)],
+                channel_level[static_cast<std::size_t>(2 * die + 1)], 1e-9);
+  }
+}
+
+TEST(FaultModel, PowerOnBitsBalanced) {
+  const FaultModel model(params());
+  int ones = 0;
+  for (int bit = 0; bit < dram::kRowBits; ++bit) {
+    if (model.power_on_bit(kBank, 3, bit)) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / dram::kRowBits, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace hbmrd::disturb

@@ -1,0 +1,376 @@
+#include "dram/bank.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "disturb/fault_model.h"
+#include "dram/geometry.h"
+
+namespace hbmrd::dram {
+namespace {
+
+constexpr BankAddress kAddr{0, 0, 0};
+// Mid-subarray victim: subarray 5 spans physical rows 3904..4671.
+constexpr int kVictim = 4300;
+
+disturb::DisturbParams test_params() {
+  disturb::DisturbParams p;
+  p.seed = 0xBADC0FFEEull;
+  return p;
+}
+
+struct TestBank {
+  disturb::FaultModel fault{test_params()};
+  Environment env{60.0};
+  TimingParams timing{};
+  Bank bank{kAddr, &fault, &env, timing};
+  Cycle now = 1000;
+
+  void write_row(int row, const RowBits& bits) {
+    bank.activate(row, now);
+    std::array<std::uint64_t, kWordsPerColumn> column;
+    for (int c = 0; c < kColumns; ++c) {
+      bits.get_column(c, column);
+      bank.write_column(c, column, now + timing.t_rcd + 1);
+    }
+    now += timing.t_ras + 100;
+    bank.precharge(now);
+    now += timing.t_rp + 100;
+  }
+
+  RowBits read_row(int row) {
+    bank.activate(row, now);
+    RowBits bits;
+    std::array<std::uint64_t, kWordsPerColumn> column;
+    for (int c = 0; c < kColumns; ++c) {
+      bank.read_column(c, column, now + timing.t_rcd + 1);
+      bits.set_column(c, column);
+    }
+    now += timing.t_ras + 100;
+    bank.precharge(now);
+    now += timing.t_rp + 100;
+    return bits;
+  }
+
+  void hammer(int victim, std::uint64_t count) {
+    const std::array<HammerStep, 2> steps = {
+        HammerStep{victim - 1, timing.t_ras},
+        HammerStep{victim + 1, timing.t_ras}};
+    now = bank.bulk_hammer(steps, count, now) + 100;
+  }
+};
+
+/// Victim bitflips after a fresh init + double-sided hammer of `count`.
+int flips_after(std::uint64_t count) {
+  TestBank t;
+  const auto victim_bits = RowBits::filled(0x55);
+  t.write_row(kVictim, victim_bits);
+  t.write_row(kVictim - 1, RowBits::filled(0xAA));
+  t.write_row(kVictim + 1, RowBits::filled(0xAA));
+  t.hammer(kVictim, count);
+  return t.read_row(kVictim).count_diff(victim_bits);
+}
+
+/// Smallest power-of-two hammer count that flips at least one victim cell.
+std::uint64_t doubling_hc() {
+  static const std::uint64_t hc = [] {
+    for (std::uint64_t count = 8192; count <= (1u << 21); count *= 2) {
+      if (flips_after(count) > 0) return count;
+    }
+    ADD_FAILURE() << "no bitflips up to 2M hammers";
+    return std::uint64_t{1 << 21};
+  }();
+  return hc;
+}
+
+TEST(Bank, PowerOnContentsAreDeterministic) {
+  TestBank a;
+  TestBank b;
+  EXPECT_EQ(a.read_row(123), b.read_row(123));
+  EXPECT_NE(a.read_row(123), a.read_row(124));  // rows differ
+}
+
+TEST(Bank, WriteReadRoundTripSurvivesPrecharge) {
+  TestBank t;
+  const auto bits = RowBits::filled(0xC3);
+  t.write_row(777, bits);
+  EXPECT_EQ(t.read_row(777), bits);
+  EXPECT_EQ(t.read_row(777), bits);  // second read identical
+}
+
+TEST(Bank, HammerFlipsVictimCells) {
+  const auto hc = doubling_hc();
+  EXPECT_EQ(flips_after(hc / 2), 0);
+  EXPECT_GT(flips_after(hc), 0);
+}
+
+/// Property: bitflip count is monotone non-decreasing in hammer count.
+class HammerMonotoneTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(HammerMonotoneTest, FlipsNonDecreasing) {
+  const auto [low, high] = GetParam();
+  EXPECT_LE(flips_after(low), flips_after(high));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CountSweep, HammerMonotoneTest,
+    ::testing::Values(std::pair{8192u, 32768u}, std::pair{32768u, 131072u},
+                      std::pair{131072u, 524288u},
+                      std::pair{262144u, 1048576u}));
+
+TEST(Bank, RefreshResetsAccumulatedDose) {
+  const auto hc = doubling_hc();
+  TestBank t;
+  const auto victim_bits = RowBits::filled(0x55);
+  t.write_row(kVictim, victim_bits);
+  t.write_row(kVictim - 1, RowBits::filled(0xAA));
+  t.write_row(kVictim + 1, RowBits::filled(0xAA));
+  // Two half-doses with a victim refresh in between never flip...
+  t.hammer(kVictim, hc / 2);
+  t.bank.refresh_row(kVictim, t.now);
+  t.hammer(kVictim, hc / 2);
+  EXPECT_EQ(t.read_row(kVictim).count_diff(victim_bits), 0);
+  // ...whereas the same total without the refresh does (fresh instance).
+  EXPECT_GT(flips_after(hc), 0);
+}
+
+TEST(Bank, ActivationRestoresTheActivatedRow) {
+  const auto hc = doubling_hc();
+  TestBank t;
+  const auto victim_bits = RowBits::filled(0x55);
+  t.write_row(kVictim, victim_bits);
+  t.write_row(kVictim - 1, RowBits::filled(0xAA));
+  t.write_row(kVictim + 1, RowBits::filled(0xAA));
+  t.hammer(kVictim, hc / 2);
+  // Reading the victim activates (senses + restores) it.
+  EXPECT_EQ(t.read_row(kVictim).count_diff(victim_bits), 0);
+  t.hammer(kVictim, hc / 2);
+  EXPECT_EQ(t.read_row(kVictim).count_diff(victim_bits), 0);
+}
+
+TEST(Bank, DisturbanceDoesNotCrossSubarrayBoundary) {
+  // Subarray 0 ends at physical row 831; subarray 1 starts at 832.
+  TestBank t;
+  const auto bits = RowBits::filled(0x55);
+  t.write_row(831, bits);
+  t.write_row(833, bits);
+  const std::array<HammerStep, 1> steps = {
+      HammerStep{832, t.timing.t_ras}};
+  t.now = t.bank.bulk_hammer(steps, 2'000'000, t.now) + 100;
+  // Row 831 (other subarray): untouched. Row 833 (same subarray): flipped.
+  EXPECT_EQ(t.read_row(831).count_diff(bits), 0);
+  EXPECT_GT(t.read_row(833).count_diff(bits), 0);
+}
+
+TEST(Bank, BulkHammerMatchesIterativeExecution) {
+  constexpr std::uint64_t kCount = 40000;
+  // Iterative: explicit ACT/PRE pairs at the canonical schedule.
+  TestBank slow;
+  const auto victim_bits = RowBits::filled(0x55);
+  slow.write_row(kVictim, victim_bits);
+  slow.write_row(kVictim - 1, RowBits::filled(0xAA));
+  slow.write_row(kVictim + 1, RowBits::filled(0xAA));
+  TestBank fast;
+  fast.write_row(kVictim, victim_bits);
+  fast.write_row(kVictim - 1, RowBits::filled(0xAA));
+  fast.write_row(kVictim + 1, RowBits::filled(0xAA));
+
+  Cycle now = std::max(slow.now, fast.now);
+  slow.now = fast.now = now;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    for (int row : {kVictim - 1, kVictim + 1}) {
+      slow.bank.activate(row, slow.now);
+      slow.bank.precharge(slow.now + slow.timing.t_ras);
+      slow.now += slow.timing.t_rc;
+    }
+  }
+  fast.hammer(kVictim, kCount);
+
+  slow.now += 100;
+  EXPECT_EQ(slow.read_row(kVictim), fast.read_row(kVictim));
+}
+
+TEST(Bank, RetentionDecayAppearsOverTime) {
+  TestBank t;
+  t.env.temperature_c = 90.0;
+  const auto bits = RowBits::filled(0xFF);
+  // Find a row with at least one weak cell within 4 s at 90 C.
+  int weak_row = -1;
+  for (int row = 100; row < 400; ++row) {
+    t.write_row(row, bits);
+    t.now += seconds_to_cycles(4.0);
+    if (t.read_row(row).count_diff(bits) > 0) {
+      weak_row = row;
+      break;
+    }
+  }
+  ASSERT_GE(weak_row, 0) << "no retention-weak row in scan range";
+  // Short waits keep the data intact.
+  t.write_row(weak_row, bits);
+  t.now += seconds_to_cycles(0.030);
+  EXPECT_EQ(t.read_row(weak_row).count_diff(bits), 0);
+  // Longer waits decay at least as many cells as shorter ones.
+  t.write_row(weak_row, bits);
+  t.now += seconds_to_cycles(4.0);
+  const int at_4s = t.read_row(weak_row).count_diff(bits);
+  t.write_row(weak_row, bits);
+  t.now += seconds_to_cycles(40.0);
+  const int at_40s = t.read_row(weak_row).count_diff(bits);
+  EXPECT_GT(at_4s, 0);
+  EXPECT_GE(at_40s, at_4s);
+}
+
+TEST(Bank, PointerRefreshWalksAllRows) {
+  TestBank t;
+  EXPECT_EQ(t.bank.refresh_pointer(), 0);
+  t.bank.refresh(t.now);
+  EXPECT_EQ(t.bank.refresh_pointer(), t.timing.rows_per_ref());
+  // A full window of REFs covers every row and wraps the pointer around.
+  for (int i = 1; i < t.timing.refs_per_window(); ++i) {
+    t.now += t.timing.t_rfc + 10;
+    t.bank.refresh(t.now);
+  }
+  const int expected =
+      (t.timing.refs_per_window() * t.timing.rows_per_ref()) % kRowsPerBank;
+  EXPECT_EQ(t.bank.refresh_pointer(), expected);
+}
+
+class CountingDefense : public ReadDisturbDefense {
+ public:
+  void on_activate(int row, Cycle) override {
+    ++activations;
+    last_row = row;
+  }
+  void on_activate_bulk(int row, std::uint64_t count, Cycle) override {
+    activations += count;
+    last_row = row;
+  }
+  std::vector<int> on_refresh(Cycle) override {
+    ++refreshes;
+    return victims_to_refresh;
+  }
+
+  std::uint64_t activations = 0;
+  int refreshes = 0;
+  int last_row = -1;
+  std::vector<int> victims_to_refresh;
+};
+
+TEST(Bank, DefenseHooksAreInvoked) {
+  TestBank t;
+  auto defense = std::make_unique<CountingDefense>();
+  auto* raw = defense.get();
+  t.bank.set_defense(std::move(defense));
+
+  t.bank.activate(10, t.now);
+  t.bank.precharge(t.now + t.timing.t_ras);
+  t.now += 1000;
+  EXPECT_EQ(raw->activations, 1u);
+  EXPECT_EQ(raw->last_row, 10);
+
+  const std::array<HammerStep, 1> steps = {HammerStep{20, t.timing.t_ras}};
+  t.now = t.bank.bulk_hammer(steps, 500, t.now) + 100;
+  EXPECT_EQ(raw->activations, 501u);
+
+  t.bank.refresh(t.now);
+  EXPECT_EQ(raw->refreshes, 1);
+}
+
+TEST(Bank, DefenseVictimRefreshProtects) {
+  const auto hc = doubling_hc();
+  TestBank t;
+  auto defense = std::make_unique<CountingDefense>();
+  auto* raw = defense.get();
+  t.bank.set_defense(std::move(defense));
+  const auto victim_bits = RowBits::filled(0x55);
+  t.write_row(kVictim, victim_bits);
+  t.write_row(kVictim - 1, RowBits::filled(0xAA));
+  t.write_row(kVictim + 1, RowBits::filled(0xAA));
+  t.hammer(kVictim, hc / 2);
+  raw->victims_to_refresh = {kVictim};
+  t.bank.refresh(t.now);  // defense refreshes the victim
+  t.now += t.timing.t_rfc + 10;
+  t.hammer(kVictim, hc / 2);
+  EXPECT_EQ(t.read_row(kVictim).count_diff(victim_bits), 0);
+}
+
+TEST(Bank, DefenseVictimRefreshDisturbsItsNeighbors) {
+  // Sec. 8.1: a TRR victim refresh is a row activation, so it carries the
+  // HalfDouble vector — the refreshed row's neighbours receive dose.
+  TestBank t;
+  auto defense = std::make_unique<CountingDefense>();
+  auto* raw = defense.get();
+  t.bank.set_defense(std::move(defense));
+  t.write_row(200, RowBits::filled(0x55));
+  t.write_row(201, RowBits::filled(0x55));
+  raw->victims_to_refresh = {200};
+  t.bank.refresh(t.now);
+  const auto* neighbor_ledger = t.bank.ledger(201);
+  ASSERT_NE(neighbor_ledger, nullptr);
+  EXPECT_GT(neighbor_ledger->adjacent_dose(), 0.0);
+  // Pointer refreshes stay disturbance-free: a defense-less refresh pass
+  // touches no additional rows.
+  TestBank plain;
+  plain.bank.refresh(plain.now);
+  EXPECT_EQ(plain.bank.touched_rows(), 0u);
+}
+
+TEST(Bank, ProtocolErrors) {
+  TestBank t;
+  t.bank.activate(5, t.now);
+  EXPECT_THROW(t.bank.activate(6, t.now + 1000), TimingViolation);
+  EXPECT_THROW(t.bank.precharge(t.now + 1), TimingViolation);  // tRAS
+  EXPECT_THROW(t.bank.refresh(t.now + 5000), TimingViolation);  // open bank
+  t.bank.precharge(t.now + t.timing.t_ras);
+  std::array<std::uint64_t, kWordsPerColumn> buffer;
+  EXPECT_THROW(t.bank.read_column(0, buffer, t.now + 500), TimingViolation);
+  EXPECT_THROW(t.bank.activate(-1, t.now + 5000), std::out_of_range);
+  EXPECT_THROW(t.bank.activate(kRowsPerBank, t.now + 5000),
+               std::out_of_range);
+}
+
+TEST(Bank, BulkHammerValidation) {
+  TestBank t;
+  const std::array<HammerStep, 1> steps = {HammerStep{10, t.timing.t_ras}};
+  EXPECT_THROW(t.bank.bulk_hammer({}, 10, t.now), std::invalid_argument);
+  EXPECT_THROW(t.bank.bulk_hammer(steps, 0, t.now), std::invalid_argument);
+  const std::array<HammerStep, 1> short_on = {HammerStep{10, 1}};
+  EXPECT_THROW(t.bank.bulk_hammer(short_on, 10, t.now), TimingViolation);
+  t.bank.activate(5, t.now);
+  EXPECT_THROW(t.bank.bulk_hammer(steps, 10, t.now + 1000), TimingViolation);
+}
+
+TEST(Bank, CountersTrackDeviceEvents) {
+  TestBank t;
+  EXPECT_EQ(t.bank.counters().activations, 0u);
+  t.write_row(100, RowBits::filled(0x55));  // one ACT
+  t.write_row(99, RowBits::filled(0xAA));
+  t.write_row(101, RowBits::filled(0xAA));
+  t.hammer(100, 1000);  // 2 aggressors x 1000 via the fast path
+  EXPECT_EQ(t.bank.counters().activations, 3u + 2000u);
+  t.bank.refresh(t.now);
+  t.now += t.timing.t_rfc + 10;
+  EXPECT_EQ(t.bank.counters().refresh_commands, 1u);
+  // Flips materialize into the counter too.
+  const auto before = t.bank.counters().bitflips_materialized;
+  t.hammer(100, 2'000'000);
+  (void)t.read_row(100);
+  EXPECT_GT(t.bank.counters().bitflips_materialized, before);
+}
+
+TEST(Bank, DropRowStatesReclaimsMemory) {
+  TestBank t;
+  t.write_row(100, RowBits::filled(0xFF));
+  EXPECT_GT(t.bank.touched_rows(), 0u);
+  t.bank.drop_row_states();
+  EXPECT_EQ(t.bank.touched_rows(), 0u);
+  // Contents revert to power-on garbage.
+  EXPECT_NE(t.read_row(100), RowBits::filled(0xFF));
+}
+
+}  // namespace
+}  // namespace hbmrd::dram

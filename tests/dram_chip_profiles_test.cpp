@@ -1,0 +1,74 @@
+#include "dram/chip_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hbmrd::dram {
+namespace {
+
+TEST(ChipProfiles, SixDistinctChips) {
+  const auto profiles = chip_profiles();
+  ASSERT_EQ(profiles.size(), static_cast<std::size_t>(kChipCount));
+  std::set<std::uint64_t> seeds;
+  for (int i = 0; i < kChipCount; ++i) {
+    const auto& p = profiles[static_cast<std::size_t>(i)];
+    EXPECT_EQ(p.index, i);
+    EXPECT_EQ(p.label, "Chip " + std::to_string(i));
+    seeds.insert(p.disturb.seed);
+  }
+  EXPECT_EQ(seeds.size(), static_cast<std::size_t>(kChipCount));
+}
+
+TEST(ChipProfiles, CalibrationFactorsInRange) {
+  for (const auto& p : chip_profiles()) {
+    // Chip factors within ~25% of nominal (Obsv. 5's minima differ by
+    // at most 1.25x across chips).
+    EXPECT_GT(p.disturb.chip_factor, 0.8);
+    EXPECT_LT(p.disturb.chip_factor, 1.25);
+    EXPECT_GT(p.disturb.sigma_die, 0.0);
+    EXPECT_GT(p.ambient_temperature_c, 40.0);
+    EXPECT_LT(p.ambient_temperature_c, 70.0);
+  }
+}
+
+TEST(ChipProfiles, Chip5HasTheTightDieSpread) {
+  const auto profiles = chip_profiles();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GT(profiles[static_cast<std::size_t>(i)].disturb.sigma_die,
+              2.0 * profiles[5].disturb.sigma_die)
+        << "chip " << i;
+  }
+}
+
+TEST(ChipProfiles, MappingSchemesCoverTheFamily) {
+  std::set<MappingScheme> schemes;
+  for (const auto& p : chip_profiles()) schemes.insert(p.mapping);
+  EXPECT_GE(schemes.size(), 3u);
+}
+
+TEST(ChipProfiles, SeedChangesSilicon) {
+  const auto a = chip_profiles(1);
+  const auto b = chip_profiles(2);
+  for (int i = 0; i < kChipCount; ++i) {
+    EXPECT_NE(a[static_cast<std::size_t>(i)].disturb.seed,
+              b[static_cast<std::size_t>(i)].disturb.seed);
+  }
+  // The calibration constants themselves are seed-independent.
+  EXPECT_EQ(a[0].disturb.chip_factor, chip_profiles(3)[0].disturb.chip_factor);
+}
+
+TEST(ChipProfiles, OnlyChip0CarriesRigAndTrr) {
+  const auto profiles = chip_profiles();
+  EXPECT_TRUE(profiles[0].has_undocumented_trr);
+  EXPECT_TRUE(profiles[0].temperature_controlled);
+  EXPECT_DOUBLE_EQ(profiles[0].target_temperature_c, 82.0);
+  for (int i = 1; i < kChipCount; ++i) {
+    EXPECT_FALSE(profiles[static_cast<std::size_t>(i)].has_undocumented_trr);
+    EXPECT_FALSE(
+        profiles[static_cast<std::size_t>(i)].temperature_controlled);
+  }
+}
+
+}  // namespace
+}  // namespace hbmrd::dram

@@ -1,0 +1,89 @@
+#include "dram/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hbmrd::dram {
+namespace {
+
+class MappingSchemeTest : public ::testing::TestWithParam<MappingScheme> {};
+
+TEST_P(MappingSchemeTest, IsABijectionWithExactInverse) {
+  const RowMapping mapping(GetParam());
+  std::set<int> seen;
+  for (int logical = 0; logical < kRowsPerBank; ++logical) {
+    const int physical = mapping.to_physical(logical);
+    ASSERT_GE(physical, 0);
+    ASSERT_LT(physical, kRowsPerBank);
+    ASSERT_EQ(mapping.to_logical(physical), logical);
+    seen.insert(physical);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kRowsPerBank));
+}
+
+TEST_P(MappingSchemeTest, StaysWithinItsBlock) {
+  const RowMapping mapping(GetParam());
+  for (int logical = 0; logical < 256; ++logical) {
+    EXPECT_EQ(mapping.to_physical(logical) / 8, logical / 8);
+  }
+}
+
+TEST_P(MappingSchemeTest, RejectsOutOfRangeRows) {
+  const RowMapping mapping(GetParam());
+  EXPECT_THROW((void)mapping.to_physical(-1), std::out_of_range);
+  EXPECT_THROW((void)mapping.to_physical(kRowsPerBank), std::out_of_range);
+  EXPECT_THROW((void)mapping.to_logical(-1), std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MappingSchemeTest,
+                         ::testing::Values(MappingScheme::kIdentity,
+                                           MappingScheme::kPairSwap,
+                                           MappingScheme::kInterleave8,
+                                           MappingScheme::kMirror8));
+
+TEST(Mapping, IdentityIsIdentity) {
+  const RowMapping mapping(MappingScheme::kIdentity);
+  for (int r : {0, 1, 7, 8000, kRowsPerBank - 1}) {
+    EXPECT_EQ(mapping.to_physical(r), r);
+  }
+}
+
+TEST(Mapping, PairSwapPermutation) {
+  const RowMapping mapping(MappingScheme::kPairSwap);
+  EXPECT_EQ(mapping.to_physical(0), 0);
+  EXPECT_EQ(mapping.to_physical(1), 2);
+  EXPECT_EQ(mapping.to_physical(2), 1);
+  EXPECT_EQ(mapping.to_physical(3), 3);
+  EXPECT_EQ(mapping.to_physical(5), 6);
+}
+
+TEST(Mapping, Interleave8Permutation) {
+  const RowMapping mapping(MappingScheme::kInterleave8);
+  // {0..7} -> {0,4,1,5,2,6,3,7}
+  const int expected[] = {0, 4, 1, 5, 2, 6, 3, 7};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(mapping.to_physical(i), expected[i]);
+    EXPECT_EQ(mapping.to_physical(16 + i), 16 + expected[i]);
+  }
+}
+
+TEST(Mapping, Mirror8Permutation) {
+  const RowMapping mapping(MappingScheme::kMirror8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(mapping.to_physical(i), 7 - i);
+    EXPECT_EQ(mapping.to_physical(24 + i), 24 + 7 - i);
+    // Involution.
+    EXPECT_EQ(mapping.to_logical(mapping.to_physical(i)), i);
+  }
+}
+
+TEST(Mapping, ToString) {
+  EXPECT_EQ(to_string(MappingScheme::kIdentity), "identity");
+  EXPECT_EQ(to_string(MappingScheme::kPairSwap), "pair-swap");
+  EXPECT_EQ(to_string(MappingScheme::kInterleave8), "interleave-8");
+  EXPECT_EQ(to_string(MappingScheme::kMirror8), "mirror-8");
+}
+
+}  // namespace
+}  // namespace hbmrd::dram

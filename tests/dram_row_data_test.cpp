@@ -1,0 +1,80 @@
+#include "dram/row_data.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hbmrd::dram {
+namespace {
+
+TEST(RowBits, DefaultIsAllZero) {
+  const RowBits row;
+  for (int bit = 0; bit < kRowBits; bit += 101) EXPECT_FALSE(row.get(bit));
+  EXPECT_EQ(row.count_diff(RowBits{}), 0);
+}
+
+TEST(RowBits, FilledPattern) {
+  const auto row = RowBits::filled(0x55);
+  // 0x55: bits 0, 2, 4, 6 of every byte set.
+  EXPECT_TRUE(row.get(0));
+  EXPECT_FALSE(row.get(1));
+  EXPECT_TRUE(row.get(2));
+  EXPECT_TRUE(row.get(8));
+  const auto all = RowBits::filled(0xFF);
+  EXPECT_EQ(all.count_diff(RowBits::filled(0x00)), kRowBits);
+  EXPECT_EQ(row.count_diff(RowBits::filled(0xAA)), kRowBits);
+}
+
+TEST(RowBits, SetGetRoundTrip) {
+  RowBits row;
+  row.set(0, true);
+  row.set(63, true);
+  row.set(64, true);
+  row.set(8191, true);
+  EXPECT_TRUE(row.get(0));
+  EXPECT_TRUE(row.get(63));
+  EXPECT_TRUE(row.get(64));
+  EXPECT_TRUE(row.get(8191));
+  EXPECT_EQ(row.count_diff(RowBits{}), 4);
+  row.set(64, false);
+  EXPECT_FALSE(row.get(64));
+}
+
+TEST(RowBits, DiffPositions) {
+  RowBits a;
+  RowBits b = a;
+  b.set(5, true);
+  b.set(4000, true);
+  const auto positions = a.diff_positions(b);
+  ASSERT_EQ(positions.size(), 2u);
+  EXPECT_EQ(positions[0], 5);
+  EXPECT_EQ(positions[1], 4000);
+}
+
+TEST(RowBits, ColumnAccess) {
+  RowBits row;
+  std::array<std::uint64_t, kWordsPerColumn> data;
+  data.fill(0xDEADBEEFCAFEF00Dull);
+  row.set_column(3, data);
+  std::array<std::uint64_t, kWordsPerColumn> back{};
+  row.get_column(3, back);
+  EXPECT_EQ(back, data);
+  // Neighbouring columns untouched.
+  row.get_column(2, back);
+  for (auto w : back) EXPECT_EQ(w, 0u);
+  // The column occupies bits [3 * 256, 4 * 256).
+  EXPECT_TRUE(row.get(3 * kBitsPerColumn + 0));
+  EXPECT_FALSE(row.get(2 * kBitsPerColumn + 0));
+}
+
+TEST(RowBits, ColumnBoundsChecked) {
+  RowBits row;
+  std::array<std::uint64_t, kWordsPerColumn> data{};
+  EXPECT_THROW(row.set_column(-1, data), std::out_of_range);
+  EXPECT_THROW(row.set_column(kColumns, data), std::out_of_range);
+  std::array<std::uint64_t, 2> short_data{};
+  EXPECT_THROW(row.set_column(0, short_data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbmrd::dram

@@ -1,0 +1,114 @@
+// Isolation properties across the stack's hierarchy: commands to one
+// component never leak observable state into another — the substrate
+// behind the paper's per-channel/per-pseudo-channel variation claims.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "bender/executor.h"
+#include "bender/program.h"
+
+namespace hbmrd::dram {
+namespace {
+
+StackConfig test_config() {
+  StackConfig config;
+  config.disturb.seed = 0x150ull;
+  return config;
+}
+
+struct IsolationFixture : ::testing::Test {
+  Stack stack{test_config()};
+  bender::Executor executor{&stack};
+
+  void write(const BankAddress& bank, int row, std::uint8_t byte) {
+    bender::ProgramBuilder builder;
+    builder.write_row(bank, row, RowBits::filled(byte));
+    executor.run(std::move(builder).build());
+  }
+
+  RowBits read(const BankAddress& bank, int row) {
+    bender::ProgramBuilder builder;
+    builder.read_row(bank, row);
+    return executor.run(std::move(builder).build()).row(0);
+  }
+
+  void hammer(const BankAddress& bank, int victim, std::uint64_t count) {
+    bender::ProgramBuilder builder;
+    const std::array<int, 2> rows = {victim - 1, victim + 1};
+    builder.hammer(bank, rows, count);
+    executor.run(std::move(builder).build());
+  }
+};
+
+TEST_F(IsolationFixture, HammerDoesNotCrossPseudoChannels) {
+  const BankAddress a{0, 0, 0};
+  const BankAddress b{0, 1, 0};  // same channel + bank id, other pc
+  write(a, 4300, 0x55);
+  write(b, 4300, 0x55);
+  write(a, 4299, 0xAA);
+  write(a, 4301, 0xAA);
+  hammer(a, 4300, 2'000'000);
+  EXPECT_GT(read(a, 4300).count_diff(RowBits::filled(0x55)), 0);
+  EXPECT_EQ(read(b, 4300).count_diff(RowBits::filled(0x55)), 0);
+}
+
+TEST_F(IsolationFixture, HammerDoesNotCrossBanks) {
+  const BankAddress a{0, 0, 3};
+  const BankAddress b{0, 0, 4};
+  write(a, 4300, 0x55);
+  write(b, 4300, 0x55);
+  write(a, 4299, 0xAA);
+  write(a, 4301, 0xAA);
+  hammer(a, 4300, 2'000'000);
+  EXPECT_GT(read(a, 4300).count_diff(RowBits::filled(0x55)), 0);
+  EXPECT_EQ(read(b, 4300).count_diff(RowBits::filled(0x55)), 0);
+}
+
+TEST_F(IsolationFixture, RefreshIsPerChannel) {
+  // A REF to channel 0 advances channel 0's refresh pointers only.
+  bender::ProgramBuilder builder;
+  builder.ref(0);
+  executor.run(std::move(builder).build());
+  EXPECT_GT(stack.bank({0, 0, 0}).refresh_pointer(), 0);
+  EXPECT_GT(stack.bank({0, 1, 15}).refresh_pointer(), 0);
+  EXPECT_EQ(stack.bank({1, 0, 0}).refresh_pointer(), 0);
+  EXPECT_EQ(stack.bank({7, 1, 15}).refresh_pointer(), 0);
+}
+
+TEST_F(IsolationFixture, OpenRowsAreIndependentAcrossBanks) {
+  bender::ProgramBuilder builder;
+  builder.act({0, 0, 0}, 10).act({0, 0, 1}, 20).act({3, 1, 7}, 30);
+  executor.run(std::move(builder).build());
+  EXPECT_EQ(stack.bank({0, 0, 0}).open_row(), 10);
+  EXPECT_EQ(stack.bank({0, 0, 1}).open_row(), 20);
+  EXPECT_EQ(stack.bank({3, 1, 7}).open_row(), 30);
+  EXPECT_FALSE(stack.bank({0, 1, 0}).is_open());
+}
+
+TEST_F(IsolationFixture, SameCoordinatesDifferentBanksDifferentSilicon) {
+  // Power-on contents (and therefore thresholds) differ per bank.
+  EXPECT_NE(read({0, 0, 0}, 77), read({0, 0, 1}, 77));
+  EXPECT_NE(read({0, 0, 0}, 77), read({0, 1, 0}, 77));
+  EXPECT_NE(read({0, 0, 0}, 77), read({4, 0, 0}, 77));
+}
+
+TEST_F(IsolationFixture, PendingWritesLandOnlyInTheAddressedColumn) {
+  const BankAddress bank{2, 0, 5};
+  write(bank, 100, 0x00);
+  bender::ProgramBuilder builder;
+  builder.act(bank, 100);
+  bender::ColumnData data;
+  data.fill(~0ull);
+  builder.wr(bank, 7, data);
+  builder.pre(bank);
+  executor.run(std::move(builder).build());
+  const auto bits = read(bank, 100);
+  for (int bit = 0; bit < kRowBits; ++bit) {
+    const bool in_column = bit / kBitsPerColumn == 7;
+    EXPECT_EQ(bits.get(bit), in_column) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace hbmrd::dram

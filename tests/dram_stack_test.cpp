@@ -1,0 +1,201 @@
+#include "dram/stack.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+namespace hbmrd::dram {
+namespace {
+
+StackConfig test_config(MappingScheme scheme = MappingScheme::kIdentity) {
+  StackConfig config;
+  config.disturb.seed = 0x57ACull;
+  config.mapping = scheme;
+  return config;
+}
+
+struct StackFixture {
+  explicit StackFixture(StackConfig config = test_config())
+      : stack(std::move(config)) {}
+
+  Stack stack;
+  TimingParams timing{};
+  Cycle now = 1000;
+
+  void write_row(const RowAddress& addr, const RowBits& bits) {
+    stack.activate(addr, now);
+    std::array<std::uint64_t, kWordsPerColumn> column;
+    for (int c = 0; c < kColumns; ++c) {
+      bits.get_column(c, column);
+      stack.write_column(addr.bank, c, column, now + timing.t_rcd + 1);
+    }
+    now += timing.t_ras + 100;
+    stack.precharge(addr.bank, now);
+    now += timing.t_rp + 100;
+  }
+
+  RowBits read_row(const RowAddress& addr) {
+    stack.activate(addr, now);
+    RowBits bits;
+    std::array<std::uint64_t, kWordsPerColumn> column;
+    for (int c = 0; c < kColumns; ++c) {
+      stack.read_column(addr.bank, c, column, now + timing.t_rcd + 1);
+      bits.set_column(c, column);
+    }
+    now += timing.t_ras + 100;
+    stack.precharge(addr.bank, now);
+    now += timing.t_rp + 100;
+    return bits;
+  }
+};
+
+TEST(Stack, BanksAreIndependent) {
+  StackFixture f;
+  const RowAddress a{{0, 0, 0}, 50};
+  const RowAddress b{{3, 1, 7}, 50};
+  f.write_row(a, RowBits::filled(0x11));
+  f.write_row(b, RowBits::filled(0x22));
+  EXPECT_EQ(f.read_row(a), RowBits::filled(0x11));
+  EXPECT_EQ(f.read_row(b), RowBits::filled(0x22));
+}
+
+TEST(Stack, MappingTranslatesActivations) {
+  StackFixture f(test_config(MappingScheme::kPairSwap));
+  const BankAddress bank{0, 0, 0};
+  // Logical 1 is physical 2 under pair-swap.
+  f.write_row({bank, 1}, RowBits::filled(0x77));
+  EXPECT_EQ(f.stack.mapping().to_physical(1), 2);
+  // The bank's open-row bookkeeping is physical: hammering logical rows 0
+  // and 2 (physical 0 and 1) must disturb... verified at study level; here
+  // we check that reading logical 1 returns what was written (round trip
+  // through the translation).
+  EXPECT_EQ(f.read_row({bank, 1}), RowBits::filled(0x77));
+}
+
+TEST(Stack, BulkHammerTranslatesLogicalRows) {
+  // Under pair-swap, victim logical 4301 <-> physical neighbors of its
+  // physical row; use the identity part (offset 3 in block of 4: 4303).
+  StackFixture f(test_config(MappingScheme::kPairSwap));
+  const BankAddress bank{0, 0, 0};
+  const int victim_physical = 4302;  // logical 4301
+  const int victim_logical = f.stack.mapping().to_logical(victim_physical);
+  const int aggr_low = f.stack.mapping().to_logical(victim_physical - 1);
+  const int aggr_high = f.stack.mapping().to_logical(victim_physical + 1);
+
+  f.write_row({bank, victim_logical}, RowBits::filled(0x55));
+  f.write_row({bank, aggr_low}, RowBits::filled(0xAA));
+  f.write_row({bank, aggr_high}, RowBits::filled(0xAA));
+  const std::array<HammerStep, 2> steps = {
+      HammerStep{aggr_low, f.timing.t_ras},
+      HammerStep{aggr_high, f.timing.t_ras}};
+  f.now = f.stack.bulk_hammer(bank, steps, 2'000'000, f.now) + 100;
+  EXPECT_GT(f.read_row({bank, victim_logical})
+                .count_diff(RowBits::filled(0x55)),
+            0);
+}
+
+TEST(Stack, ModeRegistersRoundTrip) {
+  StackFixture f;
+  f.stack.mode_register_set(4, 0x1);
+  EXPECT_EQ(f.stack.mode_register_read(4), 0x1u);
+  EXPECT_TRUE(f.stack.mode_registers().ecc_enabled());
+  EXPECT_THROW(f.stack.mode_register_set(99, 0), std::out_of_range);
+}
+
+TEST(Stack, EccCorrectsSingleFlipAndCountsIt) {
+  StackFixture f;
+  f.stack.mode_registers().set_ecc_enabled(true);
+  const BankAddress bank{0, 0, 0};
+  const RowAddress addr{bank, 4300};
+  f.write_row(addr, RowBits::filled(0x55));
+
+  // Inject a single-bit error directly into the stored row (simulator
+  // backdoor: flip via a tiny hammer is imprecise, so poke the bank).
+  // A 1-bit error in word 0 must be corrected transparently.
+  f.stack.bank(bank).activate(4300, f.now);
+  std::array<std::uint64_t, kWordsPerColumn> column;
+  f.stack.bank(bank).read_column(0, column, f.now + f.timing.t_rcd + 1);
+  column[0] ^= 1ull;  // corrupt one bit
+  f.stack.bank(bank).write_column(0, column, f.now + f.timing.t_rcd + 2);
+  f.now += f.timing.t_ras + 100;
+  f.stack.bank(bank).precharge(f.now);
+  f.now += 100;
+
+  EXPECT_EQ(f.read_row(addr), RowBits::filled(0x55));
+  EXPECT_EQ(f.stack.ecc_counters().corrected_words, 1u);
+  EXPECT_EQ(f.stack.ecc_counters().detected_uncorrectable_words, 0u);
+}
+
+TEST(Stack, EccDetectsDoubleFlip) {
+  StackFixture f;
+  f.stack.mode_registers().set_ecc_enabled(true);
+  const BankAddress bank{0, 0, 0};
+  const RowAddress addr{bank, 4300};
+  f.write_row(addr, RowBits::filled(0x55));
+
+  f.stack.bank(bank).activate(4300, f.now);
+  std::array<std::uint64_t, kWordsPerColumn> column;
+  f.stack.bank(bank).read_column(0, column, f.now + f.timing.t_rcd + 1);
+  column[0] ^= 0b101ull;  // two bitflips in one word
+  f.stack.bank(bank).write_column(0, column, f.now + f.timing.t_rcd + 2);
+  f.now += f.timing.t_ras + 100;
+  f.stack.bank(bank).precharge(f.now);
+  f.now += 100;
+
+  (void)f.read_row(addr);
+  EXPECT_EQ(f.stack.ecc_counters().detected_uncorrectable_words, 1u);
+}
+
+TEST(Stack, EccDisabledPassesRawBitsThrough) {
+  StackFixture f;
+  const BankAddress bank{0, 0, 0};
+  const RowAddress addr{bank, 100};
+  f.write_row(addr, RowBits::filled(0x00));
+  EXPECT_EQ(f.stack.ecc_counters().corrected_words, 0u);
+  EXPECT_EQ(f.read_row(addr), RowBits::filled(0x00));
+}
+
+TEST(Stack, DocumentedTrrModeRefreshesTargetNeighbors) {
+  // Arm TRR Mode on a victim whose neighbours accumulated dose; a REF must
+  // reset that dose (JESD235 TRR Mode, Sec. 7 footnote 2).
+  StackFixture f;
+  const BankAddress bank{0, 0, 0};
+  const int target = 4301;
+  f.write_row({bank, target - 1}, RowBits::filled(0x55));
+  f.write_row({bank, target + 1}, RowBits::filled(0x55));
+  // Hammer the target so both neighbours carry dose.
+  const std::array<HammerStep, 1> steps = {HammerStep{target, f.timing.t_ras}};
+  f.now = f.stack.bulk_hammer(bank, steps, 1000, f.now) + 100;
+  ASSERT_GT(f.stack.bank(bank).ledger(target - 1)->adjacent_dose(), 0.0);
+
+  f.stack.mode_registers().set_trr_mode_enabled(true);
+  f.stack.mode_registers().set_trr_target(0, 0, target);
+  f.stack.refresh(0, f.now);
+  f.now += f.timing.t_rfc + 100;
+  EXPECT_EQ(f.stack.bank(bank).ledger(target - 1)->adjacent_dose(), 0.0);
+  EXPECT_EQ(f.stack.bank(bank).ledger(target + 1)->adjacent_dose(), 0.0);
+}
+
+TEST(Stack, RefreshRequiresValidChannel) {
+  StackFixture f;
+  EXPECT_THROW(f.stack.refresh(-1, f.now), std::out_of_range);
+  EXPECT_THROW(f.stack.refresh(8, f.now), std::out_of_range);
+}
+
+TEST(Stack, DropRowStatesClearsParityToo) {
+  StackFixture f;
+  f.stack.mode_registers().set_ecc_enabled(true);
+  const BankAddress bank{1, 0, 2};
+  f.write_row({bank, 10}, RowBits::filled(0x42));
+  f.stack.drop_row_states(bank);
+  EXPECT_EQ(f.stack.bank(bank).touched_rows(), 0u);
+  // Reading power-on garbage must not decode stale parity: with the parity
+  // dropped the raw contents come back unmodified and uncounted.
+  const auto before = f.stack.ecc_counters().detected_uncorrectable_words;
+  (void)f.read_row({bank, 10});
+  EXPECT_EQ(f.stack.ecc_counters().detected_uncorrectable_words, before);
+}
+
+}  // namespace
+}  // namespace hbmrd::dram

@@ -1,0 +1,154 @@
+// Property tests over the host/device command surface: randomized *legal*
+// programs always execute (no timing violations, monotone clock, readback
+// consistency), and a sweep of *illegal* sequences always throws. The
+// generator draws from a seeded deterministic stream, so failures
+// reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "bender/executor.h"
+#include "bender/program.h"
+#include "util/rng.h"
+
+namespace hbmrd::bender {
+namespace {
+
+dram::StackConfig test_config(std::uint64_t seed) {
+  dram::StackConfig config;
+  config.disturb.seed = seed;
+  return config;
+}
+
+/// Generates a random but protocol-legal program: rows are written, read,
+/// hammered, refreshed in arbitrary interleavings across a few banks.
+/// Returns the expected final contents of every written row.
+std::map<std::pair<int, int>, dram::RowBits> random_legal_program(
+    util::Stream& rng, ProgramBuilder& builder, int operations) {
+  const std::array<dram::BankAddress, 3> banks = {
+      dram::BankAddress{0, 0, 0}, dram::BankAddress{0, 1, 3},
+      dram::BankAddress{5, 0, 9}};
+  std::map<std::pair<int, int>, dram::RowBits> written;
+  for (int op = 0; op < operations; ++op) {
+    const auto& bank = banks[rng.next_below(banks.size())];
+    const int bank_id = bank.channel * 100 + bank.pseudo_channel * 50 +
+                        bank.bank;
+    // Keep rows clear of each other so later disturbance checks in other
+    // tests are unaffected; rows here are only checked for written data.
+    const int row = 100 + static_cast<int>(rng.next_below(20)) * 16;
+    switch (rng.next_below(5)) {
+      case 0: {  // write
+        const auto byte = static_cast<std::uint8_t>(rng.next_below(256));
+        builder.write_row(bank, row, dram::RowBits::filled(byte));
+        written[{bank_id, row}] = dram::RowBits::filled(byte);
+        break;
+      }
+      case 1:  // raw activate/precharge with random extra on-time
+        builder.act(bank, row);
+        if (rng.next_below(2) == 0) {
+          builder.wait(rng.next_below(200));
+        }
+        builder.pre(bank);
+        break;
+      case 2:  // refresh
+        builder.pre_all(bank.channel);
+        builder.ref(bank.channel);
+        break;
+      case 3: {  // short hammer loop
+        const std::array<int, 2> rows = {row, row + 1};
+        builder.hammer(bank, rows, 1 + rng.next_below(50));
+        break;
+      }
+      case 4:  // idle wait
+        builder.wait(rng.next_below(5000));
+        break;
+    }
+  }
+  return written;
+}
+
+class ExecutorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorPropertyTest, RandomLegalProgramsExecuteConsistently) {
+  util::Stream rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  dram::Stack stack(test_config(0x5EED));
+  Executor executor(&stack);
+
+  ProgramBuilder builder;
+  const auto written = random_legal_program(rng, builder, 60);
+  // Read every written row back at the end.
+  std::vector<std::pair<int, int>> order;
+  for (const auto& [key, bits] : written) {
+    const int channel = key.first / 100;
+    const int pc = (key.first % 100) / 50;
+    const int bank = key.first % 50;
+    builder.read_row({channel, pc, bank}, key.second);
+    order.push_back(key);
+  }
+  const auto before = executor.now();
+  const auto result = executor.run(std::move(builder).build());
+
+  // Clock strictly advances; every readback matches the last write
+  // (hammer counts above are far below any disturbance threshold).
+  EXPECT_GE(result.start_cycle, before);
+  EXPECT_GT(result.end_cycle, result.start_cycle);
+  ASSERT_EQ(result.row_count(), order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(result.row(i), written.at(order[i])) << "readback " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Range(0, 12));
+
+TEST(ExecutorProperty, NaturalRefCadenceEqualsTrefi) {
+  // Paper Sec. 7: a window of REF + 78 ACT/PRE pairs occupies exactly
+  // tREFI under minimum-legal scheduling — the property the bypass attack
+  // pattern relies on.
+  dram::Stack stack(test_config(1));
+  Executor executor(&stack);
+  const auto& timing = stack.timing();
+  ProgramBuilder builder;
+  builder.loop_begin(4);
+  builder.ref(0);
+  for (int i = 0; i < timing.activation_budget(); ++i) {
+    builder.act({0, 0, 0}, 5000).pre({0, 0, 0});
+  }
+  builder.loop_end();
+  // A final REF marks the end of the fourth window: it can issue no
+  // earlier than 4 * tREFI after the first one, and minimum-legal
+  // scheduling issues it exactly then (+1 command-bus cycle).
+  builder.ref(0);
+  const auto result = executor.run(std::move(builder).build());
+  EXPECT_EQ(result.elapsed(), 4 * timing.t_refi + 1);
+}
+
+TEST(ExecutorProperty, IllegalSequencesAlwaysThrow) {
+  const dram::BankAddress bank{0, 0, 0};
+  struct Case {
+    const char* name;
+    std::function<void(ProgramBuilder&)> build;
+  };
+  const Case cases[] = {
+      {"double activate",
+       [&](ProgramBuilder& b) { b.act(bank, 1).act(bank, 2); }},
+      {"read without activate", [&](ProgramBuilder& b) { b.rd(bank, 0); }},
+      {"refresh with open bank",
+       [&](ProgramBuilder& b) { b.act(bank, 1).ref(0); }},
+      {"write without activate",
+       [&](ProgramBuilder& b) { b.wr(bank, 0, ColumnData{}); }},
+  };
+  for (const auto& test_case : cases) {
+    dram::Stack stack(test_config(2));
+    Executor executor(&stack);
+    ProgramBuilder builder;
+    test_case.build(builder);
+    EXPECT_THROW(executor.run(std::move(builder).build()),
+                 dram::TimingViolation)
+        << test_case.name;
+  }
+}
+
+}  // namespace
+}  // namespace hbmrd::bender

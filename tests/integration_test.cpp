@@ -1,0 +1,117 @@
+// End-to-end integration: the full study pipeline (mapping reverse
+// engineering -> characterization -> analysis) on the simulated testbed,
+// plus cross-cutting invariants the paper's takeaways rely on.
+#include <gtest/gtest.h>
+
+#include "bender/platform.h"
+#include "study/address_map.h"
+#include "study/ber.h"
+#include "study/hc_first.h"
+#include "study/hcn.h"
+#include "study/row_selection.h"
+#include "study/words.h"
+#include "util/stats.h"
+
+namespace hbmrd::study {
+namespace {
+
+TEST(Integration, FullPipelineOnOneChip) {
+  bender::Platform platform;
+  auto& chip = platform.chip(5);
+  const dram::BankAddress bank{0, 0, 0};
+
+  // 1. Reverse engineer the mapping through the interface.
+  const auto map = AddressMap::reverse_engineer(chip, bank);
+  EXPECT_EQ(map.scheme(), chip.profile().mapping);
+
+  // 2. Characterize a small row sample.
+  BerConfig ber_config;
+  WordAnalysis words;
+  std::vector<double> bers;
+  for (int row : spread_rows(12)) {
+    const auto result = measure_row_ber(chip, map, {bank, row}, ber_config);
+    bers.push_back(result.ber);
+    words.accumulate(result.flipped_bits);
+  }
+  // Obsv. 1-level sanity: bitflips exist and BER is in a plausible band.
+  EXPECT_GT(util::max_of(bers), 0.0);
+  EXPECT_LT(util::max_of(bers), 0.05);
+  EXPECT_EQ(words.words_tested(), 12u * 128u);
+
+  // 3. HC_1..HC_10 on one row; the sequence brackets the paper's ranges.
+  HcSearchConfig hc_config;
+  const auto hcn = measure_hcn(chip, map, {bank, 4500}, hc_config);
+  ASSERT_TRUE(hcn.complete());
+  EXPECT_GE(hcn.normalized(9), 1.0);
+  EXPECT_LT(hcn.normalized(9), 8.0);
+}
+
+TEST(Integration, ResilientSubarraysShowLowerBer) {
+  // Takeaway 4: the middle and last 832 rows flip far less.
+  bender::Platform platform;
+  auto& chip = platform.chip(3);
+  const dram::BankAddress bank{0, 0, 0};
+  const auto map = AddressMap::from_scheme(chip.profile().mapping);
+  BerConfig config;
+
+  auto mean_ber = [&](int start_physical, int n) {
+    std::vector<double> bers;
+    for (int i = 0; i < n; ++i) {
+      const int logical = map.to_logical(start_physical + 100 + 16 * i);
+      bers.push_back(
+          measure_row_ber(chip, map, {bank, logical}, config).ber);
+    }
+    return util::mean(bers);
+  };
+
+  const double regular = mean_ber(dram::subarray_start(3), 8);
+  const double middle =
+      mean_ber(dram::subarray_start(dram::kMiddleSubarray), 8);
+  const double last = mean_ber(dram::subarray_start(dram::kLastSubarray), 8);
+  EXPECT_GT(regular, 2.0 * middle);
+  EXPECT_GT(regular, 2.0 * last);
+}
+
+TEST(Integration, ChannelPairsShareVulnerability) {
+  // Obsv. 8/11 substrate: channel pairs (dies) cluster in mean BER.
+  bender::Platform platform;
+  auto& chip = platform.chip(4);
+  const auto map = AddressMap::from_scheme(chip.profile().mapping);
+  BerConfig config;
+  std::vector<double> channel_mean(8);
+  for (int ch = 0; ch < 8; ++ch) {
+    std::vector<double> bers;
+    for (int row : spread_rows(6)) {
+      bers.push_back(
+          measure_row_ber(chip, map, {{ch, 0, 0}, row}, config).ber);
+    }
+    channel_mean[static_cast<std::size_t>(ch)] = util::mean(bers);
+  }
+  // Paired channels are closer to each other than the overall spread.
+  const double spread =
+      util::max_of(channel_mean) - util::min_of(channel_mean);
+  ASSERT_GT(spread, 0.0);
+  for (int die = 0; die < 4; ++die) {
+    const double gap =
+        std::abs(channel_mean[static_cast<std::size_t>(2 * die)] -
+                 channel_mean[static_cast<std::size_t>(2 * die + 1)]);
+    EXPECT_LT(gap, 0.75 * spread) << "die " << die;
+  }
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  auto run_once = [] {
+    bender::Platform platform;
+    auto& chip = platform.chip(1);
+    const auto map = AddressMap::from_scheme(chip.profile().mapping);
+    HcSearchConfig config;
+    return find_hc_first(chip, map, {{0, 0, 0}, 5000}, config);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

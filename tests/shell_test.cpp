@@ -1,0 +1,79 @@
+#include "shell/shell.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hbmrd::shell {
+namespace {
+
+std::string run_command(Shell& shell, const std::string& command,
+                        bool expect_ok = true) {
+  std::ostringstream out;
+  EXPECT_EQ(shell.execute(command, out), expect_ok) << command << ": "
+                                                    << out.str();
+  return out.str();
+}
+
+TEST(Shell, HelpAndChipSelection) {
+  Shell shell;
+  EXPECT_NE(run_command(shell, "help").find("hcfirst"), std::string::npos);
+  EXPECT_NE(run_command(shell, "chips").find("Chip 5"), std::string::npos);
+  EXPECT_NE(run_command(shell, "chip 3").find("Chip 3"), std::string::npos);
+  run_command(shell, "chip 99", /*expect_ok=*/false);
+}
+
+TEST(Shell, WriteReadRoundTrip) {
+  Shell shell;
+  run_command(shell, "write 0 0 0 123 0x5A");
+  const auto output = run_command(shell, "read 0 0 0 123 0x5A");
+  EXPECT_NE(output.find("0 bitflips"), std::string::npos);
+}
+
+TEST(Shell, HammerInducesFlipsVisibleToRead) {
+  Shell shell;
+  run_command(shell, "chip 2");  // identity mapping
+  run_command(shell, "map trust");
+  run_command(shell, "write 0 0 0 4300 0x55");
+  run_command(shell, "write 0 0 0 4299 0xAA");
+  run_command(shell, "write 0 0 0 4301 0xAA");
+  run_command(shell, "hammer 0 0 0 2000000 4299 4301");
+  const auto output = run_command(shell, "read 0 0 0 4300 0x55");
+  EXPECT_EQ(output.find("0 bitflips"), std::string::npos);
+}
+
+TEST(Shell, BerAndHcFirst) {
+  Shell shell;
+  run_command(shell, "chip 2");
+  run_command(shell, "map trust");
+  const auto ber = run_command(shell, "ber 0 0 0 4500");
+  EXPECT_NE(ber.find("BER"), std::string::npos);
+  const auto hc = run_command(shell, "hcfirst 0 0 0 4500");
+  EXPECT_NE(hc.find("HC_first = "), std::string::npos);
+}
+
+TEST(Shell, CommentsBlanksAndErrors) {
+  Shell shell;
+  run_command(shell, "");
+  run_command(shell, "# just a comment");
+  run_command(shell, "nonsense", /*expect_ok=*/false);
+  run_command(shell, "write 0 0 0", /*expect_ok=*/false);  // too few args
+  run_command(shell, "write 0 0 0 12junk 0", /*expect_ok=*/false);
+}
+
+TEST(Shell, RunLoopStopsAtQuit) {
+  Shell shell;
+  std::istringstream in("chips\nquit\nnever-reached\n");
+  std::ostringstream out;
+  EXPECT_EQ(shell.run(in, out), 0);
+  EXPECT_EQ(out.str().find("never-reached"), std::string::npos);
+}
+
+TEST(Shell, SeedAndTemp) {
+  Shell shell(1234);
+  EXPECT_NE(run_command(shell, "seed").find("0x4d2"), std::string::npos);
+  EXPECT_NE(run_command(shell, "temp").find("C"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hbmrd::shell

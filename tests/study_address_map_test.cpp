@@ -1,0 +1,86 @@
+#include "study/address_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bender/platform.h"
+
+namespace hbmrd::study {
+namespace {
+
+TEST(AddressMap, FromSchemeDelegatesToMapping) {
+  const auto map = AddressMap::from_scheme(dram::MappingScheme::kPairSwap);
+  EXPECT_EQ(map.scheme(), dram::MappingScheme::kPairSwap);
+  EXPECT_EQ(map.to_physical(1), 2);
+  EXPECT_EQ(map.to_logical(2), 1);
+}
+
+TEST(AddressMap, AggressorsOfReturnsPhysicalNeighbors) {
+  const auto map = AddressMap::from_scheme(dram::MappingScheme::kPairSwap);
+  // Logical 1 -> physical 2; physical neighbours 1, 3 -> logical 2, 3.
+  const auto aggressors = map.aggressors_of(1);
+  ASSERT_EQ(aggressors.size(), 2u);
+  EXPECT_NE(std::find(aggressors.begin(), aggressors.end(), 2),
+            aggressors.end());
+  EXPECT_NE(std::find(aggressors.begin(), aggressors.end(), 3),
+            aggressors.end());
+}
+
+TEST(AddressMap, AggressorsClippedAtBankEdges) {
+  const auto map = AddressMap::from_scheme(dram::MappingScheme::kIdentity);
+  EXPECT_EQ(map.aggressors_of(0).size(), 1u);
+  EXPECT_EQ(map.aggressors_of(dram::kRowsPerBank - 1).size(), 1u);
+  EXPECT_EQ(map.aggressors_of(100).size(), 2u);
+}
+
+TEST(AddressMap, PhysicalRingOrdersByDistance) {
+  const auto map = AddressMap::from_scheme(dram::MappingScheme::kIdentity);
+  const auto ring = map.physical_ring(1000, 3);
+  ASSERT_EQ(ring.size(), 6u);
+  EXPECT_EQ(ring[0], 999);
+  EXPECT_EQ(ring[1], 1001);
+  EXPECT_EQ(ring[2], 998);
+  EXPECT_EQ(ring[5], 1003);
+}
+
+/// End-to-end reverse engineering against chips with known ground truth.
+class ReverseEngineerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReverseEngineerTest, RecoversVendorScheme) {
+  bender::Platform platform;
+  auto& chip = platform.chip(GetParam());
+  const auto map =
+      AddressMap::reverse_engineer(chip, dram::BankAddress{0, 0, 0});
+  EXPECT_EQ(map.scheme(), chip.profile().mapping);
+}
+
+// Chips 0/2/4 cover all three modeled scheme families (pair-swap,
+// identity, interleave-8).
+INSTANTIATE_TEST_SUITE_P(KnownChips, ReverseEngineerTest,
+                         ::testing::Values(0, 2, 4));
+
+TEST(ReverseEngineer, RecoversMirror8OnACustomChip) {
+  // No stock chip ships mirror-8; build one to prove the probe handles the
+  // full scheme family.
+  auto profile = dram::chip_profiles()[2];
+  profile.mapping = dram::MappingScheme::kMirror8;
+  bender::HbmChip chip(profile);
+  const auto map =
+      AddressMap::reverse_engineer(chip, dram::BankAddress{0, 0, 0});
+  EXPECT_EQ(map.scheme(), dram::MappingScheme::kMirror8);
+}
+
+TEST(ReverseEngineer, RejectsBadProbeBase) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  EXPECT_THROW((void)AddressMap::reverse_engineer(
+                   chip, dram::BankAddress{0, 0, 0}, 4097),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)AddressMap::reverse_engineer(chip, dram::BankAddress{0, 0, 0}, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

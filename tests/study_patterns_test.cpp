@@ -1,0 +1,60 @@
+#include "study/patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace hbmrd::study {
+namespace {
+
+TEST(Patterns, Table1Bytes) {
+  // Table 1 of the paper.
+  EXPECT_EQ(victim_byte(DataPattern::kRowstripe0), 0x00);
+  EXPECT_EQ(aggressor_byte(DataPattern::kRowstripe0), 0xFF);
+  EXPECT_EQ(victim_byte(DataPattern::kRowstripe1), 0xFF);
+  EXPECT_EQ(aggressor_byte(DataPattern::kRowstripe1), 0x00);
+  EXPECT_EQ(victim_byte(DataPattern::kCheckered0), 0x55);
+  EXPECT_EQ(aggressor_byte(DataPattern::kCheckered0), 0xAA);
+  EXPECT_EQ(victim_byte(DataPattern::kCheckered1), 0xAA);
+  EXPECT_EQ(aggressor_byte(DataPattern::kCheckered1), 0x55);
+}
+
+TEST(Patterns, AggressorIsAlwaysComplement) {
+  for (auto pattern : kAllPatterns) {
+    EXPECT_EQ(victim_byte(pattern) ^ aggressor_byte(pattern), 0xFF);
+    EXPECT_EQ(victim_row_bits(pattern).count_diff(
+                  aggressor_row_bits(pattern)),
+              dram::kRowBits);
+  }
+}
+
+TEST(Patterns, Names) {
+  EXPECT_EQ(to_string(DataPattern::kRowstripe0), "Rowstripe0");
+  EXPECT_EQ(to_string(DataPattern::kCheckered1), "Checkered1");
+}
+
+TEST(Wcdp, PicksSmallestHcFirst) {
+  // HC_first: Checkered0 (index 2) smallest.
+  const std::array<std::uint64_t, 4> hc = {50000, 60000, 30000, 40000};
+  const std::array<double, 4> ber = {0.001, 0.001, 0.001, 0.001};
+  EXPECT_EQ(select_wcdp(hc, ber), DataPattern::kCheckered0);
+}
+
+TEST(Wcdp, BreaksTiesByBer) {
+  const std::array<std::uint64_t, 4> hc = {30000, 30000, 30000, 30000};
+  const std::array<double, 4> ber = {0.001, 0.004, 0.002, 0.003};
+  EXPECT_EQ(select_wcdp(hc, ber), DataPattern::kRowstripe1);
+}
+
+TEST(Wcdp, NoBitflipLosesToAnyRealValue) {
+  const std::array<std::uint64_t, 4> hc = {0, 0, 900000, 0};
+  const std::array<double, 4> ber = {0.0, 0.0, 0.0001, 0.0};
+  EXPECT_EQ(select_wcdp(hc, ber), DataPattern::kCheckered0);
+}
+
+TEST(Wcdp, AllZeroFallsBackToBer) {
+  const std::array<std::uint64_t, 4> hc = {0, 0, 0, 0};
+  const std::array<double, 4> ber = {0.0, 0.0, 0.0, 0.001};
+  EXPECT_EQ(select_wcdp(hc, ber), DataPattern::kCheckered1);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

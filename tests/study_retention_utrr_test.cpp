@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bender/platform.h"
+#include "study/retention.h"
+#include "study/utrr.h"
+
+namespace hbmrd::study {
+namespace {
+
+TEST(Retention, ProfilesInSixtyFourMsSteps) {
+  bender::Platform platform;
+  auto& chip = platform.chip(0);  // 82 C: plenty of weak rows
+  const dram::BankAddress bank{0, 0, 0};
+  const auto rows =
+      find_side_channel_rows(chip, bank, 2000, 2600, 0.128, 1.024, 3);
+  ASSERT_GE(rows.size(), 1u);
+  for (const auto& row : rows) {
+    // Retention times are multiples of the 64 ms step.
+    const double steps = row.retention_s / kRetentionStepSeconds;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    EXPECT_GE(row.retention_s, 0.128);
+    EXPECT_LE(row.retention_s, 1.024);
+    // The profiled time brackets the true retention: waits safely below it
+    // hold data, waits safely above it decay (0.5x / 1.5x margins absorb
+    // the small thermal drift between profiling and verification).
+    const auto bits = victim_row_bits(DataPattern::kCheckered0);
+    chip.write_row(row.row, bits);
+    chip.idle(0.5 * (row.retention_s - kRetentionStepSeconds));
+    EXPECT_EQ(chip.read_row(row.row).count_diff(bits), 0);
+    chip.write_row(row.row, bits);
+    chip.idle(1.5 * row.retention_s);
+    EXPECT_GT(chip.read_row(row.row).count_diff(bits), 0);
+  }
+}
+
+TEST(Retention, StrongRowsReportNoFailure) {
+  bender::Platform platform;
+  auto& chip = platform.chip(1);  // cooler chip
+  const dram::BankAddress bank{0, 0, 0};
+  // Scan until a row survives the full window — most rows do.
+  int strong = 0;
+  for (int row = 100; row < 110; ++row) {
+    if (!profile_row_retention(chip, {bank, row}, 0.512).has_value()) {
+      ++strong;
+    }
+  }
+  EXPECT_GT(strong, 5);
+}
+
+TEST(UTrr, DiscoversTheChip0Mechanism) {
+  bender::Platform platform;
+  auto& chip = platform.chip(0);
+  const auto map = AddressMap::from_scheme(chip.profile().mapping);
+  TrrProbe probe(chip, map, dram::BankAddress{0, 0, 0});
+  const auto discovery = probe.discover();
+  // Obsv. 24: every 17th REF is TRR-capable.
+  EXPECT_EQ(discovery.trr_period, 17);
+  // Obsv. 25: both neighbours refreshed.
+  EXPECT_TRUE(discovery.refreshes_minus_neighbor);
+  EXPECT_TRUE(discovery.refreshes_plus_neighbor);
+  // Obsv. 26: first-ACT detection.
+  EXPECT_TRUE(discovery.first_act_detected);
+  // Obsv. 27: half-count rule with a sharp boundary.
+  EXPECT_TRUE(discovery.half_count_detected);
+  EXPECT_TRUE(discovery.below_half_not_detected);
+  EXPECT_TRUE(discovery.chip_has_trr());
+}
+
+TEST(UTrr, FindsNoMechanismOnUnprotectedChip) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);  // no undocumented TRR
+  const auto map = AddressMap::from_scheme(chip.profile().mapping);
+  TrrProbe probe(chip, map, dram::BankAddress{0, 0, 0});
+  const auto discovery = probe.discover();
+  EXPECT_FALSE(discovery.chip_has_trr());
+  EXPECT_EQ(discovery.trr_period, 0);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

@@ -1,0 +1,112 @@
+#include "study/rowpress.h"
+
+#include <gtest/gtest.h>
+
+#include "bender/platform.h"
+#include "study/hc_first.h"
+
+namespace hbmrd::study {
+namespace {
+
+struct RowPressFixture : ::testing::Test {
+  bender::Platform platform;
+  bender::HbmChip& chip = platform.chip(2);
+  AddressMap map = AddressMap::from_scheme(chip.profile().mapping);
+  dram::RowAddress victim{{0, 0, 0}, 4300};
+  const dram::TimingParams& timing = chip.stack().timing();
+};
+
+TEST_F(RowPressFixture, TAggOnOperatingPoints) {
+  const auto fig12 = fig12_taggon_values(timing);
+  ASSERT_EQ(fig12.size(), 6u);
+  EXPECT_EQ(fig12[0], timing.t_ras);
+  EXPECT_EQ(fig12[4], timing.t_refi);
+  EXPECT_EQ(fig12[5], 9 * timing.t_refi);
+  const auto fig13 = fig13_taggon_values(timing);
+  ASSERT_EQ(fig13.size(), 4u);
+  EXPECT_NEAR(dram::cycles_to_seconds(fig13[3]), 0.016, 1e-6);
+}
+
+TEST_F(RowPressFixture, HammerDurationScalesLinearly) {
+  const auto one = hammer_duration(timing, 2, timing.t_ras, 1);
+  EXPECT_EQ(one, 2 * timing.t_rc);  // tRAS + tRP == tRC at minimum on-time
+  EXPECT_EQ(hammer_duration(timing, 2, timing.t_ras, 100), 100 * one);
+  // Larger on-times stretch the per-activation period.
+  EXPECT_GT(hammer_duration(timing, 2, timing.t_refi, 1), one);
+}
+
+TEST_F(RowPressFixture, MaxHammersInWindowInvertsDuration) {
+  const auto window = timing.t_refw;
+  const auto max_hc = max_hammers_in(timing, 2, timing.t_ras, window);
+  EXPECT_LE(hammer_duration(timing, 2, timing.t_ras, max_hc), window);
+  EXPECT_GT(hammer_duration(timing, 2, timing.t_ras, max_hc + 1), window);
+  // At a 16 ms on-time only one double-sided activation pair fits.
+  EXPECT_EQ(max_hammers_in(timing, 2, timing.t_refw / 2, window), 1u);
+}
+
+TEST_F(RowPressFixture, BerGrowsWithTAggOn) {
+  // Obsv. 21. Use a moderate hammer count to keep the test fast.
+  RowPressBerConfig config;
+  config.hammer_count = 50'000;
+  config.on_cycles = timing.t_ras;
+  const auto at_min = measure_rowpress_ber(chip, map, victim, config);
+  config.on_cycles = 4 * timing.t_ras;
+  const auto at_116ns = measure_rowpress_ber(chip, map, victim, config);
+  config.on_cycles = timing.t_refi;
+  const auto at_trefi = measure_rowpress_ber(chip, map, victim, config);
+  EXPECT_LE(at_min.disturb_bitflips, at_116ns.disturb_bitflips);
+  EXPECT_LT(at_116ns.disturb_bitflips, at_trefi.disturb_bitflips);
+  // At tREFI on-time the weak population has flipped completely and the
+  // bulk population starts to yield: BER far above the RowHammer regime.
+  EXPECT_GT(at_trefi.ber, 0.02);
+}
+
+TEST_F(RowPressFixture, HcFirstShrinksWithTAggOn) {
+  // Obsv. 23.
+  HcSearchConfig config;
+  config.on_cycles = timing.t_ras;
+  const auto hc_min = find_hc_first(chip, map, victim, config);
+  config.on_cycles = timing.t_refi;
+  const auto hc_trefi = find_hc_first(chip, map, victim, config);
+  config.on_cycles = timing.max_ref_delay();
+  const auto hc_9trefi = find_hc_first(chip, map, victim, config);
+  ASSERT_TRUE(hc_min && hc_trefi && hc_9trefi);
+  EXPECT_LT(*hc_trefi, *hc_min / 20);   // ~55x amplification at tREFI
+  EXPECT_LT(*hc_9trefi, *hc_trefi);     // and more at 9 * tREFI
+}
+
+TEST_F(RowPressFixture, SixteenMsOnTimeFlipsWithSingleActivation) {
+  // Sec. 6: HC_first of 1 at tAggON = 16 ms.
+  HcSearchConfig config;
+  config.on_cycles = timing.t_refw / 2;
+  const auto hc = find_hc_first(chip, map, victim, config);
+  ASSERT_TRUE(hc.has_value());
+  EXPECT_EQ(*hc, 1u);
+}
+
+TEST_F(RowPressFixture, RetentionProfilingIsConservative) {
+  // Bits profiled as retention failures never shrink with more repeats.
+  const auto duration = dram::seconds_to_cycles(2.0);
+  const auto once =
+      profile_retention_bits(chip, victim, DataPattern::kCheckered0,
+                             duration, 1);
+  const auto thrice =
+      profile_retention_bits(chip, victim, DataPattern::kCheckered0,
+                             duration, 3);
+  EXPECT_GE(thrice.size(), once.size());
+  // Deterministic retention model: the union is stable.
+  EXPECT_EQ(once, thrice);
+}
+
+TEST_F(RowPressFixture, RetentionFilteringOnlyRemovesProfiledBits) {
+  RowPressBerConfig config;
+  config.hammer_count = 150'000;
+  config.on_cycles = timing.t_refi;  // duration >> 32 ms: filter engages
+  const auto result = measure_rowpress_ber(chip, map, victim, config);
+  EXPECT_EQ(result.raw_bitflips,
+            result.disturb_bitflips + result.retention_excluded);
+  EXPECT_GE(result.retention_excluded, 0);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

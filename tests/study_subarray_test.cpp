@@ -1,0 +1,71 @@
+#include "study/subarray_re.h"
+
+#include <gtest/gtest.h>
+
+#include "bender/platform.h"
+
+namespace hbmrd::study {
+namespace {
+
+struct SubarrayFixture : ::testing::Test {
+  bender::Platform platform;
+  bender::HbmChip& chip = platform.chip(2);  // identity mapping
+  AddressMap map = AddressMap::from_scheme(chip.profile().mapping);
+  dram::BankAddress bank{0, 0, 0};
+};
+
+TEST_F(SubarrayFixture, CrossingDetectedInsideASubarray) {
+  // Rows 4300/4301 share subarray 5.
+  EXPECT_TRUE(disturbance_crosses(chip, map, bank, 4300));
+}
+
+TEST_F(SubarrayFixture, NoCrossingAtKnownBoundary) {
+  // Subarray 0 (rows 0..831) ends at 831; 832 starts subarray 1.
+  EXPECT_FALSE(disturbance_crosses(chip, map, bank, 831));
+  // The resilient middle subarray boundary too.
+  const int middle_start = dram::subarray_start(dram::kMiddleSubarray);
+  EXPECT_FALSE(disturbance_crosses(chip, map, bank, middle_start - 1));
+  // Resilient subarrays still flip internally under the boosted probe.
+  EXPECT_TRUE(disturbance_crosses(chip, map, bank, middle_start + 100));
+}
+
+TEST_F(SubarrayFixture, EdgeValidation) {
+  EXPECT_THROW((void)disturbance_crosses(chip, map, bank, -1),
+               std::out_of_range);
+  EXPECT_THROW((void)disturbance_crosses(chip, map, bank,
+                                          dram::kRowsPerBank - 1),
+               std::out_of_range);
+}
+
+TEST_F(SubarrayFixture, RecoversTheFullLayout) {
+  const auto layout = find_subarray_layout(chip, map, bank);
+  ASSERT_EQ(layout.count(), dram::kSubarrays);
+  for (int s = 0; s < dram::kSubarrays; ++s) {
+    EXPECT_EQ(layout.starts[static_cast<std::size_t>(s)],
+              dram::subarray_start(s))
+        << "subarray " << s;
+    EXPECT_EQ(layout.size_of(s), dram::subarray_size(s)) << "subarray " << s;
+  }
+}
+
+TEST_F(SubarrayFixture, LayoutWorksThroughNonTrivialMapping) {
+  auto& swapped_chip = platform.chip(0);  // pair-swap mapping
+  const auto swapped_map =
+      AddressMap::from_scheme(swapped_chip.profile().mapping);
+  // Probe only the first boundary to keep runtime low; the mapping must
+  // not confuse the physical-space walk.
+  EXPECT_FALSE(disturbance_crosses(swapped_chip, swapped_map, bank, 831));
+  EXPECT_TRUE(disturbance_crosses(swapped_chip, swapped_map, bank, 500));
+}
+
+TEST(SubarrayLayout, SizeOfUsesNextStart) {
+  SubarrayLayout layout;
+  layout.starts = {0, 832, 1600};
+  EXPECT_EQ(layout.count(), 3);
+  EXPECT_EQ(layout.size_of(0), 832);
+  EXPECT_EQ(layout.size_of(1), 768);
+  EXPECT_EQ(layout.size_of(2), dram::kRowsPerBank - 1600);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

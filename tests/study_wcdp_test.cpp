@@ -1,0 +1,53 @@
+#include "study/wcdp.h"
+
+#include <gtest/gtest.h>
+
+#include "bender/platform.h"
+
+namespace hbmrd::study {
+namespace {
+
+TEST(Wcdp, SelectsThePatternWithSmallestHcFirst) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  const auto map = AddressMap::from_scheme(chip.profile().mapping);
+  const dram::RowAddress victim{{0, 0, 0}, 4350};
+  const auto result = select_row_wcdp(chip, map, victim);
+
+  // The chosen pattern's HC_first is minimal among the found ones.
+  const auto chosen = std::find(kAllPatterns.begin(), kAllPatterns.end(),
+                                result.wcdp) -
+                      kAllPatterns.begin();
+  ASSERT_TRUE(result.hc_first[static_cast<std::size_t>(chosen)].has_value());
+  for (std::size_t i = 0; i < kAllPatterns.size(); ++i) {
+    if (!result.hc_first[i]) continue;
+    EXPECT_LE(*result.hc_first[static_cast<std::size_t>(chosen)],
+              *result.hc_first[i]);
+  }
+  // BERs populated for every pattern.
+  for (double ber : result.ber_at_256k) {
+    EXPECT_GE(ber, 0.0);
+    EXPECT_LE(ber, 1.0);
+  }
+}
+
+TEST(Wcdp, CheckeredUsuallyWins) {
+  // The intra-row coupling bonus makes the Checkered patterns the worst
+  // case for most rows (Obsv. 3); verify on a small sample.
+  bender::Platform platform;
+  auto& chip = platform.chip(5);
+  const auto map = AddressMap::from_scheme(chip.profile().mapping);
+  int checkered = 0;
+  constexpr int kRows = 6;
+  for (int row = 5000; row < 5000 + kRows; ++row) {
+    const auto result = select_row_wcdp(chip, map, {{0, 0, 0}, row});
+    if (result.wcdp == DataPattern::kCheckered0 ||
+        result.wcdp == DataPattern::kCheckered1) {
+      ++checkered;
+    }
+  }
+  EXPECT_GE(checkered, kRows / 2);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

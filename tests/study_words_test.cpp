@@ -1,0 +1,57 @@
+#include "study/words.h"
+
+#include <gtest/gtest.h>
+
+namespace hbmrd::study {
+namespace {
+
+TEST(WordAnalysis, EmptyRowCountsCleanWords) {
+  WordAnalysis analysis;
+  analysis.accumulate({});
+  EXPECT_EQ(analysis.words_tested(), 128u);
+  EXPECT_EQ(analysis.words_with_exactly(0), 128u);
+  EXPECT_EQ(analysis.words_with_exactly(1), 0u);
+  EXPECT_EQ(analysis.max_flips_in_word(), 0);
+}
+
+TEST(WordAnalysis, ClassifiesMultiplicities) {
+  WordAnalysis analysis;
+  // Word 0: one flip. Word 1: two flips. Word 2: four flips.
+  analysis.accumulate({5, 64, 65, 128, 129, 130, 131});
+  EXPECT_EQ(analysis.words_tested(), 128u);
+  EXPECT_EQ(analysis.words_with_exactly(1), 1u);
+  EXPECT_EQ(analysis.words_with_exactly(2), 1u);
+  EXPECT_EQ(analysis.words_with_exactly(4), 1u);
+  EXPECT_EQ(analysis.words_with_more_than(2), 1u);
+  EXPECT_EQ(analysis.max_flips_in_word(), 4);
+}
+
+TEST(WordAnalysis, AccumulatesAcrossRows) {
+  WordAnalysis analysis;
+  analysis.accumulate({0});
+  analysis.accumulate({0, 1});
+  analysis.accumulate({});
+  EXPECT_EQ(analysis.words_tested(), 3u * 128u);
+  EXPECT_EQ(analysis.words_with_exactly(1), 1u);
+  EXPECT_EQ(analysis.words_with_exactly(2), 1u);
+}
+
+TEST(WordAnalysis, SecdedOutcomeClasses) {
+  // Sec. 8.1: 1 flip corrected, 2 detected, >2 beyond the guarantee.
+  WordAnalysis analysis;
+  analysis.accumulate({1, 64, 70, 128, 130, 140, 200, 210, 220, 230});
+  EXPECT_EQ(analysis.secded_corrected(), 1u);         // word 0
+  EXPECT_EQ(analysis.secded_detected(), 1u);          // word 1
+  EXPECT_EQ(analysis.secded_beyond_guarantee(), 2u);  // words 2 and 3
+}
+
+TEST(WordAnalysis, BoundaryQueries) {
+  WordAnalysis analysis;
+  analysis.accumulate({0});
+  EXPECT_EQ(analysis.words_with_exactly(-1), 0u);
+  EXPECT_EQ(analysis.words_with_exactly(99), 0u);
+  EXPECT_EQ(analysis.words_with_more_than(0), 1u);
+}
+
+}  // namespace
+}  // namespace hbmrd::study

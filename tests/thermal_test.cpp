@@ -1,0 +1,100 @@
+#include "thermal/rig.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hbmrd::thermal {
+namespace {
+
+TEST(ThermalPlant, RelaxesTowardEquilibrium) {
+  PlantParams params;
+  params.sensor_noise_c = 0.0;
+  params.diurnal_swing_c = 0.0;
+  ThermalPlant plant(params, 1, 20.0);
+  // With no actuation the plant approaches ambient.
+  for (int i = 0; i < 3600; ++i) plant.step(1.0, 0.0, 0.0);
+  EXPECT_NEAR(plant.true_c(), params.ambient_c, 0.1);
+  // Full pad power raises the equilibrium by pad_heating_c.
+  for (int i = 0; i < 3600; ++i) plant.step(1.0, 1.0, 0.0);
+  EXPECT_NEAR(plant.true_c(), params.ambient_c + params.pad_heating_c, 0.1);
+  // Full fan lowers it below ambient.
+  for (int i = 0; i < 3600; ++i) plant.step(1.0, 0.0, 1.0);
+  EXPECT_NEAR(plant.true_c(), params.ambient_c - params.fan_cooling_c, 0.1);
+}
+
+TEST(ThermalPlant, LargeStepIsStable) {
+  PlantParams params;
+  params.sensor_noise_c = 0.0;
+  ThermalPlant plant(params, 1, 20.0);
+  plant.step(1e6, 0.0, 0.0);  // exact exponential step: no overshoot
+  EXPECT_NEAR(plant.true_c(), params.ambient_c, 1.5);
+  EXPECT_THROW(plant.step(-1.0, 0, 0), std::invalid_argument);
+}
+
+TEST(ThermalPlant, SensorNoiseIsBoundedAndDeterministic) {
+  PlantParams params;
+  params.sensor_noise_c = 0.15;
+  ThermalPlant a(params, 7, 50.0);
+  ThermalPlant b(params, 7, 50.0);
+  for (int i = 0; i < 100; ++i) {
+    const double sa = a.sensor_c();
+    EXPECT_EQ(sa, b.sensor_c());
+    EXPECT_NEAR(sa, 50.0, 1.5);
+  }
+}
+
+TEST(BangBang, HysteresisSwitching) {
+  BangBangController controller(82.0, 0.5);
+  // Below the band: heat.
+  auto act = controller.update(80.0);
+  EXPECT_EQ(act.pad_duty, 1.0);
+  EXPECT_EQ(act.fan_duty, 0.0);
+  // Inside the band: keep the previous mode.
+  act = controller.update(82.2);
+  EXPECT_EQ(act.pad_duty, 1.0);
+  // Above the band: cool.
+  act = controller.update(82.8);
+  EXPECT_EQ(act.pad_duty, 0.0);
+  EXPECT_EQ(act.fan_duty, 1.0);
+  // Back inside the band: stays cooling.
+  act = controller.update(81.8);
+  EXPECT_EQ(act.fan_duty, 1.0);
+}
+
+TEST(TemperatureRig, ControlledRigTracksTarget) {
+  auto rig = TemperatureRig::controlled(99, 82.0);
+  rig.advance(3600.0);  // warm-up
+  EXPECT_TRUE(rig.is_controlled());
+  // Sampled over an hour, the temperature stays within a tight band of the
+  // setpoint (Fig. 3: Chip 0 pinned at 82 C).
+  double min = 1e9;
+  double max = -1e9;
+  for (int i = 0; i < 720; ++i) {
+    rig.advance(5.0);
+    const double t = rig.temperature_c();
+    min = std::min(min, t);
+    max = std::max(max, t);
+  }
+  EXPECT_GT(min, 79.0);
+  EXPECT_LT(max, 85.0);
+}
+
+TEST(TemperatureRig, AmbientRigIsStable) {
+  auto rig = TemperatureRig::ambient(42, 55.0);
+  EXPECT_FALSE(rig.is_controlled());
+  double min = 1e9;
+  double max = -1e9;
+  for (int i = 0; i < 1000; ++i) {
+    rig.advance(5.0);
+    const double t = rig.temperature_c();
+    min = std::min(min, t);
+    max = std::max(max, t);
+  }
+  // Fig. 3: uncontrolled chips sit at a stable ambient with small drift.
+  EXPECT_GT(min, 52.0);
+  EXPECT_LT(max, 58.0);
+}
+
+}  // namespace
+}  // namespace hbmrd::thermal

@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hbmrd::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct TempCsv {
+  std::string path = "/tmp/hbmrd_csv_test.csv";
+  ~TempCsv() { std::remove(path.c_str()); }
+};
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  TempCsv temp;
+  {
+    CsvWriter csv(temp.path, {"a", "b"});
+    csv.add().cell(1).cell(2.5);
+    csv.add().cell("x").cell("y");
+  }
+  EXPECT_EQ(slurp(temp.path), "a,b\n1,2.5\nx,y\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  TempCsv temp;
+  {
+    CsvWriter csv(temp.path, {"c"});
+    csv.add().cell("has,comma");
+    csv.add().cell("has\"quote");
+  }
+  EXPECT_EQ(slurp(temp.path), "c\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvWriter, ValidatesShape) {
+  TempCsv temp;
+  CsvWriter csv(temp.path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hbmrd::util

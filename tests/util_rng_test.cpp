@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hbmrd::util {
+namespace {
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Adjacent inputs should differ in many bits.
+  const std::uint64_t diff = mix64(1000) ^ mix64(1001);
+  EXPECT_GE(__builtin_popcountll(diff), 16);
+}
+
+TEST(HashKey, DependsOnEveryPart) {
+  const auto base = hash_key(1, 2, 3, 4);
+  EXPECT_NE(base, hash_key(9, 2, 3, 4));
+  EXPECT_NE(base, hash_key(1, 9, 3, 4));
+  EXPECT_NE(base, hash_key(1, 2, 9, 4));
+  EXPECT_NE(base, hash_key(1, 2, 3, 9));
+  EXPECT_EQ(base, hash_key(1, 2, 3, 4));
+}
+
+TEST(Uniform, InUnitIntervalAndWellSpread) {
+  double sum = 0.0;
+  double min = 1.0;
+  double max = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = uniform(7, i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    min = std::min(min, u);
+    max = std::max(max, u);
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+  EXPECT_LT(min, 0.001);
+  EXPECT_GT(max, 0.999);
+}
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746), 1.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(1e-9), -5.997807, 1e-4);
+}
+
+TEST(InverseNormalCdf, RoundTripsThroughErfc) {
+  // Phi(Phi^-1(p)) == p across the full range, including deep tails.
+  for (double p : {1e-12, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-9}) {
+    const double z = inverse_normal_cdf(p);
+    const double round_trip = 0.5 * std::erfc(-z * M_SQRT1_2);
+    EXPECT_NEAR(round_trip, p, 1e-8 + p * 1e-6) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdf, EdgeCases) {
+  EXPECT_EQ(inverse_normal_cdf(0.0), -HUGE_VAL);
+  EXPECT_EQ(inverse_normal_cdf(1.0), HUGE_VAL);
+}
+
+TEST(Normal, MomentsAreStandard) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = normal(99, i);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Lognormal, MedianMatchesMu) {
+  std::vector<double> xs;
+  for (int i = 0; i < 9999; ++i) xs.push_back(lognormal(2.0, 0.5, 5, i));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(2.0), 0.2);
+}
+
+TEST(Stream, DeterministicAndDistinct) {
+  Stream a(123);
+  Stream b(123);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = a.next_u64();
+    EXPECT_EQ(x, b.next_u64());
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Stream, NextBelowRespectsBound) {
+  Stream s(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(s.next_below(17), 17u);
+  }
+  EXPECT_EQ(s.next_below(0), 0u);
+}
+
+}  // namespace
+}  // namespace hbmrd::util

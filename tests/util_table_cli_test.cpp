@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace hbmrd::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.row().cell("alpha").cell(42);
+  table.row().cell("b").cell(3.5, 1);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name  |"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.5"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Cli, ParsesFlagForms) {
+  const char* argv[] = {"prog",     "--rows", "128",  "--full",
+                        "--name=x", "pos1",   "pos2"};
+  const Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("--rows", 0), 128);
+  EXPECT_TRUE(cli.has("--full"));
+  EXPECT_FALSE(cli.has("--missing"));
+  EXPECT_EQ(cli.get_string("--name", ""), "x");
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.program_name(), "prog");
+}
+
+TEST(Cli, DefaultsAndErrors) {
+  const char* argv[] = {"prog", "--k", "notanint", "--d", "2.5"};
+  const Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("--absent", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("--d", 0.0), 2.5);
+  EXPECT_THROW((void)cli.get_int("--k", 0), std::invalid_argument);
+}
+
+TEST(Cli, FlagFollowedByFlagHasNoValue) {
+  const char* argv[] = {"prog", "--a", "--b", "5"};
+  const Cli cli(4, argv);
+  EXPECT_TRUE(cli.has("--a"));
+  EXPECT_EQ(cli.get_int("--a", 3), 3);  // no value consumed
+  EXPECT_EQ(cli.get_int("--b", 0), 5);
+}
+
+}  // namespace
+}  // namespace hbmrd::util

@@ -1,0 +1,87 @@
+#include "workload/traces.h"
+
+#include <gtest/gtest.h>
+
+namespace hbmrd::workload {
+namespace {
+
+TEST(Traces, UniformCoversTheBankAndIsDeterministic) {
+  TraceConfig config;
+  config.activations = 20'000;
+  const auto a = uniform_trace(config);
+  const auto b = uniform_trace(config);
+  ASSERT_EQ(a.size(), config.activations);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].row, b[i].row);
+    ASSERT_GE(a[i].row, 0);
+    ASSERT_LT(a[i].row, dram::kRowsPerBank);
+  }
+  const auto stats = analyze(a);
+  // ~20K draws over 16384 rows: most rows distinct, no row hot.
+  EXPECT_GT(stats.distinct_rows, 10'000u);
+  EXPECT_LT(stats.hottest_row_count, 20u);
+}
+
+TEST(Traces, ZipfIsSkewed) {
+  TraceConfig config;
+  config.activations = 50'000;
+  const auto stats = analyze(zipf_trace(config));
+  // The head rank dominates: far hotter than uniform would allow, but the
+  // tail still spreads over many rows.
+  EXPECT_GT(stats.hottest_row_count, 2'000u);
+  EXPECT_GT(stats.distinct_rows, 500u);
+}
+
+TEST(Traces, ZipfExponentControlsSkew) {
+  TraceConfig config;
+  config.activations = 30'000;
+  const auto mild = analyze(zipf_trace(config, 0.8));
+  const auto steep = analyze(zipf_trace(config, 1.4));
+  EXPECT_GT(steep.hottest_row_count, mild.hottest_row_count);
+  EXPECT_THROW(zipf_trace(config, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Traces, StreamingWrapsWithoutReuse) {
+  TraceConfig config;
+  config.activations = 1000;
+  const auto trace = streaming_trace(config, 3);
+  EXPECT_EQ(trace[0].row, 0);
+  EXPECT_EQ(trace[1].row, 3);
+  const auto stats = analyze(trace);
+  EXPECT_EQ(stats.distinct_rows, 1000u);  // far below one wrap
+  EXPECT_THROW(streaming_trace(config, 0), std::invalid_argument);
+}
+
+TEST(Traces, AttackTraceMixesAggressorsIntoCover) {
+  TraceConfig config;
+  config.activations = 20'000;
+  const auto map =
+      study::AddressMap::from_scheme(dram::MappingScheme::kIdentity);
+  const int victim = 5000;
+  const auto trace = attack_trace(config, map, victim, 0.3);
+  std::size_t aggressor_acts = 0;
+  for (const auto& activation : trace) {
+    if (activation.row == victim - 1 || activation.row == victim + 1) {
+      ++aggressor_acts;
+    }
+  }
+  const double share =
+      static_cast<double>(aggressor_acts) / config.activations;
+  EXPECT_NEAR(share, 0.3, 0.02);
+  EXPECT_THROW(attack_trace(config, map, victim, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Traces, PureAttackAlternatesAggressors) {
+  TraceConfig config;
+  config.activations = 100;
+  const auto map =
+      study::AddressMap::from_scheme(dram::MappingScheme::kIdentity);
+  const auto trace = attack_trace(config, map, 5000, 1.0);
+  const auto stats = analyze(trace);
+  EXPECT_EQ(stats.distinct_rows, 2u);
+  EXPECT_EQ(stats.hottest_row_count, 50u);
+}
+
+}  // namespace
+}  // namespace hbmrd::workload

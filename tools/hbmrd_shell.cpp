@@ -1,0 +1,13 @@
+// Interactive shell over the simulated HBM2 testbed; see 'help'.
+#include <iostream>
+
+#include "shell/shell.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  const hbmrd::util::Cli cli(argc, argv);
+  hbmrd::shell::Shell shell(static_cast<std::uint64_t>(cli.get_int(
+      "--seed",
+      static_cast<std::int64_t>(hbmrd::dram::kDefaultPlatformSeed))));
+  return shell.run(std::cin, std::cout) == 0 ? 0 : 1;
+}
