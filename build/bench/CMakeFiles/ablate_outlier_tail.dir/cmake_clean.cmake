@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_outlier_tail.dir/ablate_outlier_tail.cpp.o"
+  "CMakeFiles/ablate_outlier_tail.dir/ablate_outlier_tail.cpp.o.d"
+  "ablate_outlier_tail"
+  "ablate_outlier_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_outlier_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

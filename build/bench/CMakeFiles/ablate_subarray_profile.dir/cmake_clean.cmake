@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_subarray_profile.dir/ablate_subarray_profile.cpp.o"
+  "CMakeFiles/ablate_subarray_profile.dir/ablate_subarray_profile.cpp.o.d"
+  "ablate_subarray_profile"
+  "ablate_subarray_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_subarray_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_taggon_curve.dir/ablate_taggon_curve.cpp.o"
+  "CMakeFiles/ablate_taggon_curve.dir/ablate_taggon_curve.cpp.o.d"
+  "ablate_taggon_curve"
+  "ablate_taggon_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_taggon_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

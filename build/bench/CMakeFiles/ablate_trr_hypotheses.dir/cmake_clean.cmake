@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_trr_hypotheses.dir/ablate_trr_hypotheses.cpp.o"
+  "CMakeFiles/ablate_trr_hypotheses.dir/ablate_trr_hypotheses.cpp.o.d"
+  "ablate_trr_hypotheses"
+  "ablate_trr_hypotheses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_trr_hypotheses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_trr_sampler.dir/ablate_trr_sampler.cpp.o"
+  "CMakeFiles/ablate_trr_sampler.dir/ablate_trr_sampler.cpp.o.d"
+  "ablate_trr_sampler"
+  "ablate_trr_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_trr_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

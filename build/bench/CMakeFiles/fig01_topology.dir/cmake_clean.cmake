@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_topology.dir/fig01_topology.cpp.o"
+  "CMakeFiles/fig01_topology.dir/fig01_topology.cpp.o.d"
+  "fig01_topology"
+  "fig01_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

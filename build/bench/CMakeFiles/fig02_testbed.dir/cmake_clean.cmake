@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_testbed.dir/fig02_testbed.cpp.o"
+  "CMakeFiles/fig02_testbed.dir/fig02_testbed.cpp.o.d"
+  "fig02_testbed"
+  "fig02_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ber_across_chips.dir/fig04_ber_across_chips.cpp.o"
+  "CMakeFiles/fig04_ber_across_chips.dir/fig04_ber_across_chips.cpp.o.d"
+  "fig04_ber_across_chips"
+  "fig04_ber_across_chips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ber_across_chips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_hcfirst_across_chips.dir/fig05_hcfirst_across_chips.cpp.o"
+  "CMakeFiles/fig05_hcfirst_across_chips.dir/fig05_hcfirst_across_chips.cpp.o.d"
+  "fig05_hcfirst_across_chips"
+  "fig05_hcfirst_across_chips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_hcfirst_across_chips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ber_across_channels.dir/fig06_ber_across_channels.cpp.o"
+  "CMakeFiles/fig06_ber_across_channels.dir/fig06_ber_across_channels.cpp.o.d"
+  "fig06_ber_across_channels"
+  "fig06_ber_across_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ber_across_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hcfirst_across_channels.dir/fig07_hcfirst_across_channels.cpp.o"
+  "CMakeFiles/fig07_hcfirst_across_channels.dir/fig07_hcfirst_across_channels.cpp.o.d"
+  "fig07_hcfirst_across_channels"
+  "fig07_hcfirst_across_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hcfirst_across_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

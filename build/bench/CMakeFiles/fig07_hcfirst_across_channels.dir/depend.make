@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_hcfirst_across_channels.
+# This may be replaced when dependencies are built.

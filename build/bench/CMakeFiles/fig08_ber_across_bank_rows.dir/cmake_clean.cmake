@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ber_across_bank_rows.dir/fig08_ber_across_bank_rows.cpp.o"
+  "CMakeFiles/fig08_ber_across_bank_rows.dir/fig08_ber_across_bank_rows.cpp.o.d"
+  "fig08_ber_across_bank_rows"
+  "fig08_ber_across_bank_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ber_across_bank_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

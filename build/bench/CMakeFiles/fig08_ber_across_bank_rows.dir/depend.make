@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_ber_across_bank_rows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hcn_distribution.dir/fig10_hcn_distribution.cpp.o"
+  "CMakeFiles/fig10_hcn_distribution.dir/fig10_hcn_distribution.cpp.o.d"
+  "fig10_hcn_distribution"
+  "fig10_hcn_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hcn_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_additional_hc.dir/fig11_additional_hc.cpp.o"
+  "CMakeFiles/fig11_additional_hc.dir/fig11_additional_hc.cpp.o.d"
+  "fig11_additional_hc"
+  "fig11_additional_hc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_additional_hc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rowpress_ber.dir/fig12_rowpress_ber.cpp.o"
+  "CMakeFiles/fig12_rowpress_ber.dir/fig12_rowpress_ber.cpp.o.d"
+  "fig12_rowpress_ber"
+  "fig12_rowpress_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rowpress_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_rowpress_hcfirst.dir/fig13_rowpress_hcfirst.cpp.o"
+  "CMakeFiles/fig13_rowpress_hcfirst.dir/fig13_rowpress_hcfirst.cpp.o.d"
+  "fig13_rowpress_hcfirst"
+  "fig13_rowpress_hcfirst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rowpress_hcfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

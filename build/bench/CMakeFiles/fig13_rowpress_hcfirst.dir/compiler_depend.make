@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_rowpress_hcfirst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_rowpress_hcfirst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_trr_bypass.dir/fig14_trr_bypass.cpp.o"
+  "CMakeFiles/fig14_trr_bypass.dir/fig14_trr_bypass.cpp.o.d"
+  "fig14_trr_bypass"
+  "fig14_trr_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_trr_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

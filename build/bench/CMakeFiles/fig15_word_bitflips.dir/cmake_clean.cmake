@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_word_bitflips.dir/fig15_word_bitflips.cpp.o"
+  "CMakeFiles/fig15_word_bitflips.dir/fig15_word_bitflips.cpp.o.d"
+  "fig15_word_bitflips"
+  "fig15_word_bitflips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_word_bitflips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_bench_common.dir/common.cpp.o"
+  "CMakeFiles/hbmrd_bench_common.dir/common.cpp.o.d"
+  "libhbmrd_bench_common.a"
+  "libhbmrd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

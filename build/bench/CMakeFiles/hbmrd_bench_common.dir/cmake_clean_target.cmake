@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbmrd_bench_common.a"
+)

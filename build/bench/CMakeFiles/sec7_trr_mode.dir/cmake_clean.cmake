@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_trr_mode.dir/sec7_trr_mode.cpp.o"
+  "CMakeFiles/sec7_trr_mode.dir/sec7_trr_mode.cpp.o.d"
+  "sec7_trr_mode"
+  "sec7_trr_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_trr_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_trr_reveng.dir/sec7_trr_reveng.cpp.o"
+  "CMakeFiles/sec7_trr_reveng.dir/sec7_trr_reveng.cpp.o.d"
+  "sec7_trr_reveng"
+  "sec7_trr_reveng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_trr_reveng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

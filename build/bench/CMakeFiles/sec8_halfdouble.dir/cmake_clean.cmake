@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_halfdouble.dir/sec8_halfdouble.cpp.o"
+  "CMakeFiles/sec8_halfdouble.dir/sec8_halfdouble.cpp.o.d"
+  "sec8_halfdouble"
+  "sec8_halfdouble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_halfdouble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_ber_vs_hammer_count.dir/supp_ber_vs_hammer_count.cpp.o"
+  "CMakeFiles/supp_ber_vs_hammer_count.dir/supp_ber_vs_hammer_count.cpp.o.d"
+  "supp_ber_vs_hammer_count"
+  "supp_ber_vs_hammer_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_ber_vs_hammer_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

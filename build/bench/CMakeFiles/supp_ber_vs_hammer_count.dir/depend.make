@@ -1,0 +1,2 @@
+# Empty dependencies file for supp_ber_vs_hammer_count.
+# This may be replaced when dependencies are built.

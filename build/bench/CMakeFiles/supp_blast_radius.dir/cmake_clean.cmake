@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_blast_radius.dir/supp_blast_radius.cpp.o"
+  "CMakeFiles/supp_blast_radius.dir/supp_blast_radius.cpp.o.d"
+  "supp_blast_radius"
+  "supp_blast_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_blast_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_retention_temperature.dir/supp_retention_temperature.cpp.o"
+  "CMakeFiles/supp_retention_temperature.dir/supp_retention_temperature.cpp.o.d"
+  "supp_retention_temperature"
+  "supp_retention_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_retention_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

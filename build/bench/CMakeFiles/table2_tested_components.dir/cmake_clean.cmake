@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tested_components.dir/table2_tested_components.cpp.o"
+  "CMakeFiles/table2_tested_components.dir/table2_tested_components.cpp.o.d"
+  "table2_tested_components"
+  "table2_tested_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tested_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

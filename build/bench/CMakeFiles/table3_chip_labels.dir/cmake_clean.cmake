@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_chip_labels.dir/table3_chip_labels.cpp.o"
+  "CMakeFiles/table3_chip_labels.dir/table3_chip_labels.cpp.o.d"
+  "table3_chip_labels"
+  "table3_chip_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_chip_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_defense.dir/adaptive_defense.cpp.o"
+  "CMakeFiles/adaptive_defense.dir/adaptive_defense.cpp.o.d"
+  "adaptive_defense"
+  "adaptive_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowpress_probe.dir/rowpress_probe.cpp.o"
+  "CMakeFiles/rowpress_probe.dir/rowpress_probe.cpp.o.d"
+  "rowpress_probe"
+  "rowpress_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowpress_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_bender.dir/assembly.cpp.o"
+  "CMakeFiles/hbmrd_bender.dir/assembly.cpp.o.d"
+  "CMakeFiles/hbmrd_bender.dir/executor.cpp.o"
+  "CMakeFiles/hbmrd_bender.dir/executor.cpp.o.d"
+  "CMakeFiles/hbmrd_bender.dir/platform.cpp.o"
+  "CMakeFiles/hbmrd_bender.dir/platform.cpp.o.d"
+  "CMakeFiles/hbmrd_bender.dir/program.cpp.o"
+  "CMakeFiles/hbmrd_bender.dir/program.cpp.o.d"
+  "libhbmrd_bender.a"
+  "libhbmrd_bender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_bender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

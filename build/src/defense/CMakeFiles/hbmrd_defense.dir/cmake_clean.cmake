@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_defense.dir/blockhammer.cpp.o"
+  "CMakeFiles/hbmrd_defense.dir/blockhammer.cpp.o.d"
+  "CMakeFiles/hbmrd_defense.dir/graphene.cpp.o"
+  "CMakeFiles/hbmrd_defense.dir/graphene.cpp.o.d"
+  "CMakeFiles/hbmrd_defense.dir/para.cpp.o"
+  "CMakeFiles/hbmrd_defense.dir/para.cpp.o.d"
+  "CMakeFiles/hbmrd_defense.dir/protected_session.cpp.o"
+  "CMakeFiles/hbmrd_defense.dir/protected_session.cpp.o.d"
+  "libhbmrd_defense.a"
+  "libhbmrd_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

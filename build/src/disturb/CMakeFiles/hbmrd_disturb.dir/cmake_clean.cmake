@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_disturb.dir/fault_model.cpp.o"
+  "CMakeFiles/hbmrd_disturb.dir/fault_model.cpp.o.d"
+  "libhbmrd_disturb.a"
+  "libhbmrd_disturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_disturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

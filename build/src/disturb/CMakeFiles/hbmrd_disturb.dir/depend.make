@@ -1,0 +1,2 @@
+# Empty dependencies file for hbmrd_disturb.
+# This may be replaced when dependencies are built.

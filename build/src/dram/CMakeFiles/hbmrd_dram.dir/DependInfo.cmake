@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cpp" "src/dram/CMakeFiles/hbmrd_dram.dir/bank.cpp.o" "gcc" "src/dram/CMakeFiles/hbmrd_dram.dir/bank.cpp.o.d"
+  "/root/repo/src/dram/chip_profiles.cpp" "src/dram/CMakeFiles/hbmrd_dram.dir/chip_profiles.cpp.o" "gcc" "src/dram/CMakeFiles/hbmrd_dram.dir/chip_profiles.cpp.o.d"
+  "/root/repo/src/dram/geometry.cpp" "src/dram/CMakeFiles/hbmrd_dram.dir/geometry.cpp.o" "gcc" "src/dram/CMakeFiles/hbmrd_dram.dir/geometry.cpp.o.d"
+  "/root/repo/src/dram/mapping.cpp" "src/dram/CMakeFiles/hbmrd_dram.dir/mapping.cpp.o" "gcc" "src/dram/CMakeFiles/hbmrd_dram.dir/mapping.cpp.o.d"
+  "/root/repo/src/dram/row_data.cpp" "src/dram/CMakeFiles/hbmrd_dram.dir/row_data.cpp.o" "gcc" "src/dram/CMakeFiles/hbmrd_dram.dir/row_data.cpp.o.d"
+  "/root/repo/src/dram/stack.cpp" "src/dram/CMakeFiles/hbmrd_dram.dir/stack.cpp.o" "gcc" "src/dram/CMakeFiles/hbmrd_dram.dir/stack.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/dram/CMakeFiles/hbmrd_dram.dir/timing.cpp.o" "gcc" "src/dram/CMakeFiles/hbmrd_dram.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disturb/CMakeFiles/hbmrd_disturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/hbmrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbmrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_dram.dir/bank.cpp.o"
+  "CMakeFiles/hbmrd_dram.dir/bank.cpp.o.d"
+  "CMakeFiles/hbmrd_dram.dir/chip_profiles.cpp.o"
+  "CMakeFiles/hbmrd_dram.dir/chip_profiles.cpp.o.d"
+  "CMakeFiles/hbmrd_dram.dir/geometry.cpp.o"
+  "CMakeFiles/hbmrd_dram.dir/geometry.cpp.o.d"
+  "CMakeFiles/hbmrd_dram.dir/mapping.cpp.o"
+  "CMakeFiles/hbmrd_dram.dir/mapping.cpp.o.d"
+  "CMakeFiles/hbmrd_dram.dir/row_data.cpp.o"
+  "CMakeFiles/hbmrd_dram.dir/row_data.cpp.o.d"
+  "CMakeFiles/hbmrd_dram.dir/stack.cpp.o"
+  "CMakeFiles/hbmrd_dram.dir/stack.cpp.o.d"
+  "CMakeFiles/hbmrd_dram.dir/timing.cpp.o"
+  "CMakeFiles/hbmrd_dram.dir/timing.cpp.o.d"
+  "libhbmrd_dram.a"
+  "libhbmrd_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_ecc.dir/hamming74.cpp.o"
+  "CMakeFiles/hbmrd_ecc.dir/hamming74.cpp.o.d"
+  "CMakeFiles/hbmrd_ecc.dir/secded.cpp.o"
+  "CMakeFiles/hbmrd_ecc.dir/secded.cpp.o.d"
+  "libhbmrd_ecc.a"
+  "libhbmrd_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

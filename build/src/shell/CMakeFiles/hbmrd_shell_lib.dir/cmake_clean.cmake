@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_shell_lib.dir/shell.cpp.o"
+  "CMakeFiles/hbmrd_shell_lib.dir/shell.cpp.o.d"
+  "libhbmrd_shell_lib.a"
+  "libhbmrd_shell_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_shell_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

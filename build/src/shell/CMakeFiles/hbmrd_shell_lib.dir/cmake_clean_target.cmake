@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbmrd_shell_lib.a"
+)

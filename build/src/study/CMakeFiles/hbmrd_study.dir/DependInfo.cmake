@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/address_map.cpp" "src/study/CMakeFiles/hbmrd_study.dir/address_map.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/address_map.cpp.o.d"
+  "/root/repo/src/study/ber.cpp" "src/study/CMakeFiles/hbmrd_study.dir/ber.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/ber.cpp.o.d"
+  "/root/repo/src/study/bypass.cpp" "src/study/CMakeFiles/hbmrd_study.dir/bypass.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/bypass.cpp.o.d"
+  "/root/repo/src/study/hc_first.cpp" "src/study/CMakeFiles/hbmrd_study.dir/hc_first.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/hc_first.cpp.o.d"
+  "/root/repo/src/study/hcn.cpp" "src/study/CMakeFiles/hbmrd_study.dir/hcn.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/hcn.cpp.o.d"
+  "/root/repo/src/study/patterns.cpp" "src/study/CMakeFiles/hbmrd_study.dir/patterns.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/patterns.cpp.o.d"
+  "/root/repo/src/study/retention.cpp" "src/study/CMakeFiles/hbmrd_study.dir/retention.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/retention.cpp.o.d"
+  "/root/repo/src/study/rowpress.cpp" "src/study/CMakeFiles/hbmrd_study.dir/rowpress.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/rowpress.cpp.o.d"
+  "/root/repo/src/study/subarray_re.cpp" "src/study/CMakeFiles/hbmrd_study.dir/subarray_re.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/subarray_re.cpp.o.d"
+  "/root/repo/src/study/utrr.cpp" "src/study/CMakeFiles/hbmrd_study.dir/utrr.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/utrr.cpp.o.d"
+  "/root/repo/src/study/wcdp.cpp" "src/study/CMakeFiles/hbmrd_study.dir/wcdp.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/wcdp.cpp.o.d"
+  "/root/repo/src/study/words.cpp" "src/study/CMakeFiles/hbmrd_study.dir/words.cpp.o" "gcc" "src/study/CMakeFiles/hbmrd_study.dir/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bender/CMakeFiles/hbmrd_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/trr/CMakeFiles/hbmrd_trr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hbmrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/disturb/CMakeFiles/hbmrd_disturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/hbmrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/hbmrd_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbmrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_study.dir/address_map.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/address_map.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/ber.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/ber.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/bypass.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/bypass.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/hc_first.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/hc_first.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/hcn.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/hcn.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/patterns.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/patterns.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/retention.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/retention.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/rowpress.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/rowpress.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/subarray_re.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/subarray_re.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/utrr.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/utrr.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/wcdp.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/wcdp.cpp.o.d"
+  "CMakeFiles/hbmrd_study.dir/words.cpp.o"
+  "CMakeFiles/hbmrd_study.dir/words.cpp.o.d"
+  "libhbmrd_study.a"
+  "libhbmrd_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

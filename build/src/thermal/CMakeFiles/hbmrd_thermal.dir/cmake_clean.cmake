@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_thermal.dir/rig.cpp.o"
+  "CMakeFiles/hbmrd_thermal.dir/rig.cpp.o.d"
+  "libhbmrd_thermal.a"
+  "libhbmrd_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

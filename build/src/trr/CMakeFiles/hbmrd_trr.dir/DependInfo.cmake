@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trr/counter_trr.cpp" "src/trr/CMakeFiles/hbmrd_trr.dir/counter_trr.cpp.o" "gcc" "src/trr/CMakeFiles/hbmrd_trr.dir/counter_trr.cpp.o.d"
+  "/root/repo/src/trr/undocumented_trr.cpp" "src/trr/CMakeFiles/hbmrd_trr.dir/undocumented_trr.cpp.o" "gcc" "src/trr/CMakeFiles/hbmrd_trr.dir/undocumented_trr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/hbmrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/disturb/CMakeFiles/hbmrd_disturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/hbmrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbmrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_trr.dir/counter_trr.cpp.o"
+  "CMakeFiles/hbmrd_trr.dir/counter_trr.cpp.o.d"
+  "CMakeFiles/hbmrd_trr.dir/undocumented_trr.cpp.o"
+  "CMakeFiles/hbmrd_trr.dir/undocumented_trr.cpp.o.d"
+  "libhbmrd_trr.a"
+  "libhbmrd_trr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_trr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_util.dir/cli.cpp.o"
+  "CMakeFiles/hbmrd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hbmrd_util.dir/csv.cpp.o"
+  "CMakeFiles/hbmrd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hbmrd_util.dir/rng.cpp.o"
+  "CMakeFiles/hbmrd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hbmrd_util.dir/stats.cpp.o"
+  "CMakeFiles/hbmrd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hbmrd_util.dir/table.cpp.o"
+  "CMakeFiles/hbmrd_util.dir/table.cpp.o.d"
+  "libhbmrd_util.a"
+  "libhbmrd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

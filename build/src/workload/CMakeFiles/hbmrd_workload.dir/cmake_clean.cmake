@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_workload.dir/traces.cpp.o"
+  "CMakeFiles/hbmrd_workload.dir/traces.cpp.o.d"
+  "libhbmrd_workload.a"
+  "libhbmrd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bender_assembly_test.dir/bender_assembly_test.cpp.o"
+  "CMakeFiles/bender_assembly_test.dir/bender_assembly_test.cpp.o.d"
+  "bender_assembly_test"
+  "bender_assembly_test.pdb"
+  "bender_assembly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bender_assembly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bender_executor_test.dir/bender_executor_test.cpp.o"
+  "CMakeFiles/bender_executor_test.dir/bender_executor_test.cpp.o.d"
+  "bender_executor_test"
+  "bender_executor_test.pdb"
+  "bender_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bender_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

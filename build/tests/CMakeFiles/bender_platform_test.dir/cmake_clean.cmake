@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bender_platform_test.dir/bender_platform_test.cpp.o"
+  "CMakeFiles/bender_platform_test.dir/bender_platform_test.cpp.o.d"
+  "bender_platform_test"
+  "bender_platform_test.pdb"
+  "bender_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bender_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

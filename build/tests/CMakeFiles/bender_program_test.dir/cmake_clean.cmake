@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bender_program_test.dir/bender_program_test.cpp.o"
+  "CMakeFiles/bender_program_test.dir/bender_program_test.cpp.o.d"
+  "bender_program_test"
+  "bender_program_test.pdb"
+  "bender_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bender_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

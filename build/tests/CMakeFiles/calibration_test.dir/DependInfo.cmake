@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/calibration_test.cpp" "tests/CMakeFiles/calibration_test.dir/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/calibration_test.dir/calibration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/hbmrd_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/hbmrd_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/hbmrd_shell_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hbmrd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/hbmrd_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/trr/CMakeFiles/hbmrd_trr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hbmrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/disturb/CMakeFiles/hbmrd_disturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/hbmrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/hbmrd_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbmrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

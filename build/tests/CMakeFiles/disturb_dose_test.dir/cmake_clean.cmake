@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disturb_dose_test.dir/disturb_dose_test.cpp.o"
+  "CMakeFiles/disturb_dose_test.dir/disturb_dose_test.cpp.o.d"
+  "disturb_dose_test"
+  "disturb_dose_test.pdb"
+  "disturb_dose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disturb_dose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disturb_fault_model_test.dir/disturb_fault_model_test.cpp.o"
+  "CMakeFiles/disturb_fault_model_test.dir/disturb_fault_model_test.cpp.o.d"
+  "disturb_fault_model_test"
+  "disturb_fault_model_test.pdb"
+  "disturb_fault_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disturb_fault_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

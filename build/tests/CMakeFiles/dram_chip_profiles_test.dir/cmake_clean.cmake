@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_chip_profiles_test.dir/dram_chip_profiles_test.cpp.o"
+  "CMakeFiles/dram_chip_profiles_test.dir/dram_chip_profiles_test.cpp.o.d"
+  "dram_chip_profiles_test"
+  "dram_chip_profiles_test.pdb"
+  "dram_chip_profiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_chip_profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

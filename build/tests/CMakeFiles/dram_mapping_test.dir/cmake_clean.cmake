@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_mapping_test.dir/dram_mapping_test.cpp.o"
+  "CMakeFiles/dram_mapping_test.dir/dram_mapping_test.cpp.o.d"
+  "dram_mapping_test"
+  "dram_mapping_test.pdb"
+  "dram_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_row_data_test.dir/dram_row_data_test.cpp.o"
+  "CMakeFiles/dram_row_data_test.dir/dram_row_data_test.cpp.o.d"
+  "dram_row_data_test"
+  "dram_row_data_test.pdb"
+  "dram_row_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_row_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_address_map_test.dir/study_address_map_test.cpp.o"
+  "CMakeFiles/study_address_map_test.dir/study_address_map_test.cpp.o.d"
+  "study_address_map_test"
+  "study_address_map_test.pdb"
+  "study_address_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_ber_hc_test.dir/study_ber_hc_test.cpp.o"
+  "CMakeFiles/study_ber_hc_test.dir/study_ber_hc_test.cpp.o.d"
+  "study_ber_hc_test"
+  "study_ber_hc_test.pdb"
+  "study_ber_hc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_ber_hc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_bypass_test.dir/study_bypass_test.cpp.o"
+  "CMakeFiles/study_bypass_test.dir/study_bypass_test.cpp.o.d"
+  "study_bypass_test"
+  "study_bypass_test.pdb"
+  "study_bypass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_bypass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

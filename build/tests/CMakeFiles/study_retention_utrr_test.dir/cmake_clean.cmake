@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_retention_utrr_test.dir/study_retention_utrr_test.cpp.o"
+  "CMakeFiles/study_retention_utrr_test.dir/study_retention_utrr_test.cpp.o.d"
+  "study_retention_utrr_test"
+  "study_retention_utrr_test.pdb"
+  "study_retention_utrr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_retention_utrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

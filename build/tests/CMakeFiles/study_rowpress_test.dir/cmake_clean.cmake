@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_rowpress_test.dir/study_rowpress_test.cpp.o"
+  "CMakeFiles/study_rowpress_test.dir/study_rowpress_test.cpp.o.d"
+  "study_rowpress_test"
+  "study_rowpress_test.pdb"
+  "study_rowpress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_rowpress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_wcdp_test.dir/study_wcdp_test.cpp.o"
+  "CMakeFiles/study_wcdp_test.dir/study_wcdp_test.cpp.o.d"
+  "study_wcdp_test"
+  "study_wcdp_test.pdb"
+  "study_wcdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_wcdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

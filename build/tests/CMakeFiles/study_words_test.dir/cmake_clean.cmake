@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_words_test.dir/study_words_test.cpp.o"
+  "CMakeFiles/study_words_test.dir/study_words_test.cpp.o.d"
+  "study_words_test"
+  "study_words_test.pdb"
+  "study_words_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_words_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmrd_shell.dir/hbmrd_shell.cpp.o"
+  "CMakeFiles/hbmrd_shell.dir/hbmrd_shell.cpp.o.d"
+  "hbmrd_shell"
+  "hbmrd_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmrd_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
