@@ -1,0 +1,164 @@
+// Ablation: fault injection vs campaign resilience.
+//
+// Sweeps the per-attempt transient-fault rate (plus a thermal-excursion and
+// a persistent-fault scenario) over the same HC_first + BER campaign and
+// reports, per rate: campaign completion, retry/quarantine counts, injected
+// faults, simulated campaign time — and result fidelity against the
+// fault-free baseline. The demonstration this harness exists for: injected
+// faults change the wall-clock and retry statistics, but the committed
+// scientific outputs stay bit-identical, because every fault is detected at
+// the session boundary and the trial re-measures under the pinned,
+// guard-banded environment.
+//
+// Acceptance: at a 1% transient rate the campaign completes >= 99% of
+// trials with 100% payload fidelity.
+#include "common.h"
+#include "study/ber.h"
+#include "study/hc_first.h"
+#include "study/row_selection.h"
+
+namespace {
+
+using namespace hbmrd;
+
+struct Scenario {
+  std::string label;
+  double transient_rate = 0.0;
+  double thermal_rate = 0.0;
+  double persistent_rate = 0.0;
+};
+
+struct Outcome {
+  runner::CampaignReport report;
+  fault::FaultyChip::Stats stats;
+  /// Payload cells of every ok trial, keyed by trial key.
+  std::vector<std::pair<std::string, std::vector<std::string>>> payloads;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hbmrd;
+  bench::BenchContext ctx(argc, argv,
+                          "Ablation: fault injection vs campaign resilience");
+  const int chip_index = static_cast<int>(ctx.cli().get_int("--chip", 1));
+  const int n_rows = ctx.rows(6, 96);
+  const auto& map = ctx.map_of(chip_index);
+  const auto profile =
+      dram::chip_profiles(static_cast<std::uint64_t>(ctx.cli().get_int(
+          "--seed",
+          static_cast<std::int64_t>(dram::kDefaultPlatformSeed))))
+          [static_cast<std::size_t>(chip_index)];
+
+  const std::vector<Scenario> scenarios = {
+      {"baseline (fault-free)", 0.0, 0.0, 0.0},
+      {"transient 1%", 0.01, 0.0, 0.0},
+      {"transient 5%", 0.05, 0.0, 0.0},
+      {"transient 20%", 0.20, 0.0, 0.0},
+      {"thermal 10%", 0.0, 0.10, 0.0},
+      {"transient 5% + persistent 5%", 0.05, 0.0, 0.05},
+  };
+
+  const auto run_scenario = [&](const Scenario& scenario) -> Outcome {
+    // A fresh chip per scenario: every campaign starts from the identical
+    // power-on testbed, so payload differences are attributable to the
+    // injected faults alone.
+    bender::HbmChip chip(profile);
+    runner::RunnerConfig config;
+    config.result_columns = {"value"};
+    config.faults.transient_rate = scenario.transient_rate;
+    config.faults.thermal_rate = scenario.thermal_rate;
+    config.faults.persistent_rate = scenario.persistent_rate;
+    runner::CampaignRunner campaign(chip, config);
+
+    std::vector<runner::CampaignRunner::Trial> trials;
+    for (int row : study::spread_rows(n_rows)) {
+      trials.push_back(
+          {"hcfirst:row" + std::to_string(row),
+           [&map, row](bender::ChipSession& session)
+               -> std::vector<std::string> {
+             study::HcSearchConfig config;
+             const auto hc = study::find_hc_first(session, map,
+                                                  {{0, 0, 0}, row}, config);
+             return {hc ? std::to_string(*hc) : ""};
+           }});
+    }
+    for (int row : study::spread_rows(n_rows)) {
+      trials.push_back(
+          {"ber:row" + std::to_string(row),
+           [&map, row](bender::ChipSession& session)
+               -> std::vector<std::string> {
+             study::BerConfig config;
+             const auto result = study::measure_row_ber(
+                 session, map, {{1, 0, 0}, row}, config);
+             return {std::to_string(result.bitflips)};
+           }});
+    }
+
+    Outcome outcome;
+    outcome.report = campaign.run(trials);
+    outcome.stats = campaign.session().stats();
+    for (const auto& record : outcome.report.records) {
+      if (record.status == runner::TrialStatus::kOk ||
+          record.status == runner::TrialStatus::kOkResumed) {
+        outcome.payloads.emplace_back(record.key, record.cells);
+      }
+    }
+    return outcome;
+  };
+
+  ctx.banner("Campaign: HC_first + BER sweep, " + std::to_string(2 * n_rows) +
+             " trials per scenario, chip " + std::to_string(chip_index));
+  const auto baseline = run_scenario(scenarios.front());
+
+  util::Table table({"scenario", "completion", "retries", "quarantined",
+                     "faults", "guard waits", "campaign s", "fidelity"});
+  bool all_ok = true;
+  for (const auto& scenario : scenarios) {
+    const auto outcome =
+        scenario.label == scenarios.front().label ? baseline
+                                                  : run_scenario(scenario);
+    // Fidelity: of the trials both campaigns completed, how many committed
+    // byte-identical payloads.
+    std::size_t compared = 0, identical = 0;
+    for (const auto& [key, cells] : outcome.payloads) {
+      for (const auto& [base_key, base_cells] : baseline.payloads) {
+        if (base_key != key) continue;
+        ++compared;
+        if (base_cells == cells) ++identical;
+        break;
+      }
+    }
+    const double fidelity =
+        compared == 0 ? 0.0
+                      : static_cast<double>(identical) /
+                            static_cast<double>(compared);
+    const double completion = outcome.report.completion_rate();
+    if (scenario.transient_rate <= 0.01 && scenario.persistent_rate == 0.0 &&
+        (completion < 0.99 || fidelity < 1.0)) {
+      all_ok = false;
+    }
+    table.row()
+        .cell(scenario.label)
+        .cell(util::format_double(100.0 * completion, 2) + "%")
+        .cell(static_cast<long long>(outcome.report.retries))
+        .cell(static_cast<long long>(outcome.report.quarantined))
+        .cell(static_cast<long long>(outcome.stats.injected_total))
+        .cell(util::format_double(outcome.report.guard_wait_s, 1) + " s")
+        .cell(util::format_double(outcome.report.campaign_seconds, 1))
+        .cell(util::format_double(100.0 * fidelity, 2) + "%");
+  }
+  table.print(std::cout);
+
+  ctx.banner("Checks");
+  ctx.compare("completion at 1% transient rate", ">= 99%",
+              all_ok ? "pass" : "FAIL");
+  ctx.compare("payload fidelity vs fault-free baseline at 1%", "100%",
+              all_ok ? "pass" : "FAIL");
+  std::cout << "(faults cost retries, backoff, and guard waits — never "
+               "results: quarantined trials are reported above, and every "
+               "committed payload re-measures identically because trials "
+               "re-initialize their rows and run pinned to the calibrated "
+               "setpoint)\n";
+  return all_ok ? 0 : 1;
+}

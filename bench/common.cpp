@@ -83,6 +83,53 @@ void BenchContext::banner(const std::string& section) const {
   util::print_banner(std::cout, section);
 }
 
+runner::RunnerConfig campaign_config(const util::Cli& cli,
+                                     std::vector<std::string> result_columns) {
+  runner::RunnerConfig config;
+  config.result_columns = std::move(result_columns);
+  config.results_path = cli.get_string("--results", "");
+  config.journal_path = cli.get_string("--journal", "");
+  config.resume = cli.has("--resume");
+  config.stop_after_trials =
+      static_cast<std::uint64_t>(cli.get_int("--stop-after", 0));
+  config.faults.transient_rate = cli.get_double("--fault-rate", 0.0);
+  config.faults.thermal_rate = cli.get_double("--thermal-rate", 0.0);
+  config.faults.persistent_rate = cli.get_double("--persistent-rate", 0.0);
+  config.faults.fatal_rate = cli.get_double("--fatal-rate", 0.0);
+  config.faults.seed = static_cast<std::uint64_t>(
+      cli.get_int("--fault-seed",
+                  static_cast<std::int64_t>(config.faults.seed)));
+  config.guard.enabled = !cli.has("--no-guard");
+  return config;
+}
+
+void print_campaign_report(std::ostream& out,
+                           const runner::CampaignReport& report,
+                           const fault::FaultyChip::Stats& stats) {
+  out << "Campaign: " << report.completed << " completed";
+  if (report.resumed > 0) out << ", " << report.resumed << " resumed";
+  out << ", " << report.quarantined << " quarantined, " << report.retries
+      << " retries, " << stats.injected_total << " faults injected";
+  if (stats.thermal_excursions > 0) {
+    out << ", " << stats.thermal_excursions << " thermal excursions";
+  }
+  out << " (completion "
+      << util::format_double(100.0 * report.completion_rate(), 2) << "%)\n";
+  out << "  simulated campaign time "
+      << util::format_double(report.campaign_seconds, 1) << " s ("
+      << util::format_double(report.guard_wait_s, 1) << " s guard waits over "
+      << report.guard_blocks << " blocks, "
+      << util::format_double(report.backoff_wait_s, 1)
+      << " s retry backoff)\n";
+  if (report.aborted) {
+    out << "  ABORTED: " << report.abort_reason
+        << " (checkpoint committed; rerun with --resume)\n";
+  }
+  for (const auto& key : report.quarantined_keys()) {
+    out << "  quarantined: " << key << "\n";
+  }
+}
+
 std::string ber_pct(double ber, int precision) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(precision) << (100.0 * ber) << "%";

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bender/platform.h"
+#include "runner/runner.h"
 #include "study/address_map.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -63,5 +64,25 @@ class BenchContext {
 
 /// Formats a BER as a percentage string.
 [[nodiscard]] std::string ber_pct(double ber, int precision = 3);
+
+/// Builds a campaign RunnerConfig from the shared resilience flags:
+///   --results FILE     checkpointed results CSV (resumable)
+///   --journal FILE     JSONL fault/retry journal
+///   --resume           skip trials already committed in --results
+///   --stop-after N     checkpoint + stop after N trials (kill point)
+///   --fault-rate R     per-attempt transient-fault probability
+///   --thermal-rate R   per-trial thermal-excursion probability
+///   --persistent-rate R  per-trial persistent-fault probability
+///   --fatal-rate R     per-trial host-crash probability
+///   --fault-seed N     fault plan seed (decoupled from --seed)
+///   --no-guard         disable the temperature guard band
+[[nodiscard]] runner::RunnerConfig campaign_config(
+    const util::Cli& cli, std::vector<std::string> result_columns);
+
+/// Prints the resilience summary of a finished campaign (completion,
+/// retries, quarantines, injected faults, guard/backoff waits).
+void print_campaign_report(std::ostream& out,
+                           const runner::CampaignReport& report,
+                           const fault::FaultyChip::Stats& stats);
 
 }  // namespace hbmrd::bench

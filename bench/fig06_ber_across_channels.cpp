@@ -1,9 +1,28 @@
 // Fig. 6 (Sec. 4.2): BER distribution across the eight 3D-stacked channels
 // of each chip. Channel pairs (dies) cluster; the per-channel spread within
 // a chip exceeds the chip-to-chip spread (Obsv. 7-11).
+//
+// The per-chip sweep runs through the resilient campaign runner: each
+// (channel, row) measurement is one checkpointed trial, so the sweep
+// survives injected session faults (--fault-rate) and can be killed and
+// continued with --results FILE --resume (one checkpoint per chip:
+// "--results out.csv" becomes "out.chipN.csv").
 #include "common.h"
 #include "study/ber.h"
 #include "study/row_selection.h"
+
+namespace {
+
+/// Per-chip checkpoint path: "out.csv" -> "out.chip3.csv".
+std::string per_chip_path(const std::string& path, int chip_index) {
+  if (path.empty()) return path;
+  const auto dot = path.rfind('.');
+  const std::string tag = ".chip" + std::to_string(chip_index);
+  if (dot == std::string::npos || dot == 0) return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hbmrd;
@@ -19,18 +38,43 @@ int main(int argc, char** argv) {
     auto& chip = ctx.platform().chip(chip_index);
     const auto& map = ctx.map_of(chip_index);
     ctx.banner(chip.profile().label + " (" + study::to_string(pattern) + ")");
+
+    auto config = bench::campaign_config(ctx.cli(), {"channel", "row", "ber"});
+    config.results_path = per_chip_path(config.results_path, chip_index);
+    config.journal_path = per_chip_path(config.journal_path, chip_index);
+    runner::CampaignRunner campaign(chip, config);
+
+    std::vector<runner::CampaignRunner::Trial> trials;
+    for (int ch = 0; ch < dram::kChannels; ++ch) {
+      for (int row : study::spread_rows(n_rows)) {
+        trials.push_back(
+            {"ch" + std::to_string(ch) + ":row" + std::to_string(row),
+             [&map, ch, row, pattern](
+                 bender::ChipSession& session) -> std::vector<std::string> {
+               study::BerConfig ber_config;
+               ber_config.pattern = pattern;
+               const auto result = study::measure_row_ber(
+                   session, map, {{ch, 0, 0}, row}, ber_config);
+               return {std::to_string(ch), std::to_string(row),
+                       util::format_double(result.ber, 8)};
+             }});
+      }
+    }
+    const auto report = campaign.run(trials);
+
     util::Table table({"Channel", "die", "mean BER", "max BER"});
     std::vector<double> channel_means;
     double total = 0.0;
     for (int ch = 0; ch < dram::kChannels; ++ch) {
-      study::BerConfig config;
-      config.pattern = pattern;
       std::vector<double> bers;
-      for (int row : study::spread_rows(n_rows)) {
-        bers.push_back(study::measure_row_ber(chip, map, {{ch, 0, 0}, row},
-                                              config)
-                           .ber);
+      for (const auto& record : report.records) {
+        if (record.cells.size() == 3 &&
+            record.cells[0] == std::to_string(ch) &&
+            !record.cells[2].empty()) {
+          bers.push_back(std::stod(record.cells[2]));
+        }
       }
+      if (bers.empty()) continue;
       const double mean = util::mean(bers);
       channel_means.push_back(mean);
       total += mean;
@@ -41,6 +85,9 @@ int main(int argc, char** argv) {
           .cell(bench::ber_pct(util::max_of(bers)));
     }
     table.print(std::cout);
+    bench::print_campaign_report(std::cout, report,
+                                 campaign.session().stats());
+    if (report.aborted) return 2;
     const double spread =
         util::max_of(channel_means) - util::min_of(channel_means);
     within_chip_spreads.push_back(spread);

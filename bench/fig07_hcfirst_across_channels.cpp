@@ -1,6 +1,11 @@
 // Fig. 7 (Sec. 4.2): HC_first distributions across channels and data
 // patterns (Obsv. 12-13: vulnerable channels have more small-HC_first rows;
 // the distribution shifts with the data pattern).
+//
+// This sweep runs through the resilient campaign runner: each
+// (channel, pattern, row) search is one checkpointed trial, so the sweep
+// survives injected session faults (--fault-rate) and can be killed and
+// continued with --results FILE --resume.
 #include "common.h"
 #include "study/hc_first.h"
 #include "study/row_selection.h"
@@ -15,23 +20,50 @@ int main(int argc, char** argv) {
   const auto& map = ctx.map_of(chip_index);
   const auto channels = ctx.channels(4);
 
-  util::Table table(
-      {"Channel", "Pattern", "min HC_first", "median", "mean"});
+  runner::CampaignRunner campaign(
+      chip, bench::campaign_config(
+                ctx.cli(), {"channel", "pattern", "row", "hc_first"}));
+  std::vector<runner::CampaignRunner::Trial> trials;
+  for (int ch : channels) {
+    for (auto pattern : study::kAllPatterns) {
+      for (int row : study::spread_rows(n_rows)) {
+        study::HcSearchConfig config;
+        config.pattern = pattern;
+        const std::string pattern_name = study::to_string(pattern);
+        trials.push_back(
+            {"ch" + std::to_string(ch) + ":" + pattern_name + ":row" +
+                 std::to_string(row),
+             [&map, ch, pattern_name, row, config](
+                 bender::ChipSession& session) -> std::vector<std::string> {
+               const auto hc = study::find_hc_first(session, map,
+                                                    {{ch, 0, 0}, row}, config);
+               return {std::to_string(ch), pattern_name, std::to_string(row),
+                       hc ? std::to_string(*hc) : ""};
+             }});
+      }
+    }
+  }
+  const auto report = campaign.run(trials);
+
+  // Aggregate the committed results (freshly measured and resumed alike).
+  util::Table table({"Channel", "Pattern", "min HC_first", "median", "mean"});
   std::vector<double> rs0_medians, rs1_medians;
   for (int ch : channels) {
     for (auto pattern : study::kAllPatterns) {
-      study::HcSearchConfig config;
-      config.pattern = pattern;
+      const std::string pattern_name = study::to_string(pattern);
       std::vector<double> hcs;
-      for (int row : study::spread_rows(n_rows)) {
-        const auto hc =
-            study::find_hc_first(chip, map, {{ch, 0, 0}, row}, config);
-        if (hc) hcs.push_back(static_cast<double>(*hc));
+      for (const auto& record : report.records) {
+        if (record.cells.size() != 4) continue;  // quarantined/not-run
+        if (record.cells[0] != std::to_string(ch) ||
+            record.cells[1] != pattern_name || record.cells[3].empty()) {
+          continue;
+        }
+        hcs.push_back(std::stod(record.cells[3]));
       }
       if (hcs.empty()) continue;
       table.row()
           .cell("CH" + std::to_string(ch))
-          .cell(study::to_string(pattern))
+          .cell(pattern_name)
           .cell(util::min_of(hcs), 0)
           .cell(util::median(hcs), 0)
           .cell(util::mean(hcs), 0);
@@ -44,9 +76,12 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  bench::print_campaign_report(std::cout, report,
+                               campaign.session().stats());
+  if (report.aborted) return 2;
 
   ctx.banner("Paper reference points (Obsv. 12-13, Takeaway 3)");
-  if (!rs0_medians.empty()) {
+  if (!rs0_medians.empty() && !rs1_medians.empty()) {
     ctx.compare("median HC_first Rowstripe0 vs Rowstripe1 (CH0 of Chip 1)",
                 "103905 vs 75990",
                 util::format_double(rs0_medians.front(), 0) + " vs " +

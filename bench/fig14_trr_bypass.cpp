@@ -3,6 +3,10 @@
 // count. Key findings reproduced: at least 4 dummy rows are needed; the
 // dummy count barely matters beyond that; BER grows with aggressor
 // activations.
+//
+// The (dummies, acts, row) grid runs through the resilient campaign
+// runner: the multi-hour full-scale sweep checkpoints every attack trial
+// and survives injected session faults (--fault-rate, --results/--resume).
 #include "common.h"
 #include "study/bypass.h"
 #include "study/row_selection.h"
@@ -21,28 +25,65 @@ int main(int argc, char** argv) {
   const std::vector<int> dummy_counts = {2, 3, 4, 5, 6, 7, 8};
   const std::vector<int> aggressor_acts = {18, 24, 30, 34};
 
+  std::vector<int> victims;
+  for (int row : study::middle_rows(n_rows * 16)) {
+    if (static_cast<int>(victims.size()) >= n_rows) break;
+    if (row % 16 != 1) continue;  // spread the victims out
+    victims.push_back(row);
+  }
+
+  runner::CampaignRunner campaign(
+      chip,
+      bench::campaign_config(
+          ctx.cli(),
+          {"dummies", "aggr_acts", "row", "acts_per_dummy", "ber", "flips"}));
+  std::vector<runner::CampaignRunner::Trial> trials;
+  for (int dummies : dummy_counts) {
+    for (int acts : aggressor_acts) {
+      for (int row : victims) {
+        study::BypassConfig config;
+        config.dummy_rows = dummies;
+        config.aggressor_acts = acts;
+        config.windows = windows;
+        trials.push_back(
+            {"d" + std::to_string(dummies) + ":a" + std::to_string(acts) +
+                 ":row" + std::to_string(row),
+             [&map, dummies, acts, row, config](
+                 bender::ChipSession& session) -> std::vector<std::string> {
+               const auto result = study::run_bypass_attack(
+                   session, map, {{0, 0, 0}, row}, config);
+               return {std::to_string(dummies), std::to_string(acts),
+                       std::to_string(row),
+                       std::to_string(result.plan.acts_per_dummy),
+                       util::format_double(result.ber, 8),
+                       std::to_string(result.bitflips)};
+             }});
+      }
+    }
+  }
+  const auto report = campaign.run(trials);
+
   util::Table table({"dummies", "aggr acts", "acts/dummy", "mean BER",
                      "max BER", "rows w/ flips"});
   double mean_at_18 = 0, mean_at_24 = 0, mean_at_30 = 0, mean_at_34 = 0;
   int min_dummies_with_flips = 99;
   for (int dummies : dummy_counts) {
     for (int acts : aggressor_acts) {
-      study::BypassConfig config;
-      config.dummy_rows = dummies;
-      config.aggressor_acts = acts;
-      config.windows = windows;
       std::vector<double> bers;
       int rows_with_flips = 0;
-      study::BypassPlan plan;
-      for (int row : study::middle_rows(n_rows * 16)) {
-        if (static_cast<int>(bers.size()) >= n_rows) break;
-        if (row % 16 != 1) continue;  // spread the victims out
-        const auto result =
-            study::run_bypass_attack(chip, map, {{0, 0, 0}, row}, config);
-        plan = result.plan;
-        bers.push_back(result.ber);
-        if (result.bitflips > 0) ++rows_with_flips;
+      long long acts_per_dummy = 0;
+      for (const auto& record : report.records) {
+        if (record.cells.size() != 6 ||
+            record.cells[0] != std::to_string(dummies) ||
+            record.cells[1] != std::to_string(acts) ||
+            record.cells[4].empty()) {
+          continue;
+        }
+        acts_per_dummy = std::stoll(record.cells[3]);
+        bers.push_back(std::stod(record.cells[4]));
+        if (std::stoi(record.cells[5]) > 0) ++rows_with_flips;
       }
+      if (bers.empty()) continue;
       const double mean = util::mean(bers);
       if (rows_with_flips > 0) {
         min_dummies_with_flips = std::min(min_dummies_with_flips, dummies);
@@ -54,13 +95,16 @@ int main(int argc, char** argv) {
       table.row()
           .cell(dummies)
           .cell(acts)
-          .cell(plan.acts_per_dummy)
+          .cell(acts_per_dummy)
           .cell(bench::ber_pct(mean))
           .cell(bench::ber_pct(util::max_of(bers)))
           .cell(rows_with_flips);
     }
   }
   table.print(std::cout);
+  bench::print_campaign_report(std::cout, report,
+                               campaign.session().stats());
+  if (report.aborted) return 2;
   const auto counters = chip.stack().total_counters();
   std::cout << "Device counters: " << counters.activations
             << " ACTs observed, " << counters.defense_victim_refreshes

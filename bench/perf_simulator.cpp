@@ -7,6 +7,7 @@
 #include <array>
 
 #include "bender/executor.h"
+#include "bender/platform.h"
 #include "bender/program.h"
 #include "study/address_map.h"
 #include "study/hc_first.h"

@@ -9,21 +9,6 @@ namespace hbmrd::bender {
 
 namespace {
 
-dram::StackConfig make_stack_config(const dram::ChipProfile& profile) {
-  dram::StackConfig config;
-  config.disturb = profile.disturb;
-  config.mapping = profile.mapping;
-  config.initial_temperature_c = profile.temperature_controlled
-                                     ? profile.target_temperature_c
-                                     : profile.ambient_temperature_c;
-  if (profile.has_undocumented_trr) {
-    config.defense_factory = [](const dram::BankAddress&) {
-      return std::make_unique<trr::UndocumentedTrr>();
-    };
-  }
-  return config;
-}
-
 thermal::TemperatureRig make_rig(const dram::ChipProfile& profile) {
   const std::uint64_t seed =
       util::hash_key(profile.disturb.seed, 0x7e39ull, profile.index);
@@ -39,9 +24,24 @@ thermal::TemperatureRig make_rig(const dram::ChipProfile& profile) {
 
 }  // namespace
 
+dram::StackConfig HbmChip::stack_config() const {
+  dram::StackConfig config;
+  config.disturb = profile_.disturb;
+  config.mapping = profile_.mapping;
+  config.initial_temperature_c = profile_.temperature_controlled
+                                     ? profile_.target_temperature_c
+                                     : profile_.ambient_temperature_c;
+  if (profile_.has_undocumented_trr) {
+    config.defense_factory = [](const dram::BankAddress&) {
+      return std::make_unique<trr::UndocumentedTrr>();
+    };
+  }
+  return config;
+}
+
 HbmChip::HbmChip(dram::ChipProfile profile)
     : profile_(std::move(profile)),
-      stack_(std::make_unique<dram::Stack>(make_stack_config(profile_))),
+      stack_(std::make_unique<dram::Stack>(stack_config())),
       rig_(make_rig(profile_)),
       executor_(stack_.get()) {
   stack_->set_temperature(rig_.temperature_c());
@@ -52,7 +52,23 @@ void HbmChip::sync_thermal() {
   if (elapsed == 0) return;
   rig_.advance(dram::cycles_to_seconds(elapsed));
   thermal_synced_at_ = executor_.now();
-  stack_->set_temperature(rig_.temperature_c());
+  stack_->set_temperature(pinned_c_ ? *pinned_c_ : rig_.temperature_c());
+}
+
+void HbmChip::power_cycle() {
+  // The stack reboots into its deterministic power-on state (the same
+  // "silicon lottery" as at construction); the executor's clock and bank
+  // schedule restart with it. The rig is untouched: heater, fan, and chip
+  // temperature do not care about the board's power rail.
+  stack_ = std::make_unique<dram::Stack>(stack_config());
+  executor_ = Executor(stack_.get());
+  thermal_synced_at_ = 0;
+  stack_->set_temperature(pinned_c_ ? *pinned_c_ : rig_.temperature_c());
+}
+
+void HbmChip::pin_temperature(std::optional<double> celsius) {
+  pinned_c_ = celsius;
+  stack_->set_temperature(pinned_c_ ? *pinned_c_ : rig_.temperature_c());
 }
 
 ExecutionResult HbmChip::run(const Program& program) {
@@ -61,58 +77,10 @@ ExecutionResult HbmChip::run(const Program& program) {
   return result;
 }
 
-void HbmChip::write_row(const dram::RowAddress& address,
-                        const dram::RowBits& bits) {
-  ProgramBuilder builder;
-  builder.write_row(address.bank, address.row, bits);
-  run(std::move(builder).build());
-}
-
-dram::RowBits HbmChip::read_row(const dram::RowAddress& address) {
-  ProgramBuilder builder;
-  builder.read_row(address.bank, address.row);
-  return run(std::move(builder).build()).row(0);
-}
-
-void HbmChip::hammer(const dram::BankAddress& bank, std::span<const int> rows,
-                     std::uint64_t count, dram::Cycle on_cycles) {
-  ProgramBuilder builder;
-  builder.hammer(bank, rows, count, on_cycles);
-  run(std::move(builder).build());
-}
-
 void HbmChip::idle(double seconds) {
   if (seconds < 0.0) throw std::invalid_argument("negative idle time");
   executor_.advance(dram::seconds_to_cycles(seconds));
   sync_thermal();
-}
-
-void HbmChip::idle_with_refresh(double seconds, int channel) {
-  if (seconds < 0.0) throw std::invalid_argument("negative idle time");
-  const auto t_refi = stack_->timing().t_refi;
-  const auto refs = dram::seconds_to_cycles(seconds) / t_refi;
-  if (refs == 0) {
-    idle(seconds);
-    return;
-  }
-  ProgramBuilder builder;
-  builder.loop_begin(refs);
-  builder.ref(channel);
-  builder.wait(t_refi - 1);  // REF issue occupies one bus cycle
-  builder.loop_end();
-  run(std::move(builder).build());
-}
-
-void HbmChip::set_ecc_enabled(bool on) {
-  ProgramBuilder builder;
-  auto mr4 = stack_->mode_register_read(dram::ModeRegisters::kEccRegister);
-  if (on) {
-    mr4 |= dram::ModeRegisters::kEccBit;
-  } else {
-    mr4 &= ~dram::ModeRegisters::kEccBit;
-  }
-  builder.mrs(dram::ModeRegisters::kEccRegister, mr4);
-  run(std::move(builder).build());
 }
 
 double HbmChip::temperature_c() {

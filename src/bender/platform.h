@@ -1,68 +1,72 @@
 // The FPGA-based testbed (paper Fig. 2): six boards, each carrying one HBM2
 // stack, a temperature rig (closed-loop on Chip 0), and a DRAM Bender host
 // session. This is the top of the substrate; the characterization library
-// (src/study/) talks exclusively to this API.
+// (src/study/) talks to it through the ChipSession interface.
 #pragma once
 
 #include <memory>
-#include <span>
+#include <optional>
 #include <vector>
 
-#include "bender/executor.h"
-#include "bender/program.h"
+#include "bender/session.h"
 #include "dram/chip_profiles.h"
 #include "dram/stack.h"
 #include "thermal/rig.h"
 
 namespace hbmrd::bender {
 
-class HbmChip {
+class HbmChip : public ChipSession {
  public:
   explicit HbmChip(dram::ChipProfile profile);
 
   HbmChip(const HbmChip&) = delete;
   HbmChip& operator=(const HbmChip&) = delete;
 
-  [[nodiscard]] const dram::ChipProfile& profile() const { return profile_; }
+  [[nodiscard]] const dram::ChipProfile& profile() const override {
+    return profile_;
+  }
 
-  /// Runs a program; the chip's thermal state advances by the elapsed time.
-  ExecutionResult run(const Program& program);
+  ExecutionResult run(const Program& program) override;
+  void idle(double seconds) override;
 
-  // -- SoftMC-style convenience wrappers (each runs a small program) --------
+  [[nodiscard]] dram::Cycle now() const override { return executor_.now(); }
+  [[nodiscard]] double temperature_c() override;
 
-  void write_row(const dram::RowAddress& address, const dram::RowBits& bits);
-  [[nodiscard]] dram::RowBits read_row(const dram::RowAddress& address);
+  /// Board power cycle: the host session is lost, the executor clock
+  /// restarts at 0, and DRAM contents revert to (deterministic) power-on
+  /// state — everything an experiment wrote is gone. The thermal rig is
+  /// physically independent of the board and keeps its state.
+  void power_cycle();
 
-  /// Hammers the given rows in order `count` times, each activation keeping
-  /// the row open for `on_cycles` (0 = minimum tRAS).
-  void hammer(const dram::BankAddress& bank, std::span<const int> rows,
-              std::uint64_t count, dram::Cycle on_cycles = 0);
+  /// Alias for power_cycle(); the recovery path after a hung session.
+  void reset() { power_cycle(); }
 
-  /// Idle time without any commands (DRAM decays; Sec. 7 retention probes).
-  void idle(double seconds);
-
-  /// Idle time while issuing REF to one channel every tREFI.
-  void idle_with_refresh(double seconds, int channel);
-
-  /// ECC mode register (disabled for characterization, Sec. 3.1).
-  void set_ecc_enabled(bool on);
-
-  [[nodiscard]] dram::Cycle now() const { return executor_.now(); }
-  [[nodiscard]] double temperature_c();
+  /// Pins the device temperature the stack sees to a fixed value; the rig
+  /// keeps advancing in real time underneath. The campaign runner pins
+  /// trials to the calibrated setpoint once the rig has been validated to
+  /// sit inside the guard band (the paper's "all results at 82 C"
+  /// discipline), which is what makes retried and resumed trials
+  /// bit-identical. std::nullopt unpins.
+  void pin_temperature(std::optional<double> celsius);
+  [[nodiscard]] std::optional<double> pinned_temperature() const {
+    return pinned_c_;
+  }
 
   // -- Backdoors for tests and diagnostics (not part of the host protocol) --
 
-  [[nodiscard]] dram::Stack& stack() { return *stack_; }
+  [[nodiscard]] dram::Stack& stack() override { return *stack_; }
   [[nodiscard]] thermal::TemperatureRig& rig() { return rig_; }
 
  private:
   void sync_thermal();
+  [[nodiscard]] dram::StackConfig stack_config() const;
 
   dram::ChipProfile profile_;
   std::unique_ptr<dram::Stack> stack_;
   thermal::TemperatureRig rig_;
   Executor executor_;
   dram::Cycle thermal_synced_at_ = 0;
+  std::optional<double> pinned_c_;
 };
 
 /// All six boards of the testbed (Table 3).

@@ -1,0 +1,61 @@
+// The host-side chip session: the interface through which the
+// characterization library (src/study/) and the campaign runner
+// (src/runner/) talk to one HBM2 stack.
+//
+// A session is the unit that fails in a long campaign: the DRAM Bender host
+// process, its readout link, and the board it drives. Splitting the
+// interface from HbmChip lets src/fault/ interpose a FaultyChip that
+// injects link corruption, hangs, and board resets without the study code
+// knowing — the study layer is written against ChipSession only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bender/executor.h"
+#include "bender/program.h"
+#include "dram/chip_profiles.h"
+#include "dram/stack.h"
+
+namespace hbmrd::bender {
+
+class ChipSession {
+ public:
+  virtual ~ChipSession() = default;
+
+  [[nodiscard]] virtual const dram::ChipProfile& profile() const = 0;
+
+  /// Runs a program; the chip's thermal state advances by the elapsed time.
+  virtual ExecutionResult run(const Program& program) = 0;
+
+  /// Idle time without any commands (DRAM decays; Sec. 7 retention probes).
+  virtual void idle(double seconds) = 0;
+
+  [[nodiscard]] virtual dram::Cycle now() const = 0;
+  [[nodiscard]] virtual double temperature_c() = 0;
+
+  /// Device backdoor for tests and diagnostics (not part of the host
+  /// protocol). Faults never live below this line: a FaultyChip forwards
+  /// stack() to the real device.
+  [[nodiscard]] virtual dram::Stack& stack() = 0;
+
+  // -- SoftMC-style convenience wrappers (each runs a small program) --------
+  // Implemented on run()/stack() so that session-layer faults apply to all
+  // of them uniformly.
+
+  void write_row(const dram::RowAddress& address, const dram::RowBits& bits);
+  [[nodiscard]] dram::RowBits read_row(const dram::RowAddress& address);
+
+  /// Hammers the given rows in order `count` times, each activation keeping
+  /// the row open for `on_cycles` (0 = minimum tRAS).
+  void hammer(const dram::BankAddress& bank, std::span<const int> rows,
+              std::uint64_t count, dram::Cycle on_cycles = 0);
+
+  /// Idle time while issuing REF to one channel every tREFI.
+  void idle_with_refresh(double seconds, int channel);
+
+  /// ECC mode register (disabled for characterization, Sec. 3.1).
+  void set_ecc_enabled(bool on);
+};
+
+}  // namespace hbmrd::bender

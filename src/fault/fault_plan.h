@@ -1,0 +1,116 @@
+// Deterministic, seeded fault injection for long characterization campaigns.
+//
+// The paper's results come from months of unattended sweeps on six
+// FPGA-hosted boards (Sec. 3, Fig. 2) — a substrate where host sessions
+// hang, readout links corrupt data, boards reset and lose DRAM contents,
+// and the Chip-0 thermal rig drifts out of its 82 C band (Fig. 3). This
+// layer reproduces those failure modes on the simulated testbed so that the
+// campaign runner's recovery machinery (src/runner/) can be exercised and
+// regression-tested.
+//
+// Every fault is a pure function of (plan seed, trial index, attempt
+// number): re-running a campaign with the same plan replays the exact same
+// fault sequence, and a retried attempt sees a fresh, independent draw —
+// which is what makes recovery behavior assertable in tests.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hbmrd::fault {
+
+/// How the campaign runner must react to a fault.
+enum class FaultClass {
+  kTransient,   // retry with backoff
+  kPersistent,  // quarantine the trial (row) and continue
+  kFatal,       // abort the campaign, journal intact
+};
+
+enum class FaultKind {
+  kNone = 0,
+  kReadoutBitCorrupt,   // link flips a few bits; CRC flags the transfer
+  kReadoutWordCorrupt,  // link garbles whole words; CRC flags the transfer
+  kReadoutTruncation,   // readout ends short of the expected payload
+  kCommandTimeout,      // session hangs; host watchdog kills + restarts it
+  kSessionReset,        // board power-cycles; DRAM contents are lost
+  kStuckReadout,        // persistent: this trial's readout fails every time
+  kHostCrash,           // fatal: the host process dies mid-campaign
+};
+inline constexpr int kFaultKindCount = 8;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+[[nodiscard]] const char* to_string(FaultClass cls);
+[[nodiscard]] FaultClass fault_class(FaultKind kind);
+
+/// Thrown by FaultyChip at the session boundary; caught and classified by
+/// the campaign runner.
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(FaultKind kind)
+      : std::runtime_error(std::string("injected fault: ") + to_string(kind)),
+        kind_(kind) {}
+
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] FaultClass fault_class() const {
+    return fault::fault_class(kind_);
+  }
+
+ private:
+  FaultKind kind_;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0x5eedfa17ull;
+
+  /// P(one transient fault fires during an attempt). Independent per
+  /// attempt, so a retry at rate r completes with P = 1 - r^max_attempts.
+  double transient_rate = 0.0;
+  /// P(a trial begins with a thermal excursion pushed into the rig).
+  double thermal_rate = 0.0;
+  /// P(a trial is persistently faulty: every attempt fails -> quarantine).
+  double persistent_rate = 0.0;
+  /// P(the host crashes at a trial: the campaign aborts and must resume).
+  double fatal_rate = 0.0;
+
+  /// Magnitude of injected thermal excursions (sign drawn per trial).
+  double excursion_delta_c = 6.0;
+  /// Simulated time a hung session burns before the watchdog kills it.
+  double watchdog_s = 30.0;
+
+  [[nodiscard]] bool fault_free() const {
+    return transient_rate <= 0.0 && thermal_rate <= 0.0 &&
+           persistent_rate <= 0.0 && fatal_rate <= 0.0;
+  }
+};
+
+/// The per-trial fault schedule, lazily evaluated from the seed.
+class FaultPlan {
+ public:
+  FaultPlan() = default;  // fault-free
+  explicit FaultPlan(FaultPlanConfig config) : config_(config) {}
+
+  struct AttemptSchedule {
+    /// Fault to inject at the first eligible operation of the attempt
+    /// (kNone = clean attempt).
+    FaultKind kind = FaultKind::kNone;
+    /// Thermal excursion to push into the rig when the attempt begins
+    /// (0 = none; only ever non-zero on a trial's first attempt).
+    double excursion_delta_c = 0.0;
+  };
+
+  /// The schedule for one (trial, attempt); attempts are 1-based.
+  /// `incarnation` counts how many checkpoint rows existed when the run
+  /// started; it keys only the fatal-fault draw, so a host crash does not
+  /// deterministically recur on the same trial after a resume, while every
+  /// result-relevant draw stays identical across resumes.
+  [[nodiscard]] AttemptSchedule attempt(std::uint64_t trial, int attempt,
+                                        std::uint64_t incarnation = 0) const;
+
+  [[nodiscard]] const FaultPlanConfig& config() const { return config_; }
+
+ private:
+  FaultPlanConfig config_;
+};
+
+}  // namespace hbmrd::fault

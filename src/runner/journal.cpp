@@ -1,0 +1,85 @@
+#include "runner/journal.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbmrd::runner {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
+Journal::Journal(const std::string& path, bool append) : path_(path) {
+  if (path.empty()) return;
+  out_.open(path, append ? std::ios::out | std::ios::app
+                         : std::ios::out | std::ios::trunc);
+  if (!out_) throw std::runtime_error("Journal: cannot open " + path);
+}
+
+void Journal::commit(const std::string& line) { out_ << line << "}\n"; }
+
+Journal::Event::Event(Journal* journal, const std::string& type)
+    : journal_(journal) {
+  if (journal_ == nullptr) return;
+  line_ = "{\"event\":\"" + json_escape(type) + "\"";
+}
+
+Journal::Event::~Event() {
+  if (journal_ != nullptr) journal_->commit(line_);
+}
+
+Journal::Event& Journal::Event::field(const std::string& key,
+                                      const std::string& value) {
+  if (journal_ != nullptr) {
+    line_ += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  return *this;
+}
+
+Journal::Event& Journal::Event::field(const std::string& key,
+                                      const char* value) {
+  return field(key, std::string(value));
+}
+
+Journal::Event& Journal::Event::field(const std::string& key,
+                                      std::uint64_t value) {
+  if (journal_ != nullptr) {
+    line_ += ",\"" + json_escape(key) + "\":" + std::to_string(value);
+  }
+  return *this;
+}
+
+Journal::Event& Journal::Event::field(const std::string& key, int value) {
+  if (journal_ != nullptr) {
+    line_ += ",\"" + json_escape(key) + "\":" + std::to_string(value);
+  }
+  return *this;
+}
+
+Journal::Event& Journal::Event::field(const std::string& key, double value,
+                                      int precision) {
+  if (journal_ != nullptr) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    line_ += ",\"" + json_escape(key) + "\":" + out.str();
+  }
+  return *this;
+}
+
+}  // namespace hbmrd::runner

@@ -1,0 +1,62 @@
+// Append-only JSONL campaign journal.
+//
+// Every recovery-relevant event of a campaign (faults, retries, backoff
+// delays, guard-band waits, quarantines, the final summary) is committed to
+// the journal as one JSON object per line. All fields are derived from the
+// simulation (seeded faults, simulated rig time) — never from wall clocks —
+// so the same (seed, plan) produces a byte-identical journal, which the
+// tests assert.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace hbmrd::runner {
+
+class Journal {
+ public:
+  /// path "" = disabled (events are dropped). `append` keeps an existing
+  /// journal and continues it (resume).
+  explicit Journal(const std::string& path = "", bool append = false);
+
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// One JSON object, committed to disk when it goes out of scope.
+  class Event {
+   public:
+    Event(Journal* journal, const std::string& type);
+    ~Event();
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    Event& field(const std::string& key, const std::string& value);
+    Event& field(const std::string& key, const char* value);
+    Event& field(const std::string& key, std::uint64_t value);
+    Event& field(const std::string& key, int value);
+    /// Fixed-precision double (deterministic formatting).
+    Event& field(const std::string& key, double value, int precision = 3);
+
+   private:
+    Journal* journal_;
+    std::string line_;
+  };
+
+  [[nodiscard]] Event event(const std::string& type) {
+    return Event(enabled() ? this : nullptr, type);
+  }
+
+  void flush() {
+    if (enabled()) out_.flush();
+  }
+
+ private:
+  friend class Event;
+  void commit(const std::string& line);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace hbmrd::runner

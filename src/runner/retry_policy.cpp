@@ -1,0 +1,25 @@
+#include "runner/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hbmrd::runner {
+
+namespace {
+constexpr std::uint64_t kSaltBackoff = 0xba0f'0001;
+}
+
+double RetryPolicy::backoff_s(std::uint64_t seed, std::uint64_t trial,
+                              int attempt) const {
+  const double envelope = std::min(
+      max_delay_s,
+      3.0 * base_delay_s * std::pow(2.0, static_cast<double>(attempt - 1)));
+  const double u = util::uniform(seed, trial,
+                                 static_cast<std::uint64_t>(attempt),
+                                 kSaltBackoff);
+  return base_delay_s + u * std::max(0.0, envelope - base_delay_s);
+}
+
+}  // namespace hbmrd::runner

@@ -1,0 +1,29 @@
+// Bounded retry with exponential backoff and decorrelated jitter.
+//
+// Jitter is derived from the counter-based RNG (seed, trial, attempt), not
+// from a stateful stream or a wall clock: the delay a given retry sleeps is
+// reproducible, so journals and campaign wall-clock accounting are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace hbmrd::runner {
+
+struct RetryPolicy {
+  /// Total tries per trial (first attempt included). Transient faults
+  /// beyond this are escalated to quarantine.
+  int max_attempts = 5;
+  /// Backoff floor: the delay before the first retry starts here.
+  double base_delay_s = 0.5;
+  /// Backoff ceiling.
+  double max_delay_s = 60.0;
+
+  /// Delay slept before retrying after `attempt` failed (1-based).
+  /// Uniform in [base, min(max, 3 * base * 2^(attempt-1))] — exponential
+  /// envelope, decorrelated jitter inside it.
+  [[nodiscard]] double backoff_s(std::uint64_t seed, std::uint64_t trial,
+                                 int attempt) const;
+};
+
+}  // namespace hbmrd::runner

@@ -1,0 +1,355 @@
+#include "runner/runner.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/csv.h"
+
+namespace hbmrd::runner {
+
+namespace {
+
+/// Pseudo-fault label for a guard band that never recovered in time.
+constexpr const char* kGuardTimeout = "guard-band-timeout";
+constexpr const char* kTrialTimeout = "trial-timeout";
+
+struct CheckpointRow {
+  TrialStatus status = TrialStatus::kOkResumed;
+  std::vector<std::string> cells;
+};
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+void validate_cell(const std::string& cell, const char* what) {
+  if (cell.find_first_of(",\"\n") != std::string::npos) {
+    throw std::invalid_argument(
+        std::string("CampaignRunner: ") + what +
+        " must not contain commas, quotes, or newlines: " + cell);
+  }
+}
+
+}  // namespace
+
+const char* to_string(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kOk: return "ok";
+    case TrialStatus::kOkResumed: return "ok";  // same on-disk status
+    case TrialStatus::kQuarantined: return "quarantined";
+    case TrialStatus::kNotRun: return "not-run";
+  }
+  return "unknown";
+}
+
+double CampaignReport::completion_rate() const {
+  const auto attempted = completed + resumed + quarantined;
+  if (attempted == 0) return 1.0;
+  return static_cast<double>(completed + resumed) /
+         static_cast<double>(attempted);
+}
+
+std::vector<std::string> CampaignReport::quarantined_keys() const {
+  std::vector<std::string> keys;
+  for (const auto& record : records) {
+    if (record.status == TrialStatus::kQuarantined) keys.push_back(record.key);
+  }
+  return keys;
+}
+
+CampaignRunner::CampaignRunner(bender::HbmChip& chip, RunnerConfig config)
+    : chip_(chip),
+      config_(std::move(config)),
+      faulty_(chip, fault::FaultPlan(config_.faults)) {}
+
+double CampaignRunner::setpoint_c() const {
+  const auto& profile = chip_.profile();
+  return profile.temperature_controlled ? profile.target_temperature_c
+                                        : profile.ambient_temperature_c;
+}
+
+double CampaignRunner::band_c() const {
+  if (config_.guard.band_c > 0.0) return config_.guard.band_c;
+  return chip_.profile().temperature_controlled ? 1.0 : 3.0;
+}
+
+bool CampaignRunner::wait_for_guard_band(Journal& journal,
+                                         CampaignReport& report,
+                                         const std::string& key,
+                                         int attempt) {
+  if (!config_.guard.enabled) return true;
+  const double target = setpoint_c();
+  const double band = band_c();
+  double waited = 0.0;
+  while (true) {
+    // Read the physical rig sensor, not the (possibly pinned) device view.
+    const double measured = chip_.rig().temperature_c();
+    if (std::abs(measured - target) <= band) {
+      if (waited > 0.0) {
+        ++report.guard_blocks;
+        report.guard_wait_s += waited;
+        journal.event("guard-wait")
+            .field("trial", key)
+            .field("attempt", attempt)
+            .field("waited_s", waited, 1)
+            .field("measured_c", measured, 2);
+      }
+      return true;
+    }
+    if (waited >= config_.guard.max_wait_s) {
+      journal.event("guard-timeout")
+          .field("trial", key)
+          .field("attempt", attempt)
+          .field("waited_s", waited, 1)
+          .field("measured_c", measured, 2);
+      report.guard_wait_s += waited;
+      ++report.guard_blocks;
+      return false;
+    }
+    chip_.idle(config_.guard.poll_s);
+    waited += config_.guard.poll_s;
+  }
+}
+
+CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
+  const auto width = config_.result_columns.size();
+  std::vector<std::string> header = {"trial", "status"};
+  header.insert(header.end(), config_.result_columns.begin(),
+                config_.result_columns.end());
+  for (const auto& trial : trials) validate_cell(trial.key, "trial key");
+
+  // -- Load the checkpoint (resume): committed rows are skipped. A partial
+  // trailing line from a mid-write kill is discarded by rewriting the file
+  // with only the complete rows before appending continues.
+  std::unordered_map<std::string, CheckpointRow> committed;
+  std::vector<std::string> committed_lines;
+  if (config_.resume && !config_.results_path.empty()) {
+    std::ifstream in(config_.results_path);
+    if (in) {
+      std::string contents((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+      std::istringstream lines(contents);
+      std::string line;
+      bool first = true;
+      std::size_t consumed = 0;
+      while (std::getline(lines, line)) {
+        const bool terminated = consumed + line.size() < contents.size() &&
+                                contents[consumed + line.size()] == '\n';
+        consumed += line.size() + 1;
+        if (!terminated) break;  // partial trailing write: uncommitted
+        const auto cells = split_csv_line(line);
+        if (first) {
+          first = false;
+          if (cells != header) {
+            throw std::runtime_error(
+                "CampaignRunner: checkpoint header mismatch in " +
+                config_.results_path);
+          }
+          continue;
+        }
+        if (cells.size() != 2 + width) break;  // corrupt tail: stop trusting
+        CheckpointRow row;
+        row.status = cells[1] == "quarantined" ? TrialStatus::kQuarantined
+                                               : TrialStatus::kOkResumed;
+        row.cells.assign(cells.begin() + 2, cells.end());
+        committed.emplace(cells[0], row);
+        committed_lines.push_back(line);
+      }
+    }
+    // Rewrite the checkpoint with exactly the rows we trust.
+    if (!committed.empty()) {
+      util::CsvWriter rewrite(config_.results_path, header);
+      for (const auto& line : committed_lines) {
+        rewrite.row(split_csv_line(line));
+      }
+      rewrite.flush();
+    }
+  }
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!config_.results_path.empty()) {
+    csv = std::make_unique<util::CsvWriter>(
+        config_.results_path, header,
+        config_.resume ? util::CsvWriter::Mode::kAppend
+                       : util::CsvWriter::Mode::kTruncate);
+  }
+
+  Journal journal(config_.journal_path, config_.resume);
+  const auto& faults = config_.faults;
+  journal.event(config_.resume && !committed.empty() ? "campaign-resume"
+                                                     : "campaign-begin")
+      .field("trials", static_cast<std::uint64_t>(trials.size()))
+      .field("committed", static_cast<std::uint64_t>(committed.size()))
+      .field("seed", faults.seed)
+      .field("transient_rate", faults.transient_rate, 4)
+      .field("thermal_rate", faults.thermal_rate, 4)
+      .field("persistent_rate", faults.persistent_rate, 4)
+      .field("fatal_rate", faults.fatal_rate, 4)
+      .field("setpoint_c", setpoint_c(), 1)
+      .field("band_c", band_c(), 2);
+
+  // Campaign incarnation: how many rows were already committed when this
+  // run started. Keys the fatal-fault draw so a crash does not deadlock
+  // the resumed campaign on the same trial (transient/persistent/thermal
+  // draws stay incarnation-independent, keeping results bit-identical).
+  faulty_.set_incarnation(static_cast<std::uint64_t>(committed.size()));
+
+  CampaignReport report;
+  std::uint64_t processed = 0;
+  const double rig_t0 = chip_.rig().time_s();
+
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto& trial = trials[i];
+    if (auto it = committed.find(trial.key); it != committed.end()) {
+      TrialRecord record;
+      record.key = trial.key;
+      record.status = it->second.status;
+      record.cells = it->second.cells;
+      ++report.resumed;
+      report.records.push_back(std::move(record));
+      continue;
+    }
+    if (config_.stop_after_trials != 0 &&
+        processed >= config_.stop_after_trials) {
+      report.aborted = true;
+      report.abort_reason = "stop-after-trials";
+      journal.event("campaign-stop")
+          .field("reason", report.abort_reason)
+          .field("processed", processed);
+      break;
+    }
+    ++processed;
+
+    TrialRecord record;
+    record.key = trial.key;
+    for (int attempt = 1; attempt <= config_.retry.max_attempts; ++attempt) {
+      record.attempts = attempt;
+      faulty_.begin_attempt(static_cast<std::uint64_t>(i), attempt);
+      std::string fault_kind;
+      fault::FaultClass fault_cls = fault::FaultClass::kTransient;
+
+      if (!wait_for_guard_band(journal, report, trial.key, attempt)) {
+        fault_kind = kGuardTimeout;
+      } else {
+        const double attempt_t0 = chip_.rig().time_s();
+        chip_.pin_temperature(setpoint_c());
+        try {
+          auto cells = trial.body(faulty_);
+          chip_.pin_temperature(std::nullopt);
+          if (cells.size() != width) {
+            throw std::logic_error(
+                "CampaignRunner: trial '" + trial.key + "' returned " +
+                std::to_string(cells.size()) + " cells, expected " +
+                std::to_string(width));
+          }
+          for (const auto& cell : cells) validate_cell(cell, "result cell");
+          const double attempt_s = chip_.rig().time_s() - attempt_t0;
+          if (config_.trial_timeout_s > 0.0 &&
+              attempt_s > config_.trial_timeout_s) {
+            fault_kind = kTrialTimeout;
+            journal.event("fault")
+                .field("trial", trial.key)
+                .field("attempt", attempt)
+                .field("kind", fault_kind)
+                .field("class", "transient")
+                .field("attempt_s", attempt_s, 1);
+          } else {
+            record.status = TrialStatus::kOk;
+            record.cells = std::move(cells);
+          }
+        } catch (const fault::FaultError& error) {
+          chip_.pin_temperature(std::nullopt);
+          fault_kind = fault::to_string(error.kind());
+          fault_cls = error.fault_class();
+          journal.event("fault")
+              .field("trial", trial.key)
+              .field("attempt", attempt)
+              .field("kind", fault_kind)
+              .field("class", fault::to_string(fault_cls));
+        }
+      }
+
+      if (record.status == TrialStatus::kOk) {
+        journal.event("trial-ok")
+            .field("trial", trial.key)
+            .field("attempts", attempt)
+            .field("rig_t", chip_.rig().time_s(), 1);
+        break;
+      }
+      if (fault_cls == fault::FaultClass::kFatal) {
+        report.aborted = true;
+        report.abort_reason = fault_kind;
+        journal.event("campaign-abort")
+            .field("trial", trial.key)
+            .field("reason", fault_kind)
+            .field("rig_t", chip_.rig().time_s(), 1);
+        journal.flush();
+        if (csv) csv->flush();
+        report.campaign_seconds = chip_.rig().time_s() - rig_t0;
+        return report;
+      }
+      if (fault_cls == fault::FaultClass::kPersistent ||
+          attempt == config_.retry.max_attempts) {
+        record.status = TrialStatus::kQuarantined;
+        record.quarantine_reason = fault_kind;
+        break;
+      }
+      const double delay =
+          config_.retry.backoff_s(faults.seed, static_cast<std::uint64_t>(i),
+                                  attempt);
+      ++report.retries;
+      report.backoff_wait_s += delay;
+      journal.event("retry")
+          .field("trial", trial.key)
+          .field("attempt", attempt)
+          .field("backoff_s", delay, 3);
+      chip_.idle(delay);
+    }
+
+    // -- Commit: one CSV row per finished trial (ok or quarantined).
+    if (record.status == TrialStatus::kQuarantined) {
+      ++report.quarantined;
+      journal.event("quarantine")
+          .field("trial", trial.key)
+          .field("attempts", record.attempts)
+          .field("reason", record.quarantine_reason);
+    } else {
+      ++report.completed;
+    }
+    if (csv) {
+      std::vector<std::string> row = {record.key, to_string(record.status)};
+      row.insert(row.end(), record.cells.begin(), record.cells.end());
+      row.resize(2 + width);  // quarantined rows: empty payload cells
+      csv->row(row);
+      csv->flush();
+    }
+    journal.flush();
+    report.records.push_back(std::move(record));
+  }
+
+  report.campaign_seconds = chip_.rig().time_s() - rig_t0;
+  const auto& stats = faulty_.stats();
+  journal.event("campaign-end")
+      .field("completed", report.completed)
+      .field("resumed", report.resumed)
+      .field("quarantined", report.quarantined)
+      .field("retries", report.retries)
+      .field("faults_injected", stats.injected_total)
+      .field("thermal_excursions", stats.thermal_excursions)
+      .field("guard_blocks", report.guard_blocks)
+      .field("guard_wait_s", report.guard_wait_s, 1)
+      .field("backoff_wait_s", report.backoff_wait_s, 1)
+      .field("campaign_s", report.campaign_seconds, 1);
+  journal.flush();
+  return report;
+}
+
+}  // namespace hbmrd::runner

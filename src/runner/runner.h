@@ -1,0 +1,140 @@
+// Resilient campaign runner for long characterization sweeps.
+//
+// The paper's data comes from months of unattended runs (Sec. 3); this
+// runner wraps each study trial with the discipline such a campaign needs:
+//
+//   * temperature guard band — a trial only starts once the rig sensor sits
+//     inside the profile's band (the paper's 82 C +- 1 C discipline,
+//     Fig. 3), and the device is pinned to the calibrated setpoint for the
+//     trial's duration so retried and resumed trials measure identically;
+//   * fault classification — transient session faults retry with
+//     exponential backoff + decorrelated jitter, persistent faults
+//     quarantine the trial (reported, never silently dropped), fatal faults
+//     abort with the journal intact;
+//   * checkpointed results — every completed trial commits one CSV row;
+//     --resume skips committed rows, so an interrupted sweep restarts from
+//     the last committed trial and reproduces the uninterrupted run's CSV
+//     byte for byte;
+//   * JSONL journal — attempts, faults, backoff and guard waits, and the
+//     campaign summary, all derived from simulated time (deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bender/platform.h"
+#include "fault/faulty_chip.h"
+#include "runner/journal.h"
+#include "runner/retry_policy.h"
+
+namespace hbmrd::runner {
+
+enum class TrialStatus {
+  kOk,           // completed this run
+  kOkResumed,    // found committed in the checkpoint, skipped
+  kQuarantined,  // persistent fault or retries exhausted; reported
+  kNotRun,       // campaign aborted before reaching this trial
+};
+
+[[nodiscard]] const char* to_string(TrialStatus status);
+
+struct TrialRecord {
+  std::string key;
+  TrialStatus status = TrialStatus::kNotRun;
+  int attempts = 0;
+  /// Result payload (one cell per configured result column); empty when
+  /// quarantined.
+  std::vector<std::string> cells;
+  std::string quarantine_reason;
+};
+
+struct GuardBandConfig {
+  bool enabled = true;
+  /// Half-width of the allowed band around the profile's setpoint.
+  /// 0 = auto: 1.0 C for temperature-controlled chips (paper Sec. 3),
+  /// 3.0 C for ambient chips (diurnal drift + sensor noise).
+  double band_c = 0.0;
+  /// Idle step between guard polls (simulated seconds).
+  double poll_s = 2.0;
+  /// Give up waiting after this long; the attempt counts as faulted.
+  double max_wait_s = 900.0;
+};
+
+struct RunnerConfig {
+  /// Fault injection plan; default = fault-free substrate.
+  fault::FaultPlanConfig faults;
+  RetryPolicy retry;
+  GuardBandConfig guard;
+  /// Attempts consuming more simulated time than this are discarded and
+  /// retried (0 = disabled; injected hangs are already bounded by the
+  /// fault plan's watchdog).
+  double trial_timeout_s = 0.0;
+  /// Checkpointed results CSV ("" = keep results in memory only).
+  std::string results_path;
+  /// JSONL event journal ("" = disabled).
+  std::string journal_path;
+  /// Names of the payload columns each trial produces.
+  std::vector<std::string> result_columns;
+  /// Skip trials already committed in results_path.
+  bool resume = false;
+  /// Stop (checkpointed, resumable) after this many trials have been
+  /// processed this run; 0 = run to completion. Test hook for kill/resume
+  /// and the natural sharding point for splitting campaigns across
+  /// workers.
+  std::uint64_t stop_after_trials = 0;
+};
+
+struct CampaignReport {
+  std::vector<TrialRecord> records;
+
+  std::uint64_t completed = 0;    // trials finishing ok this run
+  std::uint64_t resumed = 0;      // trials skipped via checkpoint
+  std::uint64_t quarantined = 0;  // this run
+  std::uint64_t retries = 0;      // extra attempts beyond each first
+  std::uint64_t guard_blocks = 0; // attempts the guard made wait
+  double guard_wait_s = 0.0;      // simulated time spent waiting for band
+  double backoff_wait_s = 0.0;    // simulated time spent backing off
+  double campaign_seconds = 0.0;  // simulated rig time the campaign took
+  bool aborted = false;
+  std::string abort_reason;
+
+  /// Fraction of attempted trials that produced a committed result.
+  [[nodiscard]] double completion_rate() const;
+  [[nodiscard]] std::vector<std::string> quarantined_keys() const;
+};
+
+class CampaignRunner {
+ public:
+  struct Trial {
+    /// Stable unique key (no commas/quotes); the checkpoint identity.
+    std::string key;
+    /// The measurement. Runs against the (possibly faulty) session; any
+    /// FaultError it lets escape is classified and handled by the runner.
+    std::function<std::vector<std::string>(bender::ChipSession&)> body;
+  };
+
+  CampaignRunner(bender::HbmChip& chip, RunnerConfig config);
+
+  /// Runs the campaign; trial indices (fault-plan keys) are positions in
+  /// `trials`, so the list must be identical across resumed runs.
+  CampaignReport run(const std::vector<Trial>& trials);
+
+  [[nodiscard]] fault::FaultyChip& session() { return faulty_; }
+  [[nodiscard]] const RunnerConfig& config() const { return config_; }
+
+  /// The guard/pin setpoint: the profile's controlled target or ambient.
+  [[nodiscard]] double setpoint_c() const;
+  [[nodiscard]] double band_c() const;
+
+ private:
+  bool wait_for_guard_band(Journal& journal, CampaignReport& report,
+                           const std::string& key, int attempt);
+
+  bender::HbmChip& chip_;
+  RunnerConfig config_;
+  fault::FaultyChip faulty_;
+};
+
+}  // namespace hbmrd::runner

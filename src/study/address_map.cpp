@@ -32,7 +32,7 @@ const std::array<dram::MappingScheme, 4> kCandidateSchemes = {
 
 /// Hammers logical row `aggressor` single-sided and returns the logical rows
 /// in the window that exhibit bitflips.
-std::set<int> flipped_neighbors(bender::HbmChip& chip,
+std::set<int> flipped_neighbors(bender::ChipSession& chip,
                                 const dram::BankAddress& bank, int aggressor,
                                 int window_begin, int window_end) {
   const auto victim_bits = victim_row_bits(DataPattern::kCheckered0);
@@ -65,7 +65,7 @@ std::set<int> flipped_neighbors(bender::HbmChip& chip,
 
 }  // namespace
 
-AddressMap AddressMap::reverse_engineer(bender::HbmChip& chip,
+AddressMap AddressMap::reverse_engineer(bender::ChipSession& chip,
                                         const dram::BankAddress& bank,
                                         int probe_base) {
   if (probe_base % 8 != 0 || probe_base < kWindowBefore ||

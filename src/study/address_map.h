@@ -13,7 +13,7 @@
 #include <array>
 #include <vector>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "dram/mapping.h"
 
 namespace hbmrd::study {
@@ -23,7 +23,7 @@ class AddressMap {
   /// Recovers the mapping of `chip` by probing rows of `bank`.
   /// `probe_base` must be at least 8-aligned and away from subarray edges.
   [[nodiscard]] static AddressMap reverse_engineer(
-      bender::HbmChip& chip, const dram::BankAddress& bank,
+      bender::ChipSession& chip, const dram::BankAddress& bank,
       int probe_base = 4096);
 
   /// Ground-truth constructor for tests and for skipping the (already

@@ -36,7 +36,7 @@ bender::Program make_ber_program(const AddressMap& map,
 
 }  // namespace
 
-RowBerResult measure_row_ber(bender::HbmChip& chip, const AddressMap& map,
+RowBerResult measure_row_ber(bender::ChipSession& chip, const AddressMap& map,
                              const dram::RowAddress& victim,
                              const BerConfig& config) {
   const auto result = chip.run(make_ber_program(map, victim, config));
@@ -52,7 +52,7 @@ RowBerResult measure_row_ber(bender::HbmChip& chip, const AddressMap& map,
   return row_result;
 }
 
-std::vector<RowBerResult> measure_bank_ber(bender::HbmChip& chip,
+std::vector<RowBerResult> measure_bank_ber(bender::ChipSession& chip,
                                            const AddressMap& map,
                                            const dram::BankAddress& bank,
                                            const std::vector<int>& victim_rows,

@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "study/address_map.h"
 #include "study/patterns.h"
 
@@ -33,7 +33,7 @@ struct RowBerResult {
 };
 
 /// Measures BER on one victim row (logical address).
-[[nodiscard]] RowBerResult measure_row_ber(bender::HbmChip& chip,
+[[nodiscard]] RowBerResult measure_row_ber(bender::ChipSession& chip,
                                            const AddressMap& map,
                                            const dram::RowAddress& victim,
                                            const BerConfig& config);
@@ -41,7 +41,7 @@ struct RowBerResult {
 /// Measures BER over a set of victim rows of one bank; returns one result
 /// per row (order preserved).
 [[nodiscard]] std::vector<RowBerResult> measure_bank_ber(
-    bender::HbmChip& chip, const AddressMap& map,
+    bender::ChipSession& chip, const AddressMap& map,
     const dram::BankAddress& bank, const std::vector<int>& victim_rows,
     const BerConfig& config);
 

@@ -22,7 +22,7 @@ BypassPlan plan_bypass(const dram::TimingParams& timing,
   return plan;
 }
 
-BypassResult run_bypass_attack(bender::HbmChip& chip, const AddressMap& map,
+BypassResult run_bypass_attack(bender::ChipSession& chip, const AddressMap& map,
                                const dram::RowAddress& victim,
                                const BypassConfig& config) {
   const auto& timing = chip.stack().timing();

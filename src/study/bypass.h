@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "study/address_map.h"
 #include "study/patterns.h"
 
@@ -45,7 +45,7 @@ struct BypassResult {
 
 /// Runs the attack against one victim row with periodic refresh obeyed
 /// (one REF per tREFI window, as the memory controller would issue it).
-[[nodiscard]] BypassResult run_bypass_attack(bender::HbmChip& chip,
+[[nodiscard]] BypassResult run_bypass_attack(bender::ChipSession& chip,
                                              const AddressMap& map,
                                              const dram::RowAddress& victim,
                                              const BypassConfig& config);

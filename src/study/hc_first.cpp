@@ -4,7 +4,7 @@
 
 namespace hbmrd::study {
 
-int bitflips_at(bender::HbmChip& chip, const AddressMap& map,
+int bitflips_at(bender::ChipSession& chip, const AddressMap& map,
                 const dram::RowAddress& victim, std::uint64_t hammer_count,
                 const HcSearchConfig& config) {
   BerConfig ber_config;
@@ -15,7 +15,7 @@ int bitflips_at(bender::HbmChip& chip, const AddressMap& map,
   return measure_row_ber(chip, map, victim, ber_config).bitflips;
 }
 
-std::optional<std::uint64_t> find_hc_nth(bender::HbmChip& chip,
+std::optional<std::uint64_t> find_hc_nth(bender::ChipSession& chip,
                                          const AddressMap& map,
                                          const dram::RowAddress& victim,
                                          int n,

@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <optional>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "study/address_map.h"
 #include "study/patterns.h"
 
@@ -21,7 +21,7 @@ struct HcSearchConfig {
 };
 
 /// Number of bitflips a given hammer count induces in the victim row.
-[[nodiscard]] int bitflips_at(bender::HbmChip& chip, const AddressMap& map,
+[[nodiscard]] int bitflips_at(bender::ChipSession& chip, const AddressMap& map,
                               const dram::RowAddress& victim,
                               std::uint64_t hammer_count,
                               const HcSearchConfig& config);
@@ -31,12 +31,12 @@ struct HcSearchConfig {
 /// hammer count, which tests/ verifies as an invariant). std::nullopt when
 /// even max_hammer_count does not induce n bitflips.
 [[nodiscard]] std::optional<std::uint64_t> find_hc_nth(
-    bender::HbmChip& chip, const AddressMap& map,
+    bender::ChipSession& chip, const AddressMap& map,
     const dram::RowAddress& victim, int n, const HcSearchConfig& config);
 
 /// HC_first = HC_nth with n = 1.
 [[nodiscard]] inline std::optional<std::uint64_t> find_hc_first(
-    bender::HbmChip& chip, const AddressMap& map,
+    bender::ChipSession& chip, const AddressMap& map,
     const dram::RowAddress& victim, const HcSearchConfig& config) {
   return find_hc_nth(chip, map, victim, 1, config);
 }

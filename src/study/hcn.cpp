@@ -2,7 +2,7 @@
 
 namespace hbmrd::study {
 
-HcnResult measure_hcn(bender::HbmChip& chip, const AddressMap& map,
+HcnResult measure_hcn(bender::ChipSession& chip, const AddressMap& map,
                       const dram::RowAddress& victim,
                       const HcSearchConfig& config) {
   HcnResult result;

@@ -41,7 +41,7 @@ struct HcnResult {
 
 /// Measures HC_1..HC_10 for one victim row with incremental binary searches
 /// (the k-th search starts from the (k-1)-th result).
-[[nodiscard]] HcnResult measure_hcn(bender::HbmChip& chip,
+[[nodiscard]] HcnResult measure_hcn(bender::ChipSession& chip,
                                     const AddressMap& map,
                                     const dram::RowAddress& victim,
                                     const HcSearchConfig& config);

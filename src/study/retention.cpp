@@ -7,7 +7,7 @@ namespace hbmrd::study {
 namespace {
 
 /// One write -> unrefreshed wait -> read trial; true when any cell failed.
-bool fails_at(bender::HbmChip& chip, const dram::RowAddress& row,
+bool fails_at(bender::ChipSession& chip, const dram::RowAddress& row,
               const dram::RowBits& bits, double seconds) {
   chip.write_row(row, bits);
   chip.idle(seconds);
@@ -16,7 +16,7 @@ bool fails_at(bender::HbmChip& chip, const dram::RowAddress& row,
 
 }  // namespace
 
-std::optional<double> profile_row_retention(bender::HbmChip& chip,
+std::optional<double> profile_row_retention(bender::ChipSession& chip,
                                             const dram::RowAddress& row,
                                             double max_seconds,
                                             DataPattern pattern) {
@@ -31,7 +31,7 @@ std::optional<double> profile_row_retention(bender::HbmChip& chip,
 }
 
 std::vector<SideChannelRow> find_side_channel_rows(
-    bender::HbmChip& chip, const dram::BankAddress& bank, int row_begin,
+    bender::ChipSession& chip, const dram::BankAddress& bank, int row_begin,
     int row_end, double min_seconds, double max_seconds, int count) {
   std::vector<SideChannelRow> found;
   for (int row = row_begin; row < row_end && static_cast<int>(found.size()) <

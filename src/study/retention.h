@@ -7,7 +7,7 @@
 #include <optional>
 #include <vector>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "study/patterns.h"
 
 namespace hbmrd::study {
@@ -22,14 +22,14 @@ struct SideChannelRow {
 /// Smallest multiple of 64 ms (up to max_seconds) at which the row shows a
 /// retention failure; nullopt if it retains data through max_seconds.
 [[nodiscard]] std::optional<double> profile_row_retention(
-    bender::HbmChip& chip, const dram::RowAddress& row,
+    bender::ChipSession& chip, const dram::RowAddress& row,
     double max_seconds = 2.0,
     DataPattern pattern = DataPattern::kCheckered0);
 
 /// Scans logical rows [row_begin, row_end) of a bank for up to `count` rows
 /// whose retention time lies in [min_seconds, max_seconds].
 [[nodiscard]] std::vector<SideChannelRow> find_side_channel_rows(
-    bender::HbmChip& chip, const dram::BankAddress& bank, int row_begin,
+    bender::ChipSession& chip, const dram::BankAddress& bank, int row_begin,
     int row_end, double min_seconds, double max_seconds, int count);
 
 }  // namespace hbmrd::study

@@ -50,7 +50,7 @@ std::uint64_t max_hammers_in(const dram::TimingParams& timing, int aggressors,
   return std::max<std::uint64_t>(1, window_cycles / one);
 }
 
-std::vector<int> profile_retention_bits(bender::HbmChip& chip,
+std::vector<int> profile_retention_bits(bender::ChipSession& chip,
                                         const dram::RowAddress& victim,
                                         DataPattern pattern,
                                         dram::Cycle duration_cycles,
@@ -66,7 +66,7 @@ std::vector<int> profile_retention_bits(bender::HbmChip& chip,
   return {failed.begin(), failed.end()};
 }
 
-RowPressBerResult measure_rowpress_ber(bender::HbmChip& chip,
+RowPressBerResult measure_rowpress_ber(bender::ChipSession& chip,
                                        const AddressMap& map,
                                        const dram::RowAddress& victim,
                                        const RowPressBerConfig& config) {

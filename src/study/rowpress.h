@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "study/address_map.h"
 #include "study/patterns.h"
 
@@ -53,13 +53,13 @@ struct RowPressBerResult {
 /// Fig. 12 measurement for one victim row: hammer at the configured tAggON,
 /// then subtract retention failures profiled at the matching duration.
 [[nodiscard]] RowPressBerResult measure_rowpress_ber(
-    bender::HbmChip& chip, const AddressMap& map,
+    bender::ChipSession& chip, const AddressMap& map,
     const dram::RowAddress& victim, const RowPressBerConfig& config);
 
 /// Bit positions failing pure retention when the victim row sits
 /// unrefreshed for `duration_cycles` (union over `repeats` trials).
 [[nodiscard]] std::vector<int> profile_retention_bits(
-    bender::HbmChip& chip, const dram::RowAddress& victim,
+    bender::ChipSession& chip, const dram::RowAddress& victim,
     DataPattern pattern, dram::Cycle duration_cycles, int repeats);
 
 }  // namespace hbmrd::study

@@ -18,7 +18,7 @@ constexpr std::uint64_t kProbeHammerCount = 30'000;
 
 }  // namespace
 
-bool disturbance_crosses(bender::HbmChip& chip, const AddressMap& map,
+bool disturbance_crosses(bender::ChipSession& chip, const AddressMap& map,
                          const dram::BankAddress& bank, int low_physical) {
   if (low_physical < 0 || low_physical + 1 >= dram::kRowsPerBank) {
     throw std::out_of_range("disturbance_crosses: row at bank edge");
@@ -56,7 +56,7 @@ bool disturbance_crosses(bender::HbmChip& chip, const AddressMap& map,
   return false;
 }
 
-SubarrayLayout find_subarray_layout(bender::HbmChip& chip,
+SubarrayLayout find_subarray_layout(bender::ChipSession& chip,
                                     const AddressMap& map,
                                     const dram::BankAddress& bank,
                                     const std::vector<int>& candidate_sizes) {

@@ -7,7 +7,7 @@
 
 #include <vector>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "study/address_map.h"
 
 namespace hbmrd::study {
@@ -29,7 +29,7 @@ struct SubarrayLayout {
 /// (i.e. the two rows share a subarray). Uses a RowPress-boosted
 /// single-sided hammer strong enough for any row, with retention-profiled
 /// bits excluded.
-[[nodiscard]] bool disturbance_crosses(bender::HbmChip& chip,
+[[nodiscard]] bool disturbance_crosses(bender::ChipSession& chip,
                                        const AddressMap& map,
                                        const dram::BankAddress& bank,
                                        int low_physical);
@@ -38,7 +38,7 @@ struct SubarrayLayout {
 /// sizes at each walk position. Throws std::runtime_error if neither
 /// candidate matches at some position.
 [[nodiscard]] SubarrayLayout find_subarray_layout(
-    bender::HbmChip& chip, const AddressMap& map,
+    bender::ChipSession& chip, const AddressMap& map,
     const dram::BankAddress& bank,
     const std::vector<int>& candidate_sizes = {768, 832});
 

@@ -23,7 +23,7 @@ constexpr int kPeriodTrials = 64;
 
 }  // namespace
 
-TrrProbe::TrrProbe(bender::HbmChip& chip, const AddressMap& map,
+TrrProbe::TrrProbe(bender::ChipSession& chip, const AddressMap& map,
                    dram::BankAddress bank)
     : chip_(chip), map_(map), bank_(bank) {}
 

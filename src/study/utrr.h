@@ -8,7 +8,7 @@
 #include <optional>
 #include <vector>
 
-#include "bender/platform.h"
+#include "bender/session.h"
 #include "study/address_map.h"
 #include "study/retention.h"
 
@@ -41,7 +41,7 @@ struct TrrDiscovery {
 /// activity) so the refresh pointer stays far from the side-channel rows.
 class TrrProbe {
  public:
-  TrrProbe(bender::HbmChip& chip, const AddressMap& map,
+  TrrProbe(bender::ChipSession& chip, const AddressMap& map,
            dram::BankAddress bank);
 
   /// Runs the full discovery sequence. Throws std::runtime_error when no
@@ -68,7 +68,7 @@ class TrrProbe {
 
   [[nodiscard]] std::vector<int> junk_rows(int count, int away_from) const;
 
-  bender::HbmChip& chip_;
+  bender::ChipSession& chip_;
   const AddressMap& map_;
   dram::BankAddress bank_;
   std::uint64_t refs_issued_ = 0;

@@ -4,7 +4,7 @@
 
 namespace hbmrd::study {
 
-WcdpResult select_row_wcdp(bender::HbmChip& chip, const AddressMap& map,
+WcdpResult select_row_wcdp(bender::ChipSession& chip, const AddressMap& map,
                            const dram::RowAddress& victim,
                            const HcSearchConfig& base) {
   WcdpResult result;

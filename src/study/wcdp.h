@@ -20,7 +20,7 @@ struct WcdpResult {
 
 /// Measures all four patterns on one victim row and applies the paper's
 /// WCDP selection rule.
-[[nodiscard]] WcdpResult select_row_wcdp(bender::HbmChip& chip,
+[[nodiscard]] WcdpResult select_row_wcdp(bender::ChipSession& chip,
                                          const AddressMap& map,
                                          const dram::RowAddress& victim,
                                          const HcSearchConfig& base = {});

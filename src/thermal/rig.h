@@ -31,6 +31,12 @@ class ThermalPlant {
   /// Noisy sensor reading (what the Arduino and the host see).
   [[nodiscard]] double sensor_c();
 
+  /// Instantaneous temperature disturbance (fault injection: a slipped
+  /// heating pad, a stalled fan, an HVAC event). The plant relaxes back to
+  /// its equilibrium afterwards — under closed-loop control, the controller
+  /// actively pulls the excursion out.
+  void perturb(double delta_c) { temperature_c_ += delta_c; }
+
   /// Noise-free plant state (tests only).
   [[nodiscard]] double true_c() const { return temperature_c_; }
   [[nodiscard]] double time_s() const { return time_s_; }
@@ -79,6 +85,11 @@ class TemperatureRig {
 
   /// Current sensor temperature.
   [[nodiscard]] double temperature_c();
+
+  /// Pushes a thermal excursion into the plant (see ThermalPlant::perturb).
+  /// Used by the fault-injection layer to model the Chip-0 rig drifting out
+  /// of its 82 C band (paper Fig. 3).
+  void inject_disturbance(double delta_c) { plant_.perturb(delta_c); }
 
   [[nodiscard]] bool is_controlled() const { return controlled_; }
   [[nodiscard]] double time_s() const { return plant_.time_s(); }

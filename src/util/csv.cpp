@@ -6,15 +6,24 @@
 namespace hbmrd::util {
 
 CsvWriter::CsvWriter(const std::string& path,
-                     std::vector<std::string> columns)
-    : path_(path), columns_(columns.size()), out_(path) {
+                     std::vector<std::string> columns, Mode mode)
+    : path_(path), columns_(columns.size()) {
+  bool had_rows = false;
+  if (mode == Mode::kAppend) {
+    std::ifstream probe(path);
+    had_rows = probe.good() && probe.peek() != std::ifstream::traits_type::eof();
+  }
+  out_.open(path, mode == Mode::kAppend
+                      ? std::ios::out | std::ios::app
+                      : std::ios::out | std::ios::trunc);
   if (!out_) {
     throw std::runtime_error("CsvWriter: cannot open " + path);
   }
   if (columns.empty()) {
     throw std::invalid_argument("CsvWriter: need at least one column");
   }
-  row(columns);
+  // In append mode the header is only emitted when the file is new/empty.
+  if (!had_rows) row(columns);
 }
 
 std::string CsvWriter::escape(const std::string& cell) {

@@ -10,12 +10,23 @@ namespace hbmrd::util {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row.
+  enum class Mode {
+    kTruncate,  // fresh file, header written
+    kAppend,    // checkpoint resume: keep existing rows, header only if new
+  };
+
+  /// Opens `path` for writing and emits the header row (unless appending to
+  /// an existing non-empty file, in which case the rows already committed
+  /// are preserved — the campaign runner's resume path).
   /// Throws std::runtime_error if the file cannot be created.
-  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  CsvWriter(const std::string& path, std::vector<std::string> columns,
+            Mode mode = Mode::kTruncate);
 
   /// Appends one row; must match the header width.
   void row(const std::vector<std::string>& cells);
+
+  /// Pushes buffered rows to the OS (checkpoint commit point).
+  void flush() { out_.flush(); }
 
   class RowBuilder {
    public:
