@@ -1,9 +1,38 @@
 #include "common.h"
 
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
 namespace hbmrd::bench {
+
+namespace {
+
+constexpr const char* kHelpText = R"(Shared flags (every harness):
+  --help             print this help and exit
+  --full             run at paper scale (default: scaled down)
+  --rows N           override the row-count knob
+  --chip N           restrict the sweep to one chip
+  --channels N       limit the sweep width
+  --seed N           platform seed (silicon lottery)
+  --trust-map        trust the profile's address map (skip probing)
+  --csv DIR          stream raw data series to DIR/<name>.csv
+
+Campaign flags (harnesses built on the resilient runner):
+  --jobs N           worker threads; output is byte-identical for any N
+  --results FILE     checkpointed results CSV (resumable)
+  --journal FILE     JSONL fault/retry journal
+  --resume           skip trials already committed in --results
+  --stop-after N     checkpoint + stop after N trials (kill point)
+  --fault-rate R     per-attempt transient-fault probability
+  --thermal-rate R   per-trial thermal-excursion probability
+  --persistent-rate R  per-trial persistent-fault probability
+  --fatal-rate R     per-trial host-crash probability
+  --fault-seed N     fault plan seed (decoupled from --seed)
+  --no-guard         disable the temperature guard band
+)";
+
+}  // namespace
 
 BenchContext::BenchContext(int argc, char** argv, const std::string& title)
     : cli_(argc, argv),
@@ -12,6 +41,10 @@ BenchContext::BenchContext(int argc, char** argv, const std::string& title)
           cli_.get_int("--seed",
                        static_cast<std::int64_t>(
                            dram::kDefaultPlatformSeed)))) {
+  if (cli_.has("--help")) {
+    std::cout << title_ << "\n\n" << kHelpText;
+    std::exit(0);
+  }
   maps_.resize(static_cast<std::size_t>(platform_.chip_count()));
   std::cout << "=====================================================\n"
             << title_ << "\n"
@@ -100,6 +133,7 @@ runner::RunnerConfig campaign_config(const util::Cli& cli,
       cli.get_int("--fault-seed",
                   static_cast<std::int64_t>(config.faults.seed)));
   config.guard.enabled = !cli.has("--no-guard");
+  config.jobs = static_cast<int>(cli.get_int("--jobs", 1));
   return config;
 }
 

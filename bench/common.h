@@ -66,6 +66,7 @@ class BenchContext {
 [[nodiscard]] std::string ber_pct(double ber, int precision = 3);
 
 /// Builds a campaign RunnerConfig from the shared resilience flags:
+///   --jobs N           worker threads (byte-identical output for any N)
 ///   --results FILE     checkpointed results CSV (resumable)
 ///   --journal FILE     JSONL fault/retry journal
 ///   --resume           skip trials already committed in --results

@@ -105,7 +105,9 @@ int main(int argc, char** argv) {
   bench::print_campaign_report(std::cout, report,
                                campaign.session().stats());
   if (report.aborted) return 2;
-  const auto counters = chip.stack().total_counters();
+  // Trials execute on per-worker device twins; the campaign report carries
+  // their summed counters (the facade chip never sees trial activity).
+  const auto& counters = report.device_counters;
   std::cout << "Device counters: " << counters.activations
             << " ACTs observed, " << counters.defense_victim_refreshes
             << " TRR victim refreshes issued across the sweep\n";

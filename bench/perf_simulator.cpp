@@ -1,14 +1,24 @@
 // Google-benchmark microbenchmarks of the simulator itself: command
-// throughput, sense/materialization cost, the hammer fast path, and a full
-// HC_first search. These guard the performance envelope that keeps the
-// --full experiment sweeps tractable.
+// throughput, sense/materialization cost, the hammer fast path, the
+// threshold cache (cold build vs warm hit), a full HC_first search, and an
+// end-to-end campaign at several --jobs settings. These guard the
+// performance envelope that keeps the --full experiment sweeps tractable.
+//
+// To archive a run for regression tracking, use the JSON reporter:
+//   ./bench/perf_simulator --benchmark_format=json > BENCH_simulator.json
+// (BENCH_*.json files are the conventional names for stored baselines.)
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bender/executor.h"
 #include "bender/platform.h"
 #include "bender/program.h"
+#include "disturb/threshold_cache.h"
+#include "runner/runner.h"
 #include "study/address_map.h"
 #include "study/hc_first.h"
 
@@ -64,8 +74,15 @@ BENCHMARK(BM_HammerFastPath)->Arg(1000)->Arg(100000);
 
 void BM_SenseDisturbedRow(benchmark::State& state) {
   // The dominant cost of every probe: reading a victim whose ledger holds
-  // dose (one full 8192-cell threshold scan).
-  dram::Stack stack(config());
+  // dose. state.range(0) selects the scan mode: 0 = uncached (a full
+  // 8192-cell threshold scan per sense), 1 = threshold cache attached (the
+  // first sense builds the row summary, every later sense is a warm hit
+  // driving the candidate-prefix scan).
+  auto c = config();
+  if (state.range(0) != 0) {
+    c.threshold_cache = std::make_shared<disturb::ThresholdCache>();
+  }
+  dram::Stack stack(std::move(c));
   bender::Executor executor(&stack);
   const std::array<int, 2> rows = {4299, 4301};
   for (auto _ : state) {
@@ -80,7 +97,23 @@ void BM_SenseDisturbedRow(benchmark::State& state) {
     benchmark::DoNotOptimize(executor.run(std::move(read).build()));
   }
 }
-BENCHMARK(BM_SenseDisturbedRow);
+BENCHMARK(BM_SenseDisturbedRow)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cached");
+
+void BM_RowSummaryBuild(benchmark::State& state) {
+  // Cold-miss cost of the threshold cache: one full per-cell scan plus the
+  // population sorts. A warm hit amortizes this over every later sense.
+  const disturb::FaultModel model(config().disturb);
+  int row = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        disturb::build_row_summary(model, kBank, row));
+    row = (row + 1) % dram::kRowsPerBank;
+  }
+}
+BENCHMARK(BM_RowSummaryBuild);
 
 void BM_HcFirstSearch(benchmark::State& state) {
   bender::Platform platform;
@@ -95,6 +128,46 @@ void BM_HcFirstSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HcFirstSearch);
+
+void BM_ParallelCampaign(benchmark::State& state) {
+  // End-to-end campaign through the sharded runner at a given --jobs
+  // setting. Output is byte-identical for every jobs value (asserted by
+  // tests/parallel_runner_test.cpp); this measures the wall-clock effect.
+  // On an N-core host expect ~min(jobs, cores)x; on one core, parity.
+  bender::HbmChip chip(dram::chip_profiles()[2]);
+  runner::RunnerConfig rc;
+  rc.result_columns = {"flips"};
+  rc.jobs = static_cast<int>(state.range(0));
+  std::vector<runner::CampaignRunner::Trial> trials;
+  for (int t = 0; t < 12; ++t) {
+    const int row = 64 + 8 * t;
+    trials.push_back(
+        {"row" + std::to_string(row),
+         [row](bender::ChipSession& session) -> std::vector<std::string> {
+           const dram::RowAddress victim{kBank, row};
+           session.write_row(victim, dram::RowBits::filled(0x55));
+           session.write_row({kBank, row - 1}, dram::RowBits::filled(0xFF));
+           session.write_row({kBank, row + 1}, dram::RowBits::filled(0xFF));
+           const std::array<int, 2> aggressors = {row - 1, row + 1};
+           session.hammer(kBank, aggressors, 60000);
+           const auto bits = session.read_row(victim);
+           return {std::to_string(
+               bits.count_diff(dram::RowBits::filled(0x55)))};
+         }});
+  }
+  for (auto _ : state) {
+    runner::CampaignRunner campaign(chip, rc);
+    benchmark::DoNotOptimize(campaign.run(trials));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trials.size()));
+}
+BENCHMARK(BM_ParallelCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->ArgName("jobs")
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -184,6 +184,89 @@ bool Executor::try_hammer_fast_path(const Program& program,
   return true;
 }
 
+bool Executor::try_windowed_hammer_fast_path(const Program& program,
+                                             std::size_t body_begin,
+                                             std::size_t body_end,
+                                             std::uint64_t iterations) {
+  // Eligible body: REF instructions interleaved with maximal
+  // [ACT (WAIT)* PRE]+ runs, everything on one bank / that bank's channel.
+  // An element with ref == nullptr is a hammer window over steps
+  // [begin, end) of the shared step vector.
+  struct Element {
+    const RefInstr* ref;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Element> elements;
+  std::vector<dram::HammerStep> steps;
+  const dram::BankAddress* bank = nullptr;
+  bool has_ref = false;
+  std::size_t i = body_begin;
+  while (i < body_end) {
+    if (const auto* ref = std::get_if<RefInstr>(&program.instructions[i])) {
+      elements.push_back({ref, 0, 0});
+      has_ref = true;
+      ++i;
+      continue;
+    }
+    const std::size_t window_begin = steps.size();
+    while (i < body_end) {
+      const auto* act = std::get_if<ActInstr>(&program.instructions[i]);
+      if (act == nullptr) break;
+      if (bank == nullptr) {
+        bank = &act->bank;
+      } else if (act->bank != *bank) {
+        return false;
+      }
+      ++i;
+      dram::Cycle on = 0;
+      while (i < body_end) {
+        const auto* w = std::get_if<WaitInstr>(&program.instructions[i]);
+        if (w == nullptr) break;
+        on += w->cycles;
+        ++i;
+      }
+      if (i >= body_end) return false;
+      const auto* pre = std::get_if<PreInstr>(&program.instructions[i]);
+      if (pre == nullptr || pre->bank != *bank) return false;
+      ++i;
+      steps.push_back(dram::HammerStep{
+          act->row, std::max(on + kIssueCycles, timing_.t_ras)});
+    }
+    // Neither a REF nor an ACT opened this element: unsupported instruction.
+    if (steps.size() == window_begin) return false;
+    elements.push_back({nullptr, window_begin, steps.size()});
+  }
+  if (bank == nullptr || !has_ref) return false;
+  // REFs must target the hammered bank's channel: their act_ok push-out
+  // then dominates the schedule exactly as in the iterative path. A REF on
+  // another channel would see our conservative post-window clock.
+  for (const auto& e : elements) {
+    if (e.ref != nullptr && e.ref->channel != bank->channel) return false;
+  }
+  BankSchedule& b = sched(*bank);
+  if (b.open) return false;  // require a precharged bank, like the device
+
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    for (const auto& e : elements) {
+      if (e.ref != nullptr) {
+        exec_ref(*e.ref);
+        continue;
+      }
+      const dram::Cycle start = std::max(clock_, b.act_ok);
+      const dram::Cycle end = stack_->bulk_hammer(
+          *bank, std::span(steps).subspan(e.begin, e.end - e.begin), 1, start);
+      b.open = false;
+      b.last_act = end;  // conservative, same as the pure fast path
+      b.act_ok = end;
+      b.pre_ok = end;
+      b.rdwr_ok = end;
+      clock_ = end;
+    }
+  }
+  return true;
+}
+
 std::size_t Executor::exec_loop(const Program& program,
                                 std::size_t begin_index,
                                 ExecutionResult& result) {
@@ -205,7 +288,9 @@ std::size_t Executor::exec_loop(const Program& program,
   }
 
   if (try_hammer_fast_path(program, begin_index + 1, end_index,
-                           begin.iterations)) {
+                           begin.iterations) ||
+      try_windowed_hammer_fast_path(program, begin_index + 1, end_index,
+                                    begin.iterations)) {
     return end_index + 1;
   }
 

@@ -6,7 +6,10 @@
 // independently asserts the same rules), WAIT instructions extend row
 // on-times, and counted loops either run iteratively or — for pure
 // ACT/WAIT/PRE hammer bodies on a single bank — through the device's
-// analytic hammer fast path with identical semantics.
+// analytic hammer fast path with identical semantics. Refresh-interleaved
+// hammer bodies (REFs between ACT/PRE runs, the TRR-bypass shape) take a
+// windowed variant of the same fast path: one bulk_hammer call per run per
+// iteration, with REFs executed at their exact iterative schedule.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +79,16 @@ class Executor {
   /// Attempts the hammer fast path; true on success.
   bool try_hammer_fast_path(const Program& program, std::size_t body_begin,
                             std::size_t body_end, std::uint64_t iterations);
+
+  /// Widened fast path for refresh-interleaved hammer loops: bodies of
+  /// [ACT (WAIT)* PRE]+ runs on one bank mixed with REFs on that bank's
+  /// channel (the TRR bypass shape of Sec. 7). Each iteration replays the
+  /// REFs through exec_ref and each run through one single-iteration
+  /// bulk_hammer window; true on success.
+  bool try_windowed_hammer_fast_path(const Program& program,
+                                     std::size_t body_begin,
+                                     std::size_t body_end,
+                                     std::uint64_t iterations);
 
   dram::Stack* stack_;
   dram::TimingParams timing_;

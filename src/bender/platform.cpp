@@ -36,6 +36,7 @@ dram::StackConfig HbmChip::stack_config() const {
       return std::make_unique<trr::UndocumentedTrr>();
     };
   }
+  config.threshold_cache = threshold_cache_;
   return config;
 }
 

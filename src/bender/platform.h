@@ -62,6 +62,11 @@ class HbmChip : public ChipSession {
   [[nodiscard]] dram::StackConfig stack_config() const;
 
   dram::ChipProfile profile_;
+  /// Row threshold summaries survive power cycles (they are pure functions
+  /// of the profile's disturb seed); declared before stack_ so the first
+  /// stack_config() call already sees it.
+  std::shared_ptr<disturb::ThresholdCache> threshold_cache_ =
+      std::make_shared<disturb::ThresholdCache>();
   std::unique_ptr<dram::Stack> stack_;
   thermal::TemperatureRig rig_;
   Executor executor_;

@@ -162,21 +162,33 @@ double FaultModel::retention_seconds(const dram::BankAddress& bank,
 }
 
 double FaultModel::taggon_factor(dram::Cycle on_cycles) const {
-  const double t = dram::cycles_to_seconds(on_cycles);
-  const auto& a = kTAggOnAnchors;
-  if (t <= a.front().first) return a.front().second;
-  for (std::size_t i = 1; i < a.size(); ++i) {
-    if (t <= a[i].first || i + 1 == a.size()) {
-      // Piecewise-linear in log-log space; the last segment extrapolates.
-      const double x0 = std::log(a[i - 1].first);
-      const double x1 = std::log(a[i].first);
-      const double y0 = std::log(a[i - 1].second);
-      const double y1 = std::log(a[i].second);
-      const double x = std::log(t);
-      return std::exp(y0 + (y1 - y0) * (x - x0) / (x1 - x0));
-    }
+  // Real programs use a handful of distinct on-times (tRAS plus a few
+  // RowPress settings), and the hammer paths evaluate this per step; the
+  // memo turns the log/exp interpolation into a scan of a tiny array.
+  for (const auto& [cycles, factor] : taggon_memo_) {
+    if (cycles == on_cycles) return factor;
   }
-  return a.back().second;  // unreachable
+  const double result = [&] {
+    const double t = dram::cycles_to_seconds(on_cycles);
+    const auto& a = kTAggOnAnchors;
+    if (t <= a.front().first) return a.front().second;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      if (t <= a[i].first || i + 1 == a.size()) {
+        // Piecewise-linear in log-log space; the last segment extrapolates.
+        const double x0 = std::log(a[i - 1].first);
+        const double x1 = std::log(a[i].first);
+        const double y0 = std::log(a[i - 1].second);
+        const double y1 = std::log(a[i].second);
+        const double x = std::log(t);
+        return std::exp(y0 + (y1 - y0) * (x - x0) / (x1 - x0));
+      }
+    }
+    return a.back().second;  // unreachable
+  }();
+  if (taggon_memo_.size() < kTaggonMemoSlots) {
+    taggon_memo_.emplace_back(on_cycles, result);
+  }
+  return result;
 }
 
 double FaultModel::coupling(bool victim_bit, bool aggressor_bit,

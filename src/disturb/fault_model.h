@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "disturb/params.h"
 #include "dram/geometry.h"
@@ -144,8 +146,14 @@ class FaultModel {
   }
 
  private:
+  static constexpr std::size_t kTaggonMemoSlots = 16;
+
   DisturbParams p_;
   double threshold_floor_ = 0.0;
+  /// Memo for taggon_factor (few distinct on-times per workload). Mutable
+  /// because the model is logically const; a FaultModel is owned by one
+  /// Stack and driven from one thread, like the threshold cache.
+  mutable std::vector<std::pair<dram::Cycle, double>> taggon_memo_;
 };
 
 }  // namespace hbmrd::disturb

@@ -1,0 +1,131 @@
+#include "disturb/threshold_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace hbmrd::disturb {
+
+namespace {
+
+/// Sorts a population's cells ascending by their uniform; ties broken by
+/// bit index so the order is fully deterministic.
+void sort_by_uniform(std::vector<int>& bits, const std::vector<double>& u) {
+  std::sort(bits.begin(), bits.end(), [&u](int a, int b) {
+    const auto ua = u[static_cast<std::size_t>(a)];
+    const auto ub = u[static_cast<std::size_t>(b)];
+    return ua != ub ? ua < ub : a < b;
+  });
+}
+
+}  // namespace
+
+RowThresholdSummary build_row_summary(const FaultModel& model,
+                                      const dram::BankAddress& bank,
+                                      int physical_row) {
+  RowThresholdSummary s;
+  s.ctx = model.row_context(bank, physical_row);
+  const auto n = static_cast<std::size_t>(dram::kRowBits);
+  s.cell_u.resize(n);
+  s.retention_u.resize(n);
+  s.flags.resize(n);
+
+  double min_u_leaky = 2.0;
+  double min_u_normal = 2.0;
+  for (int bit = 0; bit < dram::kRowBits; ++bit) {
+    const auto i = static_cast<std::size_t>(bit);
+    std::uint8_t flags = 0;
+    if (model.is_true_cell(bank, physical_row, bit)) {
+      flags |= RowThresholdSummary::kTrueCell;
+    }
+    const bool leaky = model.is_leaky_cell(bank, physical_row, bit);
+    const double ru = model.retention_uniform(bank, physical_row, bit, leaky);
+    s.retention_u[i] = ru;
+    if (leaky) {
+      flags |= RowThresholdSummary::kLeaky;
+      min_u_leaky = std::min(min_u_leaky, ru);
+      s.leaky_by_u.push_back(bit);
+    } else {
+      min_u_normal = std::min(min_u_normal, ru);
+      s.normal_by_u.push_back(bit);
+    }
+    // Same membership precedence as the sense scan: outlier wins over weak.
+    if (model.is_outlier_cell(bank, physical_row, bit)) {
+      flags |= RowThresholdSummary::kOutlier;
+      s.outlier_by_u.push_back(bit);
+    } else if (model.is_weak_cell(bank, physical_row, bit,
+                                  s.ctx.weak_density)) {
+      flags |= RowThresholdSummary::kWeak;
+      s.weak_by_u.push_back(bit);
+    } else {
+      s.bulk_by_u.push_back(bit);
+    }
+    s.cell_u[i] = model.cell_threshold_uniform(bank, physical_row, bit);
+    s.flags[i] = flags;
+  }
+  sort_by_uniform(s.outlier_by_u, s.cell_u);
+  sort_by_uniform(s.weak_by_u, s.cell_u);
+  sort_by_uniform(s.bulk_by_u, s.cell_u);
+  sort_by_uniform(s.leaky_by_u, s.retention_u);
+  sort_by_uniform(s.normal_by_u, s.retention_u);
+
+  // Minimum retention at the reference temperature: the exact expressions
+  // Bank::min_retention_ref_seconds evaluates, over the same minima, so
+  // the cached value is bit-identical to the lazy per-row scan.
+  const auto& params = model.params();
+  double minimum = std::numeric_limits<double>::max();
+  if (min_u_leaky <= 1.0) {
+    minimum = std::min(
+        minimum, params.leaky_retention_median_s *
+                     std::exp(params.leaky_retention_sigma *
+                              util::inverse_normal_cdf(
+                                  std::max(1e-300, min_u_leaky))));
+  }
+  if (min_u_normal <= 1.0) {
+    minimum = std::min(
+        minimum, params.normal_retention_median_s *
+                     std::exp(params.normal_retention_sigma *
+                              util::inverse_normal_cdf(
+                                  std::max(1e-300, min_u_normal))));
+  }
+  s.min_retention_ref_s = minimum;
+  return s;
+}
+
+const RowThresholdSummary* BankThresholdCache::peek(int physical_row) {
+  const auto it = index_.find(physical_row);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return &it->second->second;
+}
+
+const RowThresholdSummary& BankThresholdCache::get(const FaultModel& model,
+                                                   int physical_row) {
+  if (const auto* cached = peek(physical_row)) return *cached;
+  ++stats_.misses;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(physical_row,
+                     build_row_summary(model, address_, physical_row));
+  index_.emplace(physical_row, lru_.begin());
+  return lru_.front().second;
+}
+
+ThresholdCacheStats ThresholdCache::totals() const {
+  ThresholdCacheStats total;
+  for (const auto& bank : banks_) {
+    if (!bank) continue;
+    total.hits += bank->stats().hits;
+    total.misses += bank->stats().misses;
+    total.evictions += bank->stats().evictions;
+  }
+  return total;
+}
+
+}  // namespace hbmrd::disturb

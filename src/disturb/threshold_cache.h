@@ -1,0 +1,129 @@
+// Per-bank LRU cache of materialized row threshold summaries.
+//
+// The fault model is stateless: every per-cell property (threshold uniform,
+// retention uniform, population membership, cell orientation) is a pure hash
+// of (seed, coordinates). That makes the per-cell hashes the dominant cost
+// of sensing a disturbed row — and makes their results perfectly cacheable:
+// a summary never goes stale, not even across power cycles or board resets,
+// because the seed defines it.
+//
+// A RowThresholdSummary materializes one row's per-cell uniforms and flags,
+// plus each population's cells sorted ascending by uniform. Since a cell's
+// threshold is median * exp(sigma * Phi^-1(u)), the sorted order IS the
+// threshold order: the head of the weakest population is the row's HC_first
+// cell, and walking the sorted tail yields the HC_2nd..HC_nth thresholds
+// that BER-vs-hammer-count queries sweep across. The sense path uses the
+// sorted lists to visit only the prefix of cells a conservative dose (or
+// elapsed-time) bound cannot rule out, instead of hashing all 8192 cells.
+//
+// Threading: a cache belongs to one dram::Stack owner and is accessed from
+// a single thread (the parallel campaign runner gives every worker its own
+// chip, hence its own cache); there is deliberately no locking.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "disturb/fault_model.h"
+#include "dram/geometry.h"
+
+namespace hbmrd::disturb {
+
+struct RowThresholdSummary {
+  // Population/orientation flags, one byte per cell.
+  static constexpr std::uint8_t kTrueCell = 1;  // charged state stores 1
+  static constexpr std::uint8_t kLeaky = 2;     // leaky retention population
+  static constexpr std::uint8_t kOutlier = 4;   // outlier threshold population
+  static constexpr std::uint8_t kWeak = 8;      // weak threshold population
+
+  RowContext ctx;
+  /// Minimum cell retention at the reference temperature, seconds
+  /// (bit-identical to Bank's lazy per-row scan).
+  double min_retention_ref_s = 0.0;
+
+  /// Per-cell raw uniforms (verbatim fault-model hash results).
+  std::vector<double> cell_u;       // threshold deviate uniform
+  std::vector<double> retention_u;  // retention deviate uniform (own pop.)
+  std::vector<std::uint8_t> flags;
+
+  /// Cells of each threshold population, sorted ascending by cell_u —
+  /// i.e. weakest threshold first (HC_first at the head).
+  std::vector<int> outlier_by_u;
+  std::vector<int> weak_by_u;
+  std::vector<int> bulk_by_u;
+  /// Cells of each retention population, sorted ascending by retention_u.
+  std::vector<int> leaky_by_u;
+  std::vector<int> normal_by_u;
+};
+
+/// Builds the summary for one row (pure function of the model's seed and
+/// the coordinates; exposed for tests and benchmarks).
+[[nodiscard]] RowThresholdSummary build_row_summary(
+    const FaultModel& model, const dram::BankAddress& bank, int physical_row);
+
+struct ThresholdCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// LRU over one bank's rows. Entries are immutable once built.
+class BankThresholdCache {
+ public:
+  BankThresholdCache(dram::BankAddress address, std::size_t capacity)
+      : address_(address), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the cached summary without building: nullptr on miss. A hit
+  /// refreshes the entry's LRU position.
+  [[nodiscard]] const RowThresholdSummary* peek(int physical_row);
+
+  /// Returns the row's summary, building (and possibly evicting) on miss.
+  [[nodiscard]] const RowThresholdSummary& get(const FaultModel& model,
+                                               int physical_row);
+
+  [[nodiscard]] const ThresholdCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return lru_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  dram::BankAddress address_;
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<int, RowThresholdSummary>> lru_;
+  std::unordered_map<int, decltype(lru_)::iterator> index_;
+  ThresholdCacheStats stats_;
+};
+
+/// Stack-level owner: one lazily created BankThresholdCache per bank.
+/// Held by shared_ptr in StackConfig so summaries survive power cycles
+/// (the stack is rebuilt; the cache is not — its entries are seed-pure).
+class ThresholdCache {
+ public:
+  static constexpr std::size_t kDefaultRowsPerBank = 16;
+
+  explicit ThresholdCache(std::size_t rows_per_bank = kDefaultRowsPerBank)
+      : rows_per_bank_(rows_per_bank) {}
+
+  /// The per-bank cache for `flat_index` (the stack's bank index).
+  [[nodiscard]] BankThresholdCache& bank(const dram::BankAddress& address,
+                                         std::size_t flat_index) {
+    if (flat_index >= banks_.size()) banks_.resize(flat_index + 1);
+    auto& slot = banks_[flat_index];
+    if (!slot) {
+      slot = std::make_unique<BankThresholdCache>(address, rows_per_bank_);
+    }
+    return *slot;
+  }
+
+  /// Aggregate hit/miss/eviction counts across all banks.
+  [[nodiscard]] ThresholdCacheStats totals() const;
+
+ private:
+  std::size_t rows_per_bank_;
+  std::vector<std::unique_ptr<BankThresholdCache>> banks_;
+};
+
+}  // namespace hbmrd::disturb

@@ -1,6 +1,7 @@
 #include "dram/bank.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -26,12 +27,14 @@ constexpr double kThresholdScanSigma = 6.0;
 }  // namespace
 
 Bank::Bank(BankAddress address, const disturb::FaultModel* fault_model,
-           const Environment* env, TimingParams timing)
+           const Environment* env, TimingParams timing,
+           disturb::BankThresholdCache* threshold_cache)
     : address_(address),
       fault_(fault_model),
       env_(env),
       timing_(timing),
-      checker_(timing) {
+      checker_(timing),
+      threshold_cache_(threshold_cache) {
   validate(address_);
   if (fault_ == nullptr || env_ == nullptr) {
     throw std::invalid_argument("Bank: fault model and environment required");
@@ -81,9 +84,14 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
   const double temp_now = env_->temperature_c;
   if (check_retention) {
     // One cheap scan per row lifetime caches the row's weakest retention;
-    // senses below it skip the per-cell retention pass entirely.
+    // senses below it skip the per-cell retention pass entirely. A cached
+    // summary (if the row's is already built) carries the identical value.
     if (row.min_retention_ref_s < 0.0) {
-      row.min_retention_ref_s = min_retention_ref_seconds(physical_row);
+      const disturb::RowThresholdSummary* cached =
+          threshold_cache_ ? threshold_cache_->peek(physical_row) : nullptr;
+      row.min_retention_ref_s = cached
+                                    ? cached->min_retention_ref_s
+                                    : min_retention_ref_seconds(physical_row);
     }
     const auto& params = fault_->params();
     const double min_at_temp =
@@ -188,53 +196,165 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
     }
 
     const auto& epochs = row.ledger.epochs();
-    for (int bit = 0; bit < kRowBits; ++bit) {
-      const bool value = snapshot.get(bit);
-
-      bool flip = false;
+    const disturb::RowThresholdSummary* summary =
+        threshold_cache_ ? &threshold_cache_->get(*fault_, physical_row)
+                         : nullptr;
+    if (summary != nullptr) {
+      // Candidate-driven scan: per population, only the sorted-by-uniform
+      // prefix that the conservative bounds cannot rule out is visited;
+      // every visited cell is then decided by the exact per-cell
+      // expressions of the full scan below, with the cached uniforms and
+      // flags standing in (verbatim) for the fault-model hashes.
+      auto& candidates = candidate_scratch_;
+      candidates.clear();
+      const auto take_prefix = [&candidates](const std::vector<int>& order,
+                                             const std::vector<double>& u,
+                                             double bound) {
+        for (int bit : order) {
+          if (u[static_cast<std::size_t>(bit)] > bound) break;
+          candidates.push_back(bit);
+        }
+      };
       if (check_retention) {
-        const bool leaky = fault_->is_leaky_cell(address_, physical_row, bit);
-        const double u_max = leaky ? leaky_u_max : normal_u_max;
-        if (u_max > 0.0 &&
-            fault_->retention_uniform(address_, physical_row, bit, leaky) <=
-                u_max &&
-            fault_->is_charged(address_, physical_row, bit, value)) {
-          flip = true;
+        // A cell flips only if its retention uniform is <= its
+        // population's u_max; the prefixes cover exactly those cells.
+        if (leaky_u_max > 0.0) {
+          take_prefix(summary->leaky_by_u, summary->retention_u, leaky_u_max);
+        }
+        if (normal_u_max > 0.0) {
+          take_prefix(summary->normal_by_u, summary->retention_u,
+                      normal_u_max);
         }
       }
-      if (!flip && check_disturb &&
-          fault_->is_charged(address_, physical_row, bit, value)) {
-        const bool left = bit > 0 ? snapshot.get(bit - 1) : value;
-        const bool right = bit + 1 < kRowBits ? snapshot.get(bit + 1) : value;
-        const bool intra_differs = (left != value) || (right != value);
-        double dose = 0.0;
-        for (const auto& e : epochs) {
-          dose += e.dose * fault_->distance_factor(e.distance) *
-                  fault_->coupling(value, e.aggressor_bits.get(bit),
-                                   intra_differs);
+      if (check_disturb) {
+        // A cell's effective dose is bounded by max_dose (full coupling,
+        // intra bonus — the same bound the early-outs use), so its flip
+        // probability is bounded by its population's CDF at max_dose. The
+        // bound dose is inflated by 1e-9 to absorb the ulp-level
+        // difference between per-term and post-sum coupling rounding,
+        // keeping the prefix a strict superset of the full scan's flips.
+        const double dose_bound = max_dose * (1.0 + 1e-9);
+        const auto prob_bound = [&](double median, double sigma) {
+          return disturb::FaultModel::normal_cdf(
+              std::log(dose_bound / median) / sigma);
+        };
+        const double outlier_bound =
+            prob_bound(ctx.outlier_median, ctx.outlier_sigma);
+        const double weak_bound = prob_bound(ctx.weak_median, ctx.weak_sigma);
+        const double bulk_bound = prob_bound(ctx.bulk_median, ctx.bulk_sigma);
+        if (outlier_bound > 0.0) {
+          take_prefix(summary->outlier_by_u, summary->cell_u, outlier_bound);
         }
-        dose *= temp_vuln;
-        const DoseProb& p = flip_probabilities(dose);
-        if (p.outlier_probability > 0.0 || p.weak_probability > 0.0 ||
-            p.bulk_probability > 0.0) {
-          double probability = p.bulk_probability;
-          if (fault_->is_outlier_cell(address_, physical_row, bit)) {
-            probability = p.outlier_probability;
-          } else if (fault_->is_weak_cell(address_, physical_row, bit,
-                                          ctx.weak_density)) {
-            probability = p.weak_probability;
-          }
-          if (probability > 0.0 &&
-              fault_->cell_threshold_uniform(address_, physical_row, bit) <=
-                  probability) {
+        if (weak_bound > 0.0) {
+          take_prefix(summary->weak_by_u, summary->cell_u, weak_bound);
+        }
+        if (bulk_bound > 0.0) {
+          take_prefix(summary->bulk_by_u, summary->cell_u, bulk_bound);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+
+      for (int bit : candidates) {
+        const auto i = static_cast<std::size_t>(bit);
+        const bool value = snapshot.get(bit);
+        const std::uint8_t flags = summary->flags[i];
+        const bool charged =
+            value == ((flags & disturb::RowThresholdSummary::kTrueCell) != 0);
+
+        bool flip = false;
+        if (check_retention) {
+          const double u_max = (flags & disturb::RowThresholdSummary::kLeaky)
+                                   ? leaky_u_max
+                                   : normal_u_max;
+          if (u_max > 0.0 && summary->retention_u[i] <= u_max && charged) {
             flip = true;
           }
         }
+        if (!flip && check_disturb && charged) {
+          const bool left = bit > 0 ? snapshot.get(bit - 1) : value;
+          const bool right =
+              bit + 1 < kRowBits ? snapshot.get(bit + 1) : value;
+          const bool intra_differs = (left != value) || (right != value);
+          double dose = 0.0;
+          for (const auto& e : epochs) {
+            dose += e.dose * fault_->distance_factor(e.distance) *
+                    fault_->coupling(value, e.aggressor_bits.get(bit),
+                                     intra_differs);
+          }
+          dose *= temp_vuln;
+          const DoseProb& p = flip_probabilities(dose);
+          if (p.outlier_probability > 0.0 || p.weak_probability > 0.0 ||
+              p.bulk_probability > 0.0) {
+            double probability = p.bulk_probability;
+            if (flags & disturb::RowThresholdSummary::kOutlier) {
+              probability = p.outlier_probability;
+            } else if (flags & disturb::RowThresholdSummary::kWeak) {
+              probability = p.weak_probability;
+            }
+            if (probability > 0.0 && summary->cell_u[i] <= probability) {
+              flip = true;
+            }
+          }
+        }
+        if (flip) {
+          row.bits.set(bit, !value);
+          ++counters_.bitflips_materialized;
+          changed = true;
+        }
       }
-      if (flip) {
-        row.bits.set(bit, !value);
-        ++counters_.bitflips_materialized;
-        changed = true;
+    } else {
+      for (int bit = 0; bit < kRowBits; ++bit) {
+        const bool value = snapshot.get(bit);
+
+        bool flip = false;
+        if (check_retention) {
+          const bool leaky =
+              fault_->is_leaky_cell(address_, physical_row, bit);
+          const double u_max = leaky ? leaky_u_max : normal_u_max;
+          if (u_max > 0.0 &&
+              fault_->retention_uniform(address_, physical_row, bit, leaky) <=
+                  u_max &&
+              fault_->is_charged(address_, physical_row, bit, value)) {
+            flip = true;
+          }
+        }
+        if (!flip && check_disturb &&
+            fault_->is_charged(address_, physical_row, bit, value)) {
+          const bool left = bit > 0 ? snapshot.get(bit - 1) : value;
+          const bool right =
+              bit + 1 < kRowBits ? snapshot.get(bit + 1) : value;
+          const bool intra_differs = (left != value) || (right != value);
+          double dose = 0.0;
+          for (const auto& e : epochs) {
+            dose += e.dose * fault_->distance_factor(e.distance) *
+                    fault_->coupling(value, e.aggressor_bits.get(bit),
+                                     intra_differs);
+          }
+          dose *= temp_vuln;
+          const DoseProb& p = flip_probabilities(dose);
+          if (p.outlier_probability > 0.0 || p.weak_probability > 0.0 ||
+              p.bulk_probability > 0.0) {
+            double probability = p.bulk_probability;
+            if (fault_->is_outlier_cell(address_, physical_row, bit)) {
+              probability = p.outlier_probability;
+            } else if (fault_->is_weak_cell(address_, physical_row, bit,
+                                            ctx.weak_density)) {
+              probability = p.weak_probability;
+            }
+            if (probability > 0.0 &&
+                fault_->cell_threshold_uniform(address_, physical_row, bit) <=
+                    probability) {
+              flip = true;
+            }
+          }
+        }
+        if (flip) {
+          row.bits.set(bit, !value);
+          ++counters_.bitflips_materialized;
+          changed = true;
+        }
       }
     }
     if (changed) ++row.version;
@@ -415,47 +535,95 @@ Cycle Bank::bulk_hammer(std::span<const HammerStep> steps,
   }
   const Cycle end = start + (iterations - 1) * period + period;
 
-  // Sense every hammered row once at its first activation, so pre-existing
-  // dose materializes before the burst restores it.
+  // Deduplicate hammered rows (refresh-window bursts repeat the same
+  // aggressors and dummies dozens of times): sense each distinct row once
+  // and resolve row-state pointers once instead of per step.
+  hammered_rows_scratch_.clear();
+  hammered_rows_scratch_.reserve(steps.size());
+  for (const auto& s : steps) hammered_rows_scratch_.push_back(s.row);
+  std::sort(hammered_rows_scratch_.begin(), hammered_rows_scratch_.end());
+  auto is_hammered = [&](int row) {
+    return std::binary_search(hammered_rows_scratch_.begin(),
+                              hammered_rows_scratch_.end(), row);
+  };
+  static constexpr int kDistances[] = {-2, -1, 1, 2};
+  struct HammeredRow {
+    int row;
+    Cycle first_offset;
+    Cycle last_offset;
+    RowState* state = nullptr;
+    std::array<RowState*, 4> victims{};  // by kDistances index; null = skip
+  };
+  std::vector<HammeredRow> rows_hit;
+  rows_hit.reserve(steps.size());
+  std::vector<std::uint32_t> row_of_step(steps.size());
   for (std::size_t k = 0; k < steps.size(); ++k) {
-    RowState& rs = state(steps[k].row, start);
-    sense_and_restore(steps[k].row, rs, start + act_offset[k]);
+    std::size_t r = 0;
+    while (r < rows_hit.size() && rows_hit[r].row != steps[k].row) ++r;
+    if (r == rows_hit.size()) {
+      rows_hit.push_back({steps[k].row, act_offset[k], act_offset[k], nullptr,
+                          {}});
+    } else {
+      rows_hit[r].last_offset = act_offset[k];
+    }
+    row_of_step[k] = static_cast<std::uint32_t>(r);
+  }
+
+  // Sense every hammered row once at its first activation, so pre-existing
+  // dose materializes before the burst restores it. (Later activations of
+  // the same row within the burst sense a just-restored row: a no-op.)
+  for (const auto& hr : rows_hit) {
+    RowState& rs = state(hr.row, start);
+    sense_and_restore(hr.row, rs, start + hr.first_offset);
+  }
+  // Materialize all victim states up front (inserts may rehash), then
+  // resolve the pointers once; no inserts happen after this block.
+  for (const auto& hr : rows_hit) {
+    for (int d : kDistances) {
+      const int victim = hr.row + d;
+      if (victim < 0 || victim >= kRowsPerBank) continue;
+      if (!same_subarray(hr.row, victim)) continue;
+      if (is_hammered(victim)) continue;
+      state(victim, start);
+    }
+  }
+  for (auto& hr : rows_hit) {
+    hr.state = find_state(hr.row);
+    for (std::size_t di = 0; di < 4; ++di) {
+      const int victim = hr.row + kDistances[di];
+      if (victim < 0 || victim >= kRowsPerBank) continue;
+      if (!same_subarray(hr.row, victim)) continue;
+      if (is_hammered(victim)) continue;
+      hr.victims[di] = find_state(victim);
+    }
   }
 
   // Apply the aggregated dose to victims that are not themselves hammered
   // (hammered rows restore themselves every iteration; their residual
-  // single-iteration dose is dropped, see header).
-  auto is_hammered = [&](int row) {
-    return std::any_of(steps.begin(), steps.end(), [row](const HammerStep& s) {
-      return s.row == row;
-    });
-  };
+  // single-iteration dose is dropped, see header). Kept per step so the
+  // epoch merge order and dose summation order match the iterative path
+  // bit for bit.
   for (std::size_t k = 0; k < steps.size(); ++k) {
-    const int aggressor = steps[k].row;
-    const double dose =
-        fault_->taggon_factor(steps[k].on_cycles) *
-        static_cast<double>(iterations);
-    static constexpr int kDistances[] = {-2, -1, 1, 2};
-    for (int d : kDistances) {
-      const int victim = aggressor + d;
-      if (victim < 0 || victim >= kRowsPerBank) continue;
-      if (!same_subarray(aggressor, victim)) continue;
-      if (is_hammered(victim)) continue;
-      state(victim, start);  // may rehash; re-find aggressor below
-      RowState* aggr = find_state(aggressor);
-      find_state(victim)->ledger.add(-d, aggr->version, aggr->bits, dose);
+    const HammeredRow& hr = rows_hit[row_of_step[k]];
+    const double dose = fault_->taggon_factor(steps[k].on_cycles) *
+                        static_cast<double>(iterations);
+    for (std::size_t di = 0; di < 4; ++di) {
+      RowState* victim = hr.victims[di];
+      if (victim == nullptr) continue;
+      victim->ledger.add(-kDistances[di], hr.state->version, hr.state->bits,
+                         dose);
     }
     if (defense_) {
-      defense_->on_activate_bulk(aggressor, iterations, end);
+      defense_->on_activate_bulk(hr.row, iterations, end);
     }
     counters_.activations += iterations;
   }
 
   // Hammered rows were restored by their own final activation.
-  for (std::size_t k = 0; k < steps.size(); ++k) {
-    RowState* rs = find_state(steps[k].row);
-    rs->ledger.clear();
-    rs->last_restore = start + (iterations - 1) * period + act_offset[k];
+  for (const auto& hr : rows_hit) {
+    hr.state->ledger.clear();
+    hr.state->last_restore =
+        start + (iterations - 1) * period + hr.last_offset;
   }
   return end;
 }

@@ -16,6 +16,7 @@
 
 #include "disturb/dose.h"
 #include "disturb/fault_model.h"
+#include "disturb/threshold_cache.h"
 #include "dram/defense.h"
 #include "dram/geometry.h"
 #include "dram/row_data.h"
@@ -46,8 +47,13 @@ struct HammerStep {
 
 class Bank {
  public:
+  /// `threshold_cache` (optional) memoizes per-row cell summaries so senses
+  /// of cached rows skip the per-cell hash scan; results are bit-identical
+  /// with and without it. The cache outlives the bank (it is shared across
+  /// power cycles) and must only be used from the bank's thread.
   Bank(BankAddress address, const disturb::FaultModel* fault_model,
-       const Environment* env, TimingParams timing);
+       const Environment* env, TimingParams timing,
+       disturb::BankThresholdCache* threshold_cache = nullptr);
 
   Bank(const Bank&) = delete;
   Bank& operator=(const Bank&) = delete;
@@ -152,6 +158,11 @@ class Bank {
   std::unordered_map<int, RowState> rows_;
   std::unique_ptr<ReadDisturbDefense> defense_;
   BankCounters counters_;
+  disturb::BankThresholdCache* threshold_cache_ = nullptr;
+  /// Scratch for the candidate-driven sense scan (reused across senses).
+  std::vector<int> candidate_scratch_;
+  /// Scratch for bulk_hammer's sorted hammered-row lookup.
+  std::vector<int> hammered_rows_scratch_;
 };
 
 }  // namespace hbmrd::dram

@@ -8,16 +8,21 @@ namespace hbmrd::dram {
 
 Stack::Stack(StackConfig config)
     : fault_(config.disturb),
+      threshold_cache_(std::move(config.threshold_cache)),
       mapping_(config.mapping),
       timing_(config.timing),
       env_{config.initial_temperature_c} {
   banks_.reserve(static_cast<std::size_t>(kChannels) * kPseudoChannels *
                  kBanksPerPseudoChannel);
+  std::size_t flat_index = 0;
   for (int ch = 0; ch < kChannels; ++ch) {
     for (int pc = 0; pc < kPseudoChannels; ++pc) {
       for (int b = 0; b < kBanksPerPseudoChannel; ++b) {
         const BankAddress addr{ch, pc, b};
-        banks_.emplace_back(addr, &fault_, &env_, timing_);
+        banks_.emplace_back(addr, &fault_, &env_, timing_,
+                            threshold_cache_
+                                ? &threshold_cache_->bank(addr, flat_index++)
+                                : nullptr);
         if (config.defense_factory) {
           banks_.back().set_defense(config.defense_factory(addr));
         }

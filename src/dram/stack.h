@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "disturb/fault_model.h"
+#include "disturb/threshold_cache.h"
 #include "dram/bank.h"
 #include "dram/mapping.h"
 #include "dram/mode_registers.h"
@@ -27,6 +28,12 @@ struct StackConfig {
   std::function<std::unique_ptr<ReadDisturbDefense>(const BankAddress&)>
       defense_factory;
   double initial_temperature_c = 60.0;
+  /// Optional per-bank row threshold cache (see disturb/threshold_cache.h).
+  /// Shared so it survives stack rebuilds (power cycles): the cached
+  /// summaries are pure functions of the disturb seed, never of device
+  /// state. Null = senses use the uncached full scan. Must only be shared
+  /// between stacks driven from the same thread.
+  std::shared_ptr<disturb::ThresholdCache> threshold_cache;
 };
 
 /// Counters exposed for the ECC analysis of Sec. 8 (Fig. 15).
@@ -92,6 +99,7 @@ class Stack {
   [[nodiscard]] std::size_t bank_index(const BankAddress& address) const;
 
   disturb::FaultModel fault_;
+  std::shared_ptr<disturb::ThresholdCache> threshold_cache_;
   RowMapping mapping_;
   TimingParams timing_;
   Environment env_;

@@ -1,26 +1,28 @@
 #include "runner/journal.h"
 
-#include <iomanip>
-#include <sstream>
+#include <cstdio>
 #include <stdexcept>
 
 namespace hbmrd::runner {
 
 namespace {
 
-std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
+void append_json_escaped(std::string& out, std::string_view text) {
   for (char c : text) {
     switch (c) {
-      case '"': escaped += "\\\""; break;
-      case '\\': escaped += "\\\\"; break;
-      case '\n': escaped += "\\n"; break;
-      case '\t': escaped += "\\t"; break;
-      default: escaped += c;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
     }
   }
-  return escaped;
+}
+
+void append_key(std::string& out, std::string_view key) {
+  out += ",\"";
+  append_json_escaped(out, key);
+  out += "\":";
 }
 
 }  // namespace
@@ -32,52 +34,75 @@ Journal::Journal(const std::string& path, bool append) : path_(path) {
   if (!out_) throw std::runtime_error("Journal: cannot open " + path);
 }
 
-void Journal::commit(const std::string& line) { out_ << line << "}\n"; }
+void Journal::flush() {
+  if (!enabled()) return;
+  if (!pending_.empty()) {
+    out_.write(pending_.data(),
+               static_cast<std::streamsize>(pending_.size()));
+    pending_.clear();
+  }
+  out_.flush();
+}
 
-Journal::Event::Event(Journal* journal, const std::string& type)
-    : journal_(journal) {
-  if (journal_ == nullptr) return;
-  line_ = "{\"event\":\"" + json_escape(type) + "\"";
+Journal::Event::Event(std::string* sink, std::string_view type)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  sink_->reserve(sink_->size() + 128);
+  *sink_ += "{\"event\":\"";
+  append_json_escaped(*sink_, type);
+  *sink_ += '"';
 }
 
 Journal::Event::~Event() {
-  if (journal_ != nullptr) journal_->commit(line_);
+  if (sink_ != nullptr) *sink_ += "}\n";
 }
 
-Journal::Event& Journal::Event::field(const std::string& key,
-                                      const std::string& value) {
-  if (journal_ != nullptr) {
-    line_ += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+Journal::Event& Journal::Event::field(std::string_view key,
+                                      std::string_view value) {
+  if (sink_ != nullptr) {
+    append_key(*sink_, key);
+    *sink_ += '"';
+    append_json_escaped(*sink_, value);
+    *sink_ += '"';
   }
   return *this;
 }
 
-Journal::Event& Journal::Event::field(const std::string& key,
-                                      const char* value) {
-  return field(key, std::string(value));
-}
-
-Journal::Event& Journal::Event::field(const std::string& key,
+Journal::Event& Journal::Event::field(std::string_view key,
                                       std::uint64_t value) {
-  if (journal_ != nullptr) {
-    line_ += ",\"" + json_escape(key) + "\":" + std::to_string(value);
+  if (sink_ != nullptr) {
+    char buf[24];
+    const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                                static_cast<unsigned long long>(value));
+    append_key(*sink_, key);
+    sink_->append(buf, static_cast<std::size_t>(n));
   }
   return *this;
 }
 
-Journal::Event& Journal::Event::field(const std::string& key, int value) {
-  if (journal_ != nullptr) {
-    line_ += ",\"" + json_escape(key) + "\":" + std::to_string(value);
+Journal::Event& Journal::Event::field(std::string_view key, int value) {
+  if (sink_ != nullptr) {
+    char buf[16];
+    const int n = std::snprintf(buf, sizeof(buf), "%d", value);
+    append_key(*sink_, key);
+    sink_->append(buf, static_cast<std::size_t>(n));
   }
   return *this;
 }
 
-Journal::Event& Journal::Event::field(const std::string& key, double value,
+Journal::Event& Journal::Event::field(std::string_view key, double value,
                                       int precision) {
-  if (journal_ != nullptr) {
-    std::ostringstream out;
-    out << std::fixed << std::setprecision(precision) << value;
-    line_ += ",\"" + json_escape(key) + "\":" + out.str();
+  if (sink_ != nullptr) {
+    // %.*f matches the previous std::fixed/setprecision formatting in the
+    // default locale; 352 bytes covers any finite double at precision <= 17.
+    char buf[352];
+    const int n = std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    append_key(*sink_, key);
+    if (n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+      sink_->append(buf, static_cast<std::size_t>(n));
+    } else {
+      sink_->append("0.0");
+    }
   }
   return *this;
 }

@@ -6,11 +6,20 @@
 // simulation (seeded faults, simulated rig time) — never from wall clocks —
 // so the same (seed, plan) produces a byte-identical journal, which the
 // tests assert.
+//
+// Events serialize straight into a caller-visible byte buffer: the journal's
+// own staging buffer for main-thread events, or a worker-local string for
+// trials executed off-thread (the parallel runner appends those buffers in
+// canonical trial order, which is what keeps `--jobs N` journals
+// byte-identical to the serial run). Field keys are string_views and doubles
+// format through snprintf, so the per-trial hot path allocates nothing
+// beyond the buffer it is writing.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <string_view>
 
 namespace hbmrd::runner {
 
@@ -23,39 +32,53 @@ class Journal {
   [[nodiscard]] bool enabled() const { return out_.is_open(); }
   [[nodiscard]] const std::string& path() const { return path_; }
 
-  /// One JSON object, committed to disk when it goes out of scope.
+  /// One JSON object, serialized into a byte buffer as fields are added;
+  /// the closing brace lands when the event goes out of scope.
   class Event {
    public:
-    Event(Journal* journal, const std::string& type);
+    Event(std::string* sink, std::string_view type);
     ~Event();
     Event(const Event&) = delete;
     Event& operator=(const Event&) = delete;
 
-    Event& field(const std::string& key, const std::string& value);
-    Event& field(const std::string& key, const char* value);
-    Event& field(const std::string& key, std::uint64_t value);
-    Event& field(const std::string& key, int value);
+    Event& field(std::string_view key, std::string_view value);
+    Event& field(std::string_view key, const char* value) {
+      return field(key, std::string_view(value));
+    }
+    Event& field(std::string_view key, std::uint64_t value);
+    Event& field(std::string_view key, int value);
     /// Fixed-precision double (deterministic formatting).
-    Event& field(const std::string& key, double value, int precision = 3);
+    Event& field(std::string_view key, double value, int precision = 3);
 
    private:
-    Journal* journal_;
-    std::string line_;
+    std::string* sink_;
   };
 
-  [[nodiscard]] Event event(const std::string& type) {
-    return Event(enabled() ? this : nullptr, type);
+  /// Event staged in this journal's buffer (written out on flush()).
+  [[nodiscard]] Event event(std::string_view type) {
+    return Event(enabled() ? &pending_ : nullptr, type);
   }
 
-  void flush() {
-    if (enabled()) out_.flush();
+  /// Event serialized into an external buffer; commit the buffer later with
+  /// append(). This is how worker threads stage per-trial events without
+  /// touching the journal: the sequencer appends each trial's buffer in
+  /// canonical order.
+  [[nodiscard]] static Event buffered(std::string* buffer,
+                                      std::string_view type) {
+    return Event(buffer, type);
   }
+
+  /// Appends pre-serialized event lines (from buffered() events).
+  void append(std::string_view lines) {
+    if (enabled()) pending_.append(lines);
+  }
+
+  /// Commits staged bytes to the file and pushes them to the OS.
+  void flush();
 
  private:
-  friend class Event;
-  void commit(const std::string& line);
-
   std::string path_;
+  std::string pending_;
   std::ofstream out_;
 };
 

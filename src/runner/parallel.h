@@ -1,0 +1,126 @@
+// Deterministic parallel execution: a fixed-size worker pool feeding a
+// reorder buffer that the sequencer drains in canonical shard order.
+//
+// The determinism contract is split between this pool and its users:
+//
+//   * the pool guarantees *ordering*: shards are claimed in ascending index
+//     order, and take(k) hands the sequencer shard k's outcome no matter
+//     which worker produced it or when it finished;
+//   * the worker guarantees *order-independence*: each shard's outcome must
+//     be a pure function of the shard index (the campaign runner resets its
+//     private chip session to a canonical snapshot before every trial).
+//
+// Together these make the committed byte stream independent of the worker
+// count: `--jobs N` for any N replays the exact serial commit sequence.
+//
+// Backpressure: a worker only claims shard k once k < consumed + window, so
+// at most `window` outcomes are ever buffered — a straggler shard cannot
+// make the reorder buffer grow without bound.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbmrd::runner {
+
+template <typename Outcome>
+class OrderedShardPool {
+ public:
+  /// `count` shards processed by up to `jobs` workers with at most `window`
+  /// outcomes buffered ahead of the sequencer.
+  OrderedShardPool(std::size_t count, std::size_t jobs, std::size_t window)
+      : count_(count),
+        window_(window == 0 ? 1 : window),
+        jobs_(std::min(jobs == 0 ? 1 : jobs,
+                       count == 0 ? std::size_t{1} : count)) {}
+
+  OrderedShardPool(const OrderedShardPool&) = delete;
+  OrderedShardPool& operator=(const OrderedShardPool&) = delete;
+
+  ~OrderedShardPool() {
+    abort();
+    join();
+  }
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Spawns the worker threads; `body` runs once per worker and is expected
+  /// to loop on claim()/submit(). It must submit an outcome for every index
+  /// it claims (wrap the work in try/catch and submit the error).
+  void start(const std::function<void(OrderedShardPool&)>& body) {
+    threads_.reserve(jobs_);
+    for (std::size_t w = 0; w < jobs_; ++w) {
+      threads_.emplace_back([this, body] { body(*this); });
+    }
+  }
+
+  /// Worker side: blocks until a shard is available inside the reorder
+  /// window. Returns false when all shards are claimed or the pool aborted.
+  bool claim(std::size_t& k) {
+    std::unique_lock lock(mu_);
+    space_.wait(lock, [&] {
+      return aborted_ || next_claim_ >= count_ ||
+             next_claim_ < consumed_ + window_;
+    });
+    if (aborted_ || next_claim_ >= count_) return false;
+    k = next_claim_++;
+    return true;
+  }
+
+  /// Worker side: hands shard k's outcome to the reorder buffer.
+  void submit(std::size_t k, Outcome outcome) {
+    std::lock_guard lock(mu_);
+    ready_.emplace(k, std::move(outcome));
+    ready_cv_.notify_all();
+  }
+
+  /// Sequencer side: blocks until shard k's outcome arrives. Must be called
+  /// with strictly ascending k starting at 0; the window guarantees the
+  /// worker owning shard `consumed` is always running, so this cannot
+  /// deadlock.
+  [[nodiscard]] Outcome take(std::size_t k) {
+    std::unique_lock lock(mu_);
+    ready_cv_.wait(lock, [&] { return ready_.count(k) != 0; });
+    auto node = ready_.extract(k);
+    ++consumed_;
+    space_.notify_all();
+    return std::move(node.mapped());
+  }
+
+  /// Stops handing out new shards; in-flight shards finish and their
+  /// outcomes are discarded with the pool. Idempotent.
+  void abort() {
+    std::lock_guard lock(mu_);
+    aborted_ = true;
+    space_.notify_all();
+  }
+
+  void join() {
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    threads_.clear();
+  }
+
+ private:
+  const std::size_t count_;
+  const std::size_t window_;
+  const std::size_t jobs_;
+
+  std::mutex mu_;
+  std::condition_variable space_;     // claim-side: window slot freed / abort
+  std::condition_variable ready_cv_;  // take-side: outcome arrived
+  std::map<std::size_t, Outcome> ready_;
+  std::size_t next_claim_ = 0;
+  std::size_t consumed_ = 0;
+  bool aborted_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hbmrd::runner

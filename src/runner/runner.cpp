@@ -1,20 +1,19 @@
 #include "runner/runner.h"
 
-#include <cmath>
+#include <algorithm>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "runner/parallel.h"
+#include "runner/worker.h"
 #include "util/csv.h"
 
 namespace hbmrd::runner {
 
 namespace {
-
-/// Pseudo-fault label for a guard band that never recovered in time.
-constexpr const char* kGuardTimeout = "guard-band-timeout";
-constexpr const char* kTrialTimeout = "trial-timeout";
 
 struct CheckpointRow {
   TrialStatus status = TrialStatus::kOkResumed;
@@ -30,12 +29,11 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
-void validate_cell(const std::string& cell, const char* what) {
-  if (cell.find_first_of(",\"\n") != std::string::npos) {
-    throw std::invalid_argument(
-        std::string("CampaignRunner: ") + what +
-        " must not contain commas, quotes, or newlines: " + cell);
-  }
+void accumulate(dram::BankCounters& into, const dram::BankCounters& delta) {
+  into.activations += delta.activations;
+  into.refresh_commands += delta.refresh_commands;
+  into.defense_victim_refreshes += delta.defense_victim_refreshes;
+  into.bitflips_materialized += delta.bitflips_materialized;
 }
 
 }  // namespace
@@ -81,50 +79,12 @@ double CampaignRunner::band_c() const {
   return chip_.profile().temperature_controlled ? 1.0 : 3.0;
 }
 
-bool CampaignRunner::wait_for_guard_band(Journal& journal,
-                                         CampaignReport& report,
-                                         const std::string& key,
-                                         int attempt) {
-  if (!config_.guard.enabled) return true;
-  const double target = setpoint_c();
-  const double band = band_c();
-  double waited = 0.0;
-  while (true) {
-    // Read the physical rig sensor, not the (possibly pinned) device view.
-    const double measured = chip_.rig().temperature_c();
-    if (std::abs(measured - target) <= band) {
-      if (waited > 0.0) {
-        ++report.guard_blocks;
-        report.guard_wait_s += waited;
-        journal.event("guard-wait")
-            .field("trial", key)
-            .field("attempt", attempt)
-            .field("waited_s", waited, 1)
-            .field("measured_c", measured, 2);
-      }
-      return true;
-    }
-    if (waited >= config_.guard.max_wait_s) {
-      journal.event("guard-timeout")
-          .field("trial", key)
-          .field("attempt", attempt)
-          .field("waited_s", waited, 1)
-          .field("measured_c", measured, 2);
-      report.guard_wait_s += waited;
-      ++report.guard_blocks;
-      return false;
-    }
-    chip_.idle(config_.guard.poll_s);
-    waited += config_.guard.poll_s;
-  }
-}
-
 CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
   const auto width = config_.result_columns.size();
   std::vector<std::string> header = {"trial", "status"};
   header.insert(header.end(), config_.result_columns.begin(),
                 config_.result_columns.end());
-  for (const auto& trial : trials) validate_cell(trial.key, "trial key");
+  for (const auto& trial : trials) validate_csv_cell(trial.key, "trial key");
 
   // -- Load the checkpoint (resume): committed rows are skipped. A partial
   // trailing line from a mid-write kill is discarded by rewriting the file
@@ -200,12 +160,72 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
   // run started. Keys the fatal-fault draw so a crash does not deadlock
   // the resumed campaign on the same trial (transient/persistent/thermal
   // draws stay incarnation-independent, keeping results bit-identical).
-  faulty_.set_incarnation(static_cast<std::uint64_t>(committed.size()));
+  const auto incarnation = static_cast<std::uint64_t>(committed.size());
+  faulty_.set_incarnation(incarnation);
+
+  // -- Canonical-order list of trials the checkpoint does not satisfy,
+  // truncated to the stop-after budget: exactly the trials this run will
+  // execute, in the order the sequencer commits them.
+  std::vector<std::size_t> pending;
+  pending.reserve(trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (committed.find(trials[i].key) == committed.end()) pending.push_back(i);
+  }
+  if (config_.stop_after_trials != 0 &&
+      pending.size() > config_.stop_after_trials) {
+    pending.resize(static_cast<std::size_t>(config_.stop_after_trials));
+  }
+
+  // -- Worker pool: each worker owns a private chip session and executes
+  // whole trials; the reorder window keeps at most max(16, 2*jobs) finished
+  // trials buffered ahead of the sequencer.
+  const auto jobs =
+      static_cast<std::size_t>(config_.jobs < 1 ? 1 : config_.jobs);
+  const std::size_t window = std::max<std::size_t>(16, 2 * jobs);
+  const bool journal_enabled = journal.enabled();
+  OrderedShardPool<TrialOutcome> pool(pending.size(), jobs, window);
+
+  std::mutex stats_mu;
+  fault::FaultyChip::Stats worker_stats;
+  pool.start([&](OrderedShardPool<TrialOutcome>& p) {
+    TrialWorker worker(chip_.profile(), config_, incarnation,
+                       journal_enabled);
+    std::size_t k = 0;
+    while (p.claim(k)) {
+      TrialOutcome out;
+      try {
+        out = worker.run(trials[pending[k]],
+                         static_cast<std::uint64_t>(pending[k]));
+      } catch (...) {
+        out.error = std::current_exception();
+      }
+      p.submit(k, std::move(out));
+    }
+    std::lock_guard lock(stats_mu);
+    worker_stats.merge(worker.stats());
+  });
+
+  // Winds the pool down (normal completion or early abort) and folds the
+  // worker sessions' fault statistics into the facade session, where
+  // callers read them (campaign.session().stats()). After a fatal abort the
+  // totals can include faults from in-flight trials whose outcomes were
+  // discarded — same information a crashed physical campaign leaves behind.
+  const auto finish = [&] {
+    pool.abort();
+    pool.join();
+    std::lock_guard lock(stats_mu);
+    faulty_.absorb_stats(worker_stats);
+    worker_stats = {};
+  };
 
   CampaignReport report;
   std::uint64_t processed = 0;
-  const double rig_t0 = chip_.rig().time_s();
+  std::size_t next_shard = 0;
+  std::vector<std::string> row;
+  row.reserve(2 + width);
 
+  // -- Sequencer: walk the campaign in canonical order, committing each
+  // trial's CSV row and journal buffer exactly as the serial loop did.
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const auto& trial = trials[i];
     if (auto it = committed.find(trial.key); it != committed.end()) {
@@ -217,8 +237,8 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
       report.records.push_back(std::move(record));
       continue;
     }
-    if (config_.stop_after_trials != 0 &&
-        processed >= config_.stop_after_trials) {
+    if (next_shard >= pending.size()) {
+      // The stop-after budget truncated `pending` exactly here.
       report.aborted = true;
       report.abort_reason = "stop-after-trials";
       journal.event("campaign-stop")
@@ -228,114 +248,54 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     }
     ++processed;
 
-    TrialRecord record;
-    record.key = trial.key;
-    for (int attempt = 1; attempt <= config_.retry.max_attempts; ++attempt) {
-      record.attempts = attempt;
-      faulty_.begin_attempt(static_cast<std::uint64_t>(i), attempt);
-      std::string fault_kind;
-      fault::FaultClass fault_cls = fault::FaultClass::kTransient;
+    TrialOutcome out = pool.take(next_shard++);
+    if (out.error) {
+      journal.flush();
+      if (csv) csv->flush();
+      finish();
+      std::rethrow_exception(out.error);
+    }
+    journal.append(out.journal);
+    report.retries += out.retries;
+    report.guard_blocks += out.guard_blocks;
+    report.guard_wait_s += out.guard_wait_s;
+    report.backoff_wait_s += out.backoff_wait_s;
+    report.campaign_seconds += out.trial_s;
+    accumulate(report.device_counters, out.device);
 
-      if (!wait_for_guard_band(journal, report, trial.key, attempt)) {
-        fault_kind = kGuardTimeout;
-      } else {
-        const double attempt_t0 = chip_.rig().time_s();
-        chip_.pin_temperature(setpoint_c());
-        try {
-          auto cells = trial.body(faulty_);
-          chip_.pin_temperature(std::nullopt);
-          if (cells.size() != width) {
-            throw std::logic_error(
-                "CampaignRunner: trial '" + trial.key + "' returned " +
-                std::to_string(cells.size()) + " cells, expected " +
-                std::to_string(width));
-          }
-          for (const auto& cell : cells) validate_cell(cell, "result cell");
-          const double attempt_s = chip_.rig().time_s() - attempt_t0;
-          if (config_.trial_timeout_s > 0.0 &&
-              attempt_s > config_.trial_timeout_s) {
-            fault_kind = kTrialTimeout;
-            journal.event("fault")
-                .field("trial", trial.key)
-                .field("attempt", attempt)
-                .field("kind", fault_kind)
-                .field("class", "transient")
-                .field("attempt_s", attempt_s, 1);
-          } else {
-            record.status = TrialStatus::kOk;
-            record.cells = std::move(cells);
-          }
-        } catch (const fault::FaultError& error) {
-          chip_.pin_temperature(std::nullopt);
-          fault_kind = fault::to_string(error.kind());
-          fault_cls = error.fault_class();
-          journal.event("fault")
-              .field("trial", trial.key)
-              .field("attempt", attempt)
-              .field("kind", fault_kind)
-              .field("class", fault::to_string(fault_cls));
-        }
-      }
-
-      if (record.status == TrialStatus::kOk) {
-        journal.event("trial-ok")
-            .field("trial", trial.key)
-            .field("attempts", attempt)
-            .field("rig_t", chip_.rig().time_s(), 1);
-        break;
-      }
-      if (fault_cls == fault::FaultClass::kFatal) {
-        report.aborted = true;
-        report.abort_reason = fault_kind;
-        journal.event("campaign-abort")
-            .field("trial", trial.key)
-            .field("reason", fault_kind)
-            .field("rig_t", chip_.rig().time_s(), 1);
-        journal.flush();
-        if (csv) csv->flush();
-        report.campaign_seconds = chip_.rig().time_s() - rig_t0;
-        return report;
-      }
-      if (fault_cls == fault::FaultClass::kPersistent ||
-          attempt == config_.retry.max_attempts) {
-        record.status = TrialStatus::kQuarantined;
-        record.quarantine_reason = fault_kind;
-        break;
-      }
-      const double delay =
-          config_.retry.backoff_s(faults.seed, static_cast<std::uint64_t>(i),
-                                  attempt);
-      ++report.retries;
-      report.backoff_wait_s += delay;
-      journal.event("retry")
+    if (out.fatal) {
+      report.aborted = true;
+      report.abort_reason = out.fatal_kind;
+      journal.event("campaign-abort")
           .field("trial", trial.key)
-          .field("attempt", attempt)
-          .field("backoff_s", delay, 3);
-      chip_.idle(delay);
+          .field("reason", out.fatal_kind)
+          .field("trial_s", out.trial_s, 1);
+      journal.flush();
+      if (csv) csv->flush();
+      finish();
+      return report;
     }
 
     // -- Commit: one CSV row per finished trial (ok or quarantined).
-    if (record.status == TrialStatus::kQuarantined) {
+    if (out.record.status == TrialStatus::kQuarantined) {
       ++report.quarantined;
-      journal.event("quarantine")
-          .field("trial", trial.key)
-          .field("attempts", record.attempts)
-          .field("reason", record.quarantine_reason);
     } else {
       ++report.completed;
     }
     if (csv) {
-      std::vector<std::string> row = {record.key, to_string(record.status)};
-      row.insert(row.end(), record.cells.begin(), record.cells.end());
+      row.clear();
+      row.emplace_back(out.record.key);
+      row.emplace_back(to_string(out.record.status));
+      row.insert(row.end(), out.record.cells.begin(), out.record.cells.end());
       row.resize(2 + width);  // quarantined rows: empty payload cells
       csv->row(row);
       csv->flush();
     }
     journal.flush();
-    report.records.push_back(std::move(record));
+    report.records.push_back(std::move(out.record));
   }
 
-  report.campaign_seconds = chip_.rig().time_s() - rig_t0;
+  finish();
   const auto& stats = faulty_.stats();
   journal.event("campaign-end")
       .field("completed", report.completed)

@@ -16,7 +16,12 @@
 //     the last committed trial and reproduces the uninterrupted run's CSV
 //     byte for byte;
 //   * JSONL journal — attempts, faults, backoff and guard waits, and the
-//     campaign summary, all derived from simulated time (deterministic).
+//     campaign summary, all derived from simulated time (deterministic);
+//   * deterministic parallelism — `jobs` worker threads each execute trials
+//     on a private chip session reset to canonical power-on state before
+//     every trial, while a sequencer commits rows and journal events in
+//     canonical trial order: `--jobs N` output is byte-identical to the
+//     serial run for any N (docs/PERFORMANCE.md has the full argument).
 #pragma once
 
 #include <cstdint>
@@ -84,6 +89,11 @@ struct RunnerConfig {
   /// and the natural sharding point for splitting campaigns across
   /// workers.
   std::uint64_t stop_after_trials = 0;
+  /// Worker threads executing trials. Each worker owns a private chip
+  /// session; a sequencer commits results in canonical trial order, so any
+  /// value produces CSV/journal byte-identical to jobs = 1 (values < 1 are
+  /// clamped to 1). See docs/PERFORMANCE.md.
+  int jobs = 1;
 };
 
 struct CampaignReport {
@@ -97,6 +107,11 @@ struct CampaignReport {
   double guard_wait_s = 0.0;      // simulated time spent waiting for band
   double backoff_wait_s = 0.0;    // simulated time spent backing off
   double campaign_seconds = 0.0;  // simulated rig time the campaign took
+  /// Device-side counters summed over this run's trials (each trial runs on
+  /// a fresh power-on stack, so these are per-trial deltas accumulated in
+  /// commit order). Campaign chips' own counters no longer see trial
+  /// activity — sweeps that report ACT/refresh totals read them here.
+  dram::BankCounters device_counters;
   bool aborted = false;
   std::string abort_reason;
 
@@ -129,9 +144,6 @@ class CampaignRunner {
   [[nodiscard]] double band_c() const;
 
  private:
-  bool wait_for_guard_band(Journal& journal, CampaignReport& report,
-                           const std::string& key, int attempt);
-
   bender::HbmChip& chip_;
   RunnerConfig config_;
   fault::FaultyChip faulty_;

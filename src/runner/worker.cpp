@@ -1,0 +1,184 @@
+#include "runner/worker.h"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "runner/journal.h"
+
+namespace hbmrd::runner {
+
+namespace {
+
+/// Pseudo-fault label for a guard band that never recovered in time.
+constexpr const char* kGuardTimeout = "guard-band-timeout";
+constexpr const char* kTrialTimeout = "trial-timeout";
+
+}  // namespace
+
+void validate_csv_cell(const std::string& cell, const char* what) {
+  if (cell.find_first_of(",\"\n") != std::string::npos) {
+    throw std::invalid_argument(
+        std::string("CampaignRunner: ") + what +
+        " must not contain commas, quotes, or newlines: " + cell);
+  }
+}
+
+TrialWorker::TrialWorker(const dram::ChipProfile& profile,
+                         const RunnerConfig& config,
+                         std::uint64_t incarnation, bool journal_enabled)
+    : config_(config),
+      chip_(profile),
+      rig0_(chip_.rig()),
+      faulty_(chip_, fault::FaultPlan(config.faults)),
+      journal_enabled_(journal_enabled) {
+  faulty_.set_incarnation(incarnation);
+  setpoint_c_ = profile.temperature_controlled ? profile.target_temperature_c
+                                               : profile.ambient_temperature_c;
+  band_c_ = config.guard.band_c > 0.0
+                ? config.guard.band_c
+                : (profile.temperature_controlled ? 1.0 : 3.0);
+}
+
+bool TrialWorker::wait_for_guard_band(TrialOutcome& out, std::string* sink,
+                                      const std::string& key, int attempt) {
+  if (!config_.guard.enabled) return true;
+  double waited = 0.0;
+  while (true) {
+    // Read the physical rig sensor, not the (possibly pinned) device view.
+    const double measured = chip_.rig().temperature_c();
+    if (std::abs(measured - setpoint_c_) <= band_c_) {
+      if (waited > 0.0) {
+        ++out.guard_blocks;
+        out.guard_wait_s += waited;
+        Journal::buffered(sink, "guard-wait")
+            .field("trial", key)
+            .field("attempt", attempt)
+            .field("waited_s", waited, 1)
+            .field("measured_c", measured, 2);
+      }
+      return true;
+    }
+    if (waited >= config_.guard.max_wait_s) {
+      Journal::buffered(sink, "guard-timeout")
+          .field("trial", key)
+          .field("attempt", attempt)
+          .field("waited_s", waited, 1)
+          .field("measured_c", measured, 2);
+      out.guard_wait_s += waited;
+      ++out.guard_blocks;
+      return false;
+    }
+    chip_.idle(config_.guard.poll_s);
+    waited += config_.guard.poll_s;
+  }
+}
+
+TrialOutcome TrialWorker::run(const CampaignRunner::Trial& trial,
+                              std::uint64_t index) {
+  TrialOutcome out;
+  out.record.key = trial.key;
+  std::string* sink = journal_enabled_ ? &out.journal : nullptr;
+
+  // Canonical session state: same rig snapshot, same power-on stack for
+  // every trial, so the outcome cannot depend on execution order.
+  chip_.rig() = rig0_;
+  chip_.power_cycle();
+  const double trial_t0 = chip_.rig().time_s();
+  const auto width = config_.result_columns.size();
+
+  for (int attempt = 1; attempt <= config_.retry.max_attempts; ++attempt) {
+    out.record.attempts = attempt;
+    faulty_.begin_attempt(index, attempt);
+    std::string fault_kind;
+    fault::FaultClass fault_cls = fault::FaultClass::kTransient;
+
+    if (!wait_for_guard_band(out, sink, trial.key, attempt)) {
+      fault_kind = kGuardTimeout;
+    } else {
+      const double attempt_t0 = chip_.rig().time_s();
+      chip_.pin_temperature(setpoint_c_);
+      try {
+        auto cells = trial.body(faulty_);
+        chip_.pin_temperature(std::nullopt);
+        if (cells.size() != width) {
+          throw std::logic_error(
+              "CampaignRunner: trial '" + trial.key + "' returned " +
+              std::to_string(cells.size()) + " cells, expected " +
+              std::to_string(width));
+        }
+        for (const auto& cell : cells) validate_csv_cell(cell, "result cell");
+        const double attempt_s = chip_.rig().time_s() - attempt_t0;
+        if (config_.trial_timeout_s > 0.0 &&
+            attempt_s > config_.trial_timeout_s) {
+          fault_kind = kTrialTimeout;
+          Journal::buffered(sink, "fault")
+              .field("trial", trial.key)
+              .field("attempt", attempt)
+              .field("kind", fault_kind)
+              .field("class", "transient")
+              .field("attempt_s", attempt_s, 1);
+        } else {
+          out.record.status = TrialStatus::kOk;
+          out.record.cells = std::move(cells);
+        }
+      } catch (const fault::FaultError& error) {
+        chip_.pin_temperature(std::nullopt);
+        fault_kind = fault::to_string(error.kind());
+        fault_cls = error.fault_class();
+        Journal::buffered(sink, "fault")
+            .field("trial", trial.key)
+            .field("attempt", attempt)
+            .field("kind", fault_kind)
+            .field("class", fault::to_string(fault_cls));
+      } catch (...) {
+        // Not a fault: a trial-body or validation bug. Hand it to the
+        // sequencer, which rethrows at this trial's commit point.
+        out.error = std::current_exception();
+        out.trial_s = chip_.rig().time_s() - trial_t0;
+        out.device = chip_.stack().total_counters();
+        return out;
+      }
+    }
+
+    if (out.record.status == TrialStatus::kOk) {
+      Journal::buffered(sink, "trial-ok")
+          .field("trial", trial.key)
+          .field("attempts", attempt)
+          .field("trial_s", chip_.rig().time_s() - trial_t0, 1);
+      break;
+    }
+    if (fault_cls == fault::FaultClass::kFatal) {
+      out.fatal = true;
+      out.fatal_kind = fault_kind;
+      break;
+    }
+    if (fault_cls == fault::FaultClass::kPersistent ||
+        attempt == config_.retry.max_attempts) {
+      out.record.status = TrialStatus::kQuarantined;
+      out.record.quarantine_reason = fault_kind;
+      break;
+    }
+    const double delay = config_.retry.backoff_s(config_.faults.seed, index,
+                                                 attempt);
+    ++out.retries;
+    out.backoff_wait_s += delay;
+    Journal::buffered(sink, "retry")
+        .field("trial", trial.key)
+        .field("attempt", attempt)
+        .field("backoff_s", delay, 3);
+    chip_.idle(delay);
+  }
+
+  if (!out.fatal && out.record.status == TrialStatus::kQuarantined) {
+    Journal::buffered(sink, "quarantine")
+        .field("trial", trial.key)
+        .field("attempts", out.record.attempts)
+        .field("reason", out.record.quarantine_reason);
+  }
+  out.trial_s = chip_.rig().time_s() - trial_t0;
+  out.device = chip_.stack().total_counters();
+  return out;
+}
+
+}  // namespace hbmrd::runner
