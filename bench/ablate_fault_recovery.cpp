@@ -10,9 +10,20 @@
 // the session boundary and the trial re-measures under the pinned,
 // guard-banded environment.
 //
+// A second table ablates the storage layer: campaigns checkpointing through
+// a fault-injected store (simulated power loss every N writes, random
+// injected I/O errors) are resumed until they finish, and the final
+// checkpoint + journal must be byte-identical to an uninterrupted run's.
+//
 // Acceptance: at a 1% transient rate the campaign completes >= 99% of
-// trials with 100% payload fidelity.
+// trials with 100% payload fidelity; every storage scenario recovers to
+// byte-identical artifacts.
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
 #include "common.h"
+#include "fault/faulty_store.h"
 #include "study/ber.h"
 #include "study/hc_first.h"
 #include "study/row_selection.h"
@@ -27,6 +38,18 @@ struct Scenario {
   double thermal_rate = 0.0;
   double persistent_rate = 0.0;
 };
+
+struct StorageScenario {
+  std::string label;
+  double write_error_rate = 0.0;
+  std::uint64_t crash_every = 0;  // power loss at this write count per run
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
 
 struct Outcome {
   runner::CampaignReport report;
@@ -59,6 +82,30 @@ int main(int argc, char** argv) {
       {"transient 5% + persistent 5%", 0.05, 0.0, 0.05},
   };
 
+  std::vector<runner::CampaignRunner::Trial> trials;
+  for (int row : study::spread_rows(n_rows)) {
+    trials.push_back(
+        {"hcfirst:row" + std::to_string(row),
+         [&map, row](bender::ChipSession& session)
+             -> std::vector<std::string> {
+           study::HcSearchConfig config;
+           const auto hc = study::find_hc_first(session, map,
+                                                {{0, 0, 0}, row}, config);
+           return {hc ? std::to_string(*hc) : ""};
+         }});
+  }
+  for (int row : study::spread_rows(n_rows)) {
+    trials.push_back(
+        {"ber:row" + std::to_string(row),
+         [&map, row](bender::ChipSession& session)
+             -> std::vector<std::string> {
+           study::BerConfig config;
+           const auto result = study::measure_row_ber(
+               session, map, {{1, 0, 0}, row}, config);
+           return {std::to_string(result.bitflips)};
+         }});
+  }
+
   const auto run_scenario = [&](const Scenario& scenario) -> Outcome {
     // A fresh chip per scenario: every campaign starts from the identical
     // power-on testbed, so payload differences are attributable to the
@@ -70,30 +117,6 @@ int main(int argc, char** argv) {
     config.faults.thermal_rate = scenario.thermal_rate;
     config.faults.persistent_rate = scenario.persistent_rate;
     runner::CampaignRunner campaign(chip, config);
-
-    std::vector<runner::CampaignRunner::Trial> trials;
-    for (int row : study::spread_rows(n_rows)) {
-      trials.push_back(
-          {"hcfirst:row" + std::to_string(row),
-           [&map, row](bender::ChipSession& session)
-               -> std::vector<std::string> {
-             study::HcSearchConfig config;
-             const auto hc = study::find_hc_first(session, map,
-                                                  {{0, 0, 0}, row}, config);
-             return {hc ? std::to_string(*hc) : ""};
-           }});
-    }
-    for (int row : study::spread_rows(n_rows)) {
-      trials.push_back(
-          {"ber:row" + std::to_string(row),
-           [&map, row](bender::ChipSession& session)
-               -> std::vector<std::string> {
-             study::BerConfig config;
-             const auto result = study::measure_row_ber(
-                 session, map, {{1, 0, 0}, row}, config);
-             return {std::to_string(result.bitflips)};
-           }});
-    }
 
     Outcome outcome;
     outcome.report = campaign.run(trials);
@@ -150,11 +173,98 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  // -- Storage-fault ablation: checkpoint through a fault-injected store,
+  // resume until done, and demand byte-identical final artifacts.
+  ctx.banner("Storage faults: crash/resume until byte-identical");
+  const auto dir = std::filesystem::temp_directory_path() / "hbmrd_ablate";
+  std::filesystem::create_directories(dir);
+  const auto artifact = [&](const std::string& tag, const char* ext) {
+    return (dir / ("storage_" + tag + ext)).string();
+  };
+
+  // Reference: the uninterrupted, fault-free checkpointed campaign.
+  const std::string ref_csv = artifact("ref", ".csv");
+  const std::string ref_jsonl = artifact("ref", ".jsonl");
+  {
+    bender::HbmChip chip(profile);
+    runner::RunnerConfig config;
+    config.result_columns = {"value"};
+    config.results_path = ref_csv;
+    config.journal_path = ref_jsonl;
+    runner::CampaignRunner campaign(chip, config);
+    (void)bench::run_campaign_or_die(campaign, trials);
+  }
+
+  const std::vector<StorageScenario> storage_scenarios = {
+      {"power loss every 8 writes", 0.0, 8},
+      {"power loss every 24 writes", 0.0, 24},
+      {"injected I/O errors 15%", 0.15, 0},
+  };
+  util::Table storage_table({"scenario", "resumes", "crashes", "I/O errors",
+                             "csv bytes", "journal bytes"});
+  bool storage_ok = true;
+  int scenario_index = 0;
+  for (const auto& scenario : storage_scenarios) {
+    const auto tag = std::to_string(scenario_index++);
+    const std::string csv_path = artifact(tag, ".csv");
+    const std::string jsonl_path = artifact(tag, ".jsonl");
+    for (const auto* path : {&csv_path, &jsonl_path}) {
+      std::filesystem::remove(*path);
+      std::filesystem::remove(*path + ".manifest");
+    }
+
+    int resumes = 0, crashes = 0, io_errors = 0;
+    bool done = false;
+    for (int incarnation = 0; incarnation < 400 && !done; ++incarnation) {
+      bender::HbmChip chip(profile);
+      runner::RunnerConfig config;
+      config.result_columns = {"value"};
+      config.results_path = csv_path;
+      config.journal_path = jsonl_path;
+      config.resume = incarnation > 0;
+      if (incarnation > 0) ++resumes;
+      // The faulty store is built here (not via config.faults.store) so the
+      // fault schedule can be re-seeded per incarnation: a fixed seed keyed
+      // only on the operation counter would replay the identical torn write
+      // or I/O error on every resume and livelock the loop, which is not
+      // what repeated real power cuts do.
+      fault::StoreFaultConfig store_faults;
+      store_faults.write_error_rate = scenario.write_error_rate;
+      store_faults.crash_at_write = scenario.crash_every;
+      config.store = std::make_shared<fault::FaultyStore>(
+          util::default_store(),
+          config.faults.seed + static_cast<std::uint64_t>(incarnation),
+          store_faults);
+      runner::CampaignRunner campaign(chip, config);
+      try {
+        done = !campaign.run(trials).aborted;
+      } catch (const fault::StoreCrashError&) {
+        ++crashes;
+      } catch (const runner::StoreError&) {
+        ++io_errors;
+      }
+    }
+    const bool csv_same = done && slurp(csv_path) == slurp(ref_csv);
+    const bool jsonl_same = done && slurp(jsonl_path) == slurp(ref_jsonl);
+    if (!csv_same || !jsonl_same) storage_ok = false;
+    storage_table.row()
+        .cell(scenario.label)
+        .cell(static_cast<long long>(resumes))
+        .cell(static_cast<long long>(crashes))
+        .cell(static_cast<long long>(io_errors))
+        .cell(csv_same ? "identical" : "DIFFER")
+        .cell(jsonl_same ? "identical" : "DIFFER");
+  }
+  storage_table.print(std::cout);
+
   ctx.banner("Checks");
   ctx.compare("completion at 1% transient rate", ">= 99%",
               all_ok ? "pass" : "FAIL");
   ctx.compare("payload fidelity vs fault-free baseline at 1%", "100%",
               all_ok ? "pass" : "FAIL");
+  ctx.compare("storage-fault recovery", "byte-identical artifacts",
+              storage_ok ? "pass" : "FAIL");
+  if (!storage_ok) all_ok = false;
   std::cout << "(faults cost retries, backoff, and guard waits — never "
                "results: quarantined trials are reported above, and every "
                "committed payload re-measures identically because trials "

@@ -4,6 +4,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "fault/faulty_store.h"
+#include "runner/checkpoint.h"
+
 namespace hbmrd::bench {
 
 namespace {
@@ -30,6 +33,13 @@ Campaign flags (harnesses built on the resilient runner):
   --fatal-rate R     per-trial host-crash probability
   --fault-seed N     fault plan seed (decoupled from --seed)
   --no-guard         disable the temperature guard band
+
+Storage flags (campaign persistence; see docs/RESILIENCE.md):
+  --durable-every N  fsync journal + checkpoint every N committed trials
+  --store-fault-rate R   per-write probability of an injected I/O error
+                         (EIO/ENOSPC/short write)
+  --store-crash-write N  simulate power loss at the Nth write operation
+  --store-crash-fsync N  simulate power loss at the Nth fsync operation
 )";
 
 }  // namespace
@@ -134,7 +144,37 @@ runner::RunnerConfig campaign_config(const util::Cli& cli,
                   static_cast<std::int64_t>(config.faults.seed)));
   config.guard.enabled = !cli.has("--no-guard");
   config.jobs = static_cast<int>(cli.get_int("--jobs", 1));
+  config.fsync_every_trials =
+      static_cast<std::uint64_t>(cli.get_int("--durable-every", 0));
+  config.faults.store.write_error_rate =
+      cli.get_double("--store-fault-rate", 0.0);
+  config.faults.store.crash_at_write =
+      static_cast<std::uint64_t>(cli.get_int("--store-crash-write", 0));
+  config.faults.store.crash_at_fsync =
+      static_cast<std::uint64_t>(cli.get_int("--store-crash-fsync", 0));
   return config;
+}
+
+runner::CampaignReport run_campaign_or_die(
+    runner::CampaignRunner& campaign,
+    const std::vector<runner::CampaignRunner::Trial>& trials) {
+  try {
+    return campaign.run(trials);
+  } catch (const runner::CheckpointMismatchError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+  } catch (const runner::StoreError& error) {
+    std::cerr << "error: campaign storage failed: " << error.what()
+              << "\n(committed state is intact; rerun with --resume once "
+                 "the storage problem is fixed)\n";
+  } catch (const fault::StoreCrashError& error) {
+    // Simulated power loss (--store-crash-write/-fsync): the store is dead
+    // and the artifacts are left exactly as torn as a real cut would leave
+    // them — which is the point. Resume recovers them.
+    std::cerr << "error: " << error.what()
+              << "\n(artifacts left in their torn post-crash state; rerun "
+                 "with --resume to recover)\n";
+  }
+  std::exit(2);
 }
 
 void print_campaign_report(std::ostream& out,
@@ -155,6 +195,21 @@ void print_campaign_report(std::ostream& out,
       << report.guard_blocks << " blocks, "
       << util::format_double(report.backoff_wait_s, 1)
       << " s retry backoff)\n";
+  if (report.checkpoint_corrupt_rows != 0 || report.checkpoint_rolled_back != 0 ||
+      report.checkpoint_tail_truncated || report.checkpoint_header_rebuilt) {
+    out << "  recovery:";
+    if (report.checkpoint_tail_truncated) out << " torn tail truncated;";
+    if (report.checkpoint_corrupt_rows != 0) {
+      out << " " << report.checkpoint_corrupt_rows
+          << " corrupt row(s) quarantined;";
+    }
+    if (report.checkpoint_rolled_back != 0) {
+      out << " " << report.checkpoint_rolled_back
+          << " row(s) rolled back (no journal block);";
+    }
+    if (report.checkpoint_header_rebuilt) out << " header rebuilt;";
+    out << " re-running affected trials\n";
+  }
   if (report.aborted) {
     out << "  ABORTED: " << report.abort_reason
         << " (checkpoint committed; rerun with --resume)\n";

@@ -77,8 +77,20 @@ class BenchContext {
 ///   --fatal-rate R     per-trial host-crash probability
 ///   --fault-seed N     fault plan seed (decoupled from --seed)
 ///   --no-guard         disable the temperature guard band
+///   --durable-every N  fsync journal + checkpoint every N trials
+///   --store-fault-rate R   injected I/O error probability per write
+///   --store-crash-write N  simulate power loss at the Nth write
+///   --store-crash-fsync N  simulate power loss at the Nth fsync
 [[nodiscard]] runner::RunnerConfig campaign_config(
     const util::Cli& cli, std::vector<std::string> result_columns);
+
+/// Runs the campaign, turning storage/config failures into actionable
+/// diagnostics: CheckpointMismatchError (stale --resume target) and
+/// StoreError (I/O failure; committed state intact) print their message
+/// and exit(2) instead of dumping an uncaught-exception backtrace.
+[[nodiscard]] runner::CampaignReport run_campaign_or_die(
+    runner::CampaignRunner& campaign,
+    const std::vector<runner::CampaignRunner::Trial>& trials);
 
 /// Prints the resilience summary of a finished campaign (completion,
 /// retries, quarantines, injected faults, guard/backoff waits).

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
              }});
       }
     }
-    const auto report = campaign.run(trials);
+    const auto report = bench::run_campaign_or_die(campaign, trials);
 
     util::Table table({"Channel", "die", "mean BER", "max BER"});
     std::vector<double> channel_means;

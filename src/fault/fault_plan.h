@@ -60,6 +60,30 @@ class FaultError : public std::runtime_error {
   FaultKind kind_;
 };
 
+/// Storage-fault injection plan for the campaign persistence layer
+/// (checkpoint CSV, journal, manifest). All draws are pure functions of
+/// (seed, operation counter), so a rerun replays the identical fault
+/// sequence — which is what makes the crash-consistency sweep exhaustive:
+/// every write/fsync index is a reachable, deterministic crash point.
+struct StoreFaultConfig {
+  /// P(an append operation fails with an injected EIO/ENOSPC/short write).
+  /// A short write lands a seeded prefix of the payload before throwing —
+  /// the torn-record case the CRC trailers exist for.
+  double write_error_rate = 0.0;
+  /// Crash (simulated power loss) at the Nth append operation, 1-based;
+  /// 0 = never. The crash tears the in-flight write and rolls every file
+  /// back to a seeded point between its last-fsynced and current size.
+  std::uint64_t crash_at_write = 0;
+  /// Crash at the Nth fsync operation, 1-based; 0 = never. Fires before
+  /// the sync takes effect, so the file's un-synced tail is still at risk.
+  std::uint64_t crash_at_fsync = 0;
+
+  [[nodiscard]] bool any() const {
+    return write_error_rate > 0.0 || crash_at_write != 0 ||
+           crash_at_fsync != 0;
+  }
+};
+
 struct FaultPlanConfig {
   std::uint64_t seed = 0x5eedfa17ull;
 
@@ -77,6 +101,10 @@ struct FaultPlanConfig {
   double excursion_delta_c = 6.0;
   /// Simulated time a hung session burns before the watchdog kills it.
   double watchdog_s = 30.0;
+
+  /// I/O faults against the campaign's storage backend (seeded from the
+  /// same plan seed; see fault::FaultyStore).
+  StoreFaultConfig store;
 
   [[nodiscard]] bool fault_free() const {
     return transient_rate <= 0.0 && thermal_rate <= 0.0 &&

@@ -1,0 +1,178 @@
+#include "fault/faulty_store.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hbmrd::fault {
+
+namespace {
+
+// Salts keep the independent draws of one operation uncorrelated.
+constexpr std::uint64_t kSaltWriteError = 0x570f'0002;
+constexpr std::uint64_t kSaltErrorKind = 0x570f'0003;
+constexpr std::uint64_t kSaltShortLen = 0x570f'0004;
+constexpr std::uint64_t kSaltRollback = 0x570f'0005;
+
+}  // namespace
+
+// Namespace-scope (not anonymous) so FaultyStore's friend declaration
+// grants it access to the private do_append/do_sync hooks.
+class FaultyFile : public util::Store::File {
+ public:
+  FaultyFile(FaultyStore& store, std::string path,
+             std::unique_ptr<util::Store::File> base)
+      : store_(store), path_(std::move(path)), base_(std::move(base)) {}
+
+  void append(std::string_view bytes) override {
+    store_.do_append(path_, *base_, bytes);
+  }
+
+  void sync() override { store_.do_sync(path_, *base_); }
+
+ private:
+  FaultyStore& store_;
+  std::string path_;
+  std::unique_ptr<util::Store::File> base_;
+};
+
+FaultyStore::FaultyStore(std::shared_ptr<util::Store> base,
+                         std::uint64_t seed, StoreFaultConfig config)
+    : base_(std::move(base)), seed_(seed), config_(config) {}
+
+void FaultyStore::check_alive(const char* op) const {
+  if (dead_) throw StoreCrashError(std::string(op) + " on dead store");
+}
+
+std::unique_ptr<util::Store::File> FaultyStore::open(const std::string& path,
+                                                     bool truncate) {
+  check_alive("open");
+  auto& tracked = files_[path];
+  if (truncate) {
+    tracked = Tracked{};
+  } else {
+    // Pre-existing bytes (a previous incarnation's committed state) are
+    // treated as durable; only bytes appended through this store are at
+    // risk when a crash fires.
+    const auto existing = base_->read(path);
+    const auto size =
+        existing ? static_cast<std::uint64_t>(existing->size()) : 0;
+    tracked.durable = size;
+    tracked.written = size;
+  }
+  return std::make_unique<FaultyFile>(*this, path,
+                                      base_->open(path, truncate));
+}
+
+std::optional<std::string> FaultyStore::read(const std::string& path) {
+  check_alive("read");
+  return base_->read(path);
+}
+
+void FaultyStore::do_append(const std::string& path, util::Store::File& base,
+                            std::string_view bytes) {
+  check_alive("append");
+  const auto n = ++stats_.writes;
+  auto& tracked = files_[path];
+  if (config_.crash_at_write != 0 && n == config_.crash_at_write) {
+    // Power loss mid-write: the payload reaches the OS buffer but the
+    // seeded rollback in crash() may tear it at any byte.
+    base.append(bytes);
+    tracked.written += bytes.size();
+    crash("append");
+  }
+  if (config_.write_error_rate > 0.0 &&
+      util::uniform(seed_, n, kSaltWriteError) < config_.write_error_rate) {
+    ++stats_.write_errors;
+    switch (util::hash_key(seed_, n, kSaltErrorKind) % 3) {
+      case 0:
+        throw StoreFaultError("append", path, "injected EIO");
+      case 1:
+        throw StoreFaultError("append", path, "injected ENOSPC");
+      default: {
+        // Short write: a strict prefix lands, then the error surfaces.
+        const auto torn = bytes.empty()
+                              ? std::uint64_t{0}
+                              : util::hash_key(seed_, n, kSaltShortLen) %
+                                    bytes.size();
+        base.append(bytes.substr(0, static_cast<std::size_t>(torn)));
+        tracked.written += torn;
+        throw StoreFaultError("append", path, "injected short write");
+      }
+    }
+  }
+  base.append(bytes);
+  tracked.written += bytes.size();
+}
+
+void FaultyStore::do_sync(const std::string& path, util::Store::File& base) {
+  check_alive("fsync");
+  const auto n = ++stats_.fsyncs;
+  if (config_.crash_at_fsync != 0 && n == config_.crash_at_fsync) {
+    // Power is lost before the sync takes effect: the un-synced tail of
+    // every file — including this one — is still at risk.
+    crash("fsync");
+  }
+  base.sync();
+  auto& tracked = files_[path];
+  tracked.durable = tracked.written;
+}
+
+void FaultyStore::atomic_replace(const std::string& path,
+                                 std::string_view content) {
+  check_alive("atomic-replace");
+  ++stats_.replaces;
+  const auto n = ++stats_.writes;
+  if (config_.crash_at_write != 0 && n == config_.crash_at_write) {
+    crash("atomic-replace");  // temp file torn; the old file is intact
+  }
+  if (config_.write_error_rate > 0.0 &&
+      util::uniform(seed_, n, kSaltWriteError) < config_.write_error_rate) {
+    ++stats_.write_errors;
+    throw StoreFaultError("atomic-replace", path, "injected write error");
+  }
+  const auto s = ++stats_.fsyncs;
+  if (config_.crash_at_fsync != 0 && s == config_.crash_at_fsync) {
+    crash("atomic-replace");  // temp fsync died before the rename
+  }
+  base_->atomic_replace(path, content);
+  files_[path] = Tracked{static_cast<std::uint64_t>(content.size()),
+                         static_cast<std::uint64_t>(content.size())};
+}
+
+void FaultyStore::truncate(const std::string& path, std::uint64_t size) {
+  check_alive("truncate");
+  base_->truncate(path, size);
+  auto& tracked = files_[path];
+  tracked.written = size;
+  tracked.durable = std::min(tracked.durable, size);
+}
+
+bool FaultyStore::remove(const std::string& path) {
+  check_alive("remove");
+  files_.erase(path);
+  return base_->remove(path);
+}
+
+void FaultyStore::crash(const char* where) {
+  stats_.crashed = 1;
+  dead_ = true;
+  // Power loss: fsynced bytes survive; each file's un-synced tail tears at
+  // a seeded offset, independent of the order the OS would have written
+  // pages back.
+  std::uint64_t index = 0;
+  for (auto& [path, tracked] : files_) {
+    if (tracked.written > tracked.durable) {
+      const auto span = tracked.written - tracked.durable;
+      const auto keep =
+          util::hash_key(seed_, kSaltRollback, index, tracked.written) %
+          (span + 1);
+      base_->truncate(path, tracked.durable + keep);
+      tracked.written = tracked.durable + keep;
+    }
+    ++index;
+  }
+  throw StoreCrashError(where);
+}
+
+}  // namespace hbmrd::fault

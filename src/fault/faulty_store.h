@@ -1,0 +1,97 @@
+// Seeded I/O fault injection for the campaign persistence layer.
+//
+// FaultyStore wraps any util::Store and injects, deterministically from
+// (plan seed, operation counter):
+//
+//   * write errors — EIO, ENOSPC, and short (torn) writes that land a
+//     seeded prefix of the payload before throwing StoreFaultError;
+//   * crash points — at the Nth append or Nth fsync the store simulates
+//     power loss: it tears the in-flight write, rolls every file it has
+//     touched back to a seeded point between its last-fsynced ("durable")
+//     and current size, and throws StoreCrashError. After a crash the
+//     store is dead: every further operation throws, so stack-unwind
+//     destructors cannot quietly repair the torn state.
+//
+// The rollback models what a power cut does to an OS page cache: fsynced
+// bytes survive, un-synced appends survive partially and tear at arbitrary
+// byte offsets, and atomic_replace (temp + fsync + rename) leaves either
+// the whole old or the whole new file. The crash-consistency sweep drives
+// one campaign per reachable crash point and asserts recovery reproduces
+// the uninterrupted artifacts byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "fault/fault_plan.h"
+#include "util/store.h"
+
+namespace hbmrd::fault {
+
+/// An injected storage fault (EIO/ENOSPC/short write). Retrying the
+/// operation is pointless within the run; the campaign aborts with its
+/// committed state intact and is expected to be resumed.
+class StoreFaultError : public util::StoreError {
+ public:
+  using util::StoreError::StoreError;
+};
+
+/// Simulated power loss. Deliberately NOT derived from StoreError: nothing
+/// inside the process may catch-and-continue past its own death. Tests
+/// catch it at the campaign boundary and model a reboot + --resume.
+class StoreCrashError : public std::runtime_error {
+ public:
+  explicit StoreCrashError(const std::string& what)
+      : std::runtime_error("injected store crash: " + what) {}
+};
+
+class FaultyStore : public util::Store {
+ public:
+  FaultyStore(std::shared_ptr<util::Store> base, std::uint64_t seed,
+              StoreFaultConfig config);
+
+  struct Stats {
+    std::uint64_t writes = 0;       // append operations attempted
+    std::uint64_t fsyncs = 0;       // sync operations attempted
+    std::uint64_t replaces = 0;     // atomic_replace operations
+    std::uint64_t write_errors = 0; // injected EIO/ENOSPC/short writes
+    std::uint64_t crashed = 0;      // 1 once the crash point fired
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  std::unique_ptr<File> open(const std::string& path, bool truncate) override;
+  std::optional<std::string> read(const std::string& path) override;
+  void atomic_replace(const std::string& path,
+                      std::string_view content) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  bool remove(const std::string& path) override;
+
+ private:
+  friend class FaultyFile;
+
+  struct Tracked {
+    std::uint64_t durable = 0;  // bytes guaranteed on media (last fsync)
+    std::uint64_t written = 0;  // bytes pushed to the OS buffer
+  };
+
+  void check_alive(const char* op) const;
+  /// Called by FaultyFile for each append/sync: draws the fault schedule
+  /// for this operation, forwards the (possibly torn) payload to `base`,
+  /// and updates the file's durable/written watermarks.
+  void do_append(const std::string& path, util::Store::File& base,
+                 std::string_view bytes);
+  void do_sync(const std::string& path, util::Store::File& base);
+  [[noreturn]] void crash(const char* where);
+
+  std::shared_ptr<util::Store> base_;
+  std::uint64_t seed_;
+  StoreFaultConfig config_;
+  Stats stats_;
+  bool dead_ = false;
+  /// Ordered so the crash rollback walks files deterministically.
+  std::map<std::string, Tracked> files_;
+};
+
+}  // namespace hbmrd::fault

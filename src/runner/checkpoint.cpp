@@ -1,0 +1,140 @@
+#include "runner/checkpoint.h"
+
+#include "runner/journal.h"
+#include "util/crc32c.h"
+#include "util/csv.h"
+
+namespace hbmrd::runner {
+
+namespace {
+
+/// Splits `text` into complete (newline-terminated) lines; a trailing
+/// piece without its newline is returned via `partial_tail`.
+std::vector<std::string_view> complete_lines(std::string_view text,
+                                             bool* partial_tail) {
+  std::vector<std::string_view> lines;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    const auto end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      *partial_tail = true;
+      return lines;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  *partial_tail = false;
+  return lines;
+}
+
+}  // namespace
+
+std::string Manifest::serialize() const {
+  std::string line = "hbmrd-manifest,v" + std::to_string(kVersion);
+  line += ',' + util::crc32c_hex(header_crc);
+  line += ',' + std::to_string(fault_seed);
+  line += ',' + std::to_string(trial_count);
+  line += ',' + util::crc32c_hex(trials_crc);
+  line += ',' + std::to_string(incarnations);
+  line += ',' + util::crc32c_hex(util::crc32c(line));
+  line += '\n';
+  return line;
+}
+
+std::optional<Manifest> Manifest::parse(std::string_view text) {
+  const auto newline = text.find('\n');
+  if (newline != std::string_view::npos) text = text.substr(0, newline);
+  std::string_view payload;
+  if (!util::verify_csv_row_crc(text, &payload)) return std::nullopt;
+  const auto cells = util::split_csv_line(payload);
+  if (cells.size() != 7 || cells[0] != "hbmrd-manifest" ||
+      cells[1] != "v" + std::to_string(kVersion)) {
+    return std::nullopt;
+  }
+  Manifest m;
+  try {
+    if (!util::parse_crc32c_hex(cells[2], &m.header_crc)) return std::nullopt;
+    m.fault_seed = std::stoull(cells[3]);
+    m.trial_count = std::stoull(cells[4]);
+    if (!util::parse_crc32c_hex(cells[5], &m.trials_crc)) return std::nullopt;
+    m.incarnations = std::stoull(cells[6]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+std::string Manifest::path_for(const std::string& results_path) {
+  return results_path + ".manifest";
+}
+
+RecoveredCheckpoint load_checkpoint(Store& store, const std::string& path,
+                                    std::size_t expected_width) {
+  RecoveredCheckpoint out;
+  const auto contents = store.read(path);
+  if (!contents || contents->empty()) return out;
+  out.existed = true;
+
+  bool partial_tail = false;
+  const auto lines = complete_lines(*contents, &partial_tail);
+  out.tail_truncated = partial_tail;
+  if (lines.empty()) return out;
+  out.found_header = std::string(lines.front());
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto line = lines[i];
+    std::string_view payload;
+    bool valid = util::verify_csv_row_crc(line, &payload);
+    std::vector<std::string> cells;
+    if (valid) {
+      cells = util::split_csv_line(line);
+      valid = cells.size() == expected_width;
+    }
+    if (valid) {
+      out.lines.emplace_back(line);
+      out.keys.push_back(cells.front());
+      continue;
+    }
+    if (i + 1 == lines.size()) {
+      // A damaged final record is the signature of a torn append, not of
+      // mid-file corruption: truncate instead of quarantining.
+      out.tail_truncated = true;
+    } else {
+      ++out.corrupt_rows;
+      const auto damaged = util::split_csv_line(line);
+      out.corrupt_keys.push_back(damaged.empty() ? std::string()
+                                                 : damaged.front());
+    }
+  }
+  return out;
+}
+
+JournalScan scan_journal(Store& store, const std::string& path) {
+  JournalScan out;
+  const auto contents = store.read(path);
+  if (!contents) return out;
+  // An empty-but-present journal still "exists": a power loss can roll the
+  // file back to zero bytes, and recovery must then distrust checkpoint
+  // rows rather than treat the journal as never-configured.
+  out.existed = true;
+  if (contents->empty()) return out;
+
+  bool partial_tail = false;
+  const auto lines = complete_lines(*contents, &partial_tail);
+  if (partial_tail) ++out.dropped;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!verify_journal_line(lines[i])) {
+      // Journal lines form per-trial blocks: nothing after the first bad
+      // line can be trusted to sit on a block boundary.
+      out.dropped += lines.size() - i;
+      break;
+    }
+    out.lines.emplace_back(lines[i]);
+    out.events.emplace_back(journal_line_field(lines[i], "event"));
+    out.keys.emplace_back(journal_line_field(lines[i], "trial"));
+    if (out.events.back() == "campaign-begin") out.has_begin = true;
+  }
+  return out;
+}
+
+}  // namespace hbmrd::runner

@@ -1,7 +1,8 @@
 #include "runner/journal.h"
 
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/crc32c.h"
 
 namespace hbmrd::runner {
 
@@ -25,28 +26,48 @@ void append_key(std::string& out, std::string_view key) {
   out += "\":";
 }
 
+constexpr std::string_view kCrcMarker = ",\"crc\":\"";
+
 }  // namespace
 
-Journal::Journal(const std::string& path, bool append) : path_(path) {
+Journal::Journal(const std::string& path, bool append,
+                 std::shared_ptr<Store> store)
+    : path_(path),
+      store_(store ? std::move(store) : util::default_store()) {
   if (path.empty()) return;
-  out_.open(path, append ? std::ios::out | std::ios::app
-                         : std::ios::out | std::ios::trunc);
-  if (!out_) throw std::runtime_error("Journal: cannot open " + path);
+  file_ = store_->open(path, !append);
+}
+
+Journal::~Journal() {
+  try {
+    flush();
+  } catch (...) {
+    // A destructor during unwind (including simulated crashes in tests)
+    // must not write further or terminate the process.
+  }
 }
 
 void Journal::flush() {
+  if (!enabled() || pending_.empty()) return;
+  // Detach before writing: retrying a torn append would duplicate its
+  // landed prefix. Dropped lines are safe — their trials were not
+  // committed and recovery reruns them; duplicates would survive the CRC
+  // check and break the journal's byte-identity guarantee.
+  std::string out;
+  out.swap(pending_);
+  file_->append(out);
+}
+
+void Journal::durable() {
   if (!enabled()) return;
-  if (!pending_.empty()) {
-    out_.write(pending_.data(),
-               static_cast<std::streamsize>(pending_.size()));
-    pending_.clear();
-  }
-  out_.flush();
+  flush();
+  file_->sync();
 }
 
 Journal::Event::Event(std::string* sink, std::string_view type)
     : sink_(sink) {
   if (sink_ == nullptr) return;
+  start_ = sink_->size();
   sink_->reserve(sink_->size() + 128);
   *sink_ += "{\"event\":\"";
   append_json_escaped(*sink_, type);
@@ -54,7 +75,12 @@ Journal::Event::Event(std::string* sink, std::string_view type)
 }
 
 Journal::Event::~Event() {
-  if (sink_ != nullptr) *sink_ += "}\n";
+  if (sink_ == nullptr) return;
+  const auto crc = util::crc32c(
+      std::string_view(*sink_).substr(start_, sink_->size() - start_));
+  *sink_ += kCrcMarker;
+  *sink_ += util::crc32c_hex(crc);
+  *sink_ += "\"}\n";
 }
 
 Journal::Event& Journal::Event::field(std::string_view key,
@@ -105,6 +131,36 @@ Journal::Event& Journal::Event::field(std::string_view key, double value,
     }
   }
   return *this;
+}
+
+bool verify_journal_line(std::string_view line, std::string_view* payload) {
+  // Expected tail: ,"crc":"xxxxxxxx"}
+  constexpr std::size_t kTailLen = 8 + 2;  // hex digits + closing "}
+  if (line.size() < kCrcMarker.size() + kTailLen) return false;
+  if (line.substr(line.size() - 2) != "\"}") return false;
+  const auto marker = line.size() - kTailLen - kCrcMarker.size();
+  if (line.substr(marker, kCrcMarker.size()) != kCrcMarker) return false;
+  std::uint32_t stored = 0;
+  if (!util::parse_crc32c_hex(line.substr(marker + kCrcMarker.size(), 8),
+                              &stored)) {
+    return false;
+  }
+  if (util::crc32c(line.substr(0, marker)) != stored) return false;
+  if (payload != nullptr) *payload = line.substr(0, marker);
+  return true;
+}
+
+std::string_view journal_line_field(std::string_view line,
+                                    std::string_view key) {
+  std::string needle = "\"";
+  needle.append(key);
+  needle += "\":\"";
+  const auto at = line.find(needle);
+  if (at == std::string_view::npos) return {};
+  const auto begin = at + needle.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string_view::npos) return {};
+  return line.substr(begin, end - begin);
 }
 
 }  // namespace hbmrd::runner

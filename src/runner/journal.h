@@ -1,4 +1,4 @@
-// Append-only JSONL campaign journal.
+// Append-only JSONL campaign journal with per-record integrity.
 //
 // Every recovery-relevant event of a campaign (faults, retries, backoff
 // delays, guard-band waits, quarantines, the final summary) is committed to
@@ -6,6 +6,19 @@
 // simulation (seeded faults, simulated rig time) — never from wall clocks —
 // so the same (seed, plan) produces a byte-identical journal, which the
 // tests assert.
+//
+// Each line carries a CRC32C trailer field ("crc", always last), computed
+// over everything before it. A write torn mid-line — short write, power
+// loss, rolled-back page cache — fails the check, which is how resume finds
+// the exact record boundary to truncate at instead of guessing from
+// newlines.
+//
+// Durability contract: events stage in a process buffer; flush() pushes
+// staged bytes to the OS (they survive a process kill, not power loss);
+// durable() additionally fsyncs through the Store backend, after which the
+// events survive power loss. The destructor flushes best-effort and
+// swallows errors — after a simulated crash the store is dead, so unwind
+// cannot quietly repair torn state.
 //
 // Events serialize straight into a caller-visible byte buffer: the journal's
 // own staging buffer for main-thread events, or a worker-local string for
@@ -17,23 +30,30 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
+
+#include "runner/store.h"
 
 namespace hbmrd::runner {
 
 class Journal {
  public:
   /// path "" = disabled (events are dropped). `append` keeps an existing
-  /// journal and continues it (resume).
-  explicit Journal(const std::string& path = "", bool append = false);
+  /// journal and continues it (resume). `store` null = shared PosixStore.
+  explicit Journal(const std::string& path = "", bool append = false,
+                   std::shared_ptr<Store> store = nullptr);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
 
-  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+  [[nodiscard]] bool enabled() const { return file_ != nullptr; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
   /// One JSON object, serialized into a byte buffer as fields are added;
-  /// the closing brace lands when the event goes out of scope.
+  /// the CRC trailer field and closing brace land when the event goes out
+  /// of scope.
   class Event {
    public:
     Event(std::string* sink, std::string_view type);
@@ -52,6 +72,7 @@ class Journal {
 
    private:
     std::string* sink_;
+    std::size_t start_ = 0;  // offset of this line's '{' in *sink_
   };
 
   /// Event staged in this journal's buffer (written out on flush()).
@@ -73,13 +94,30 @@ class Journal {
     if (enabled()) pending_.append(lines);
   }
 
-  /// Commits staged bytes to the file and pushes them to the OS.
+  /// Commits staged bytes to the OS buffer (survives a process kill; not
+  /// power loss).
   void flush();
+
+  /// flush() + fsync: on return the committed events survive power loss.
+  void durable();
 
  private:
   std::string path_;
   std::string pending_;
-  std::ofstream out_;
+  std::shared_ptr<Store> store_;
+  std::unique_ptr<Store::File> file_;
 };
+
+/// Verifies one journal line's CRC trailer (`...,"crc":"xxxxxxxx"}`). On
+/// success, `*payload` (optional) receives the line up to but excluding the
+/// `,"crc":...` trailer.
+[[nodiscard]] bool verify_journal_line(std::string_view line,
+                                       std::string_view* payload = nullptr);
+
+/// Extracts a string field's value from a journal line ("" if absent).
+/// Journal string values that recovery keys on (event types, trial keys)
+/// never contain escaped characters, so a plain scan is exact.
+[[nodiscard]] std::string_view journal_line_field(std::string_view line,
+                                                  std::string_view key);
 
 }  // namespace hbmrd::runner

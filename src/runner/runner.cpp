@@ -1,14 +1,16 @@
 #include "runner/runner.h"
 
 #include <algorithm>
-#include <fstream>
 #include <mutex>
-#include <sstream>
-#include <stdexcept>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "fault/faulty_store.h"
+#include "runner/checkpoint.h"
 #include "runner/parallel.h"
 #include "runner/worker.h"
+#include "util/crc32c.h"
 #include "util/csv.h"
 
 namespace hbmrd::runner {
@@ -20,20 +22,185 @@ struct CheckpointRow {
   std::vector<std::string> cells;
 };
 
-std::vector<std::string> split_csv_line(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string cell;
-  std::istringstream in(line);
-  while (std::getline(in, cell, ',')) cells.push_back(cell);
-  if (!line.empty() && line.back() == ',') cells.emplace_back();
-  return cells;
-}
+/// Everything the resume scan recovers before the campaign continues.
+struct Recovery {
+  std::unordered_map<std::string, CheckpointRow> committed;
+  bool journal_has_begin = false;
+  std::uint64_t incarnations = 0;
+};
 
 void accumulate(dram::BankCounters& into, const dram::BankCounters& delta) {
   into.activations += delta.activations;
   into.refresh_commands += delta.refresh_commands;
   into.defense_victim_refreshes += delta.defense_victim_refreshes;
   into.bitflips_materialized += delta.bitflips_materialized;
+}
+
+std::string hex32(std::uint32_t value) { return util::crc32c_hex(value); }
+
+/// Scans checkpoint + journal + manifest, decides which trials are
+/// committed, and atomically rewrites both artifacts down to exactly that
+/// trusted state. The cross-check is an intersection: a trial counts as
+/// committed only when its CRC-valid CSV row AND its terminal journal
+/// event (trial-ok / quarantine) both survived — which is what keeps the
+/// final artifacts byte-identical to an uninterrupted run no matter where
+/// a crash tore them, in either direction. Throws CheckpointMismatchError
+/// when the artifacts belong to a different campaign configuration.
+Recovery recover(Store& store, const RunnerConfig& config,
+                 const std::string& header_line, std::size_t disk_width,
+                 const Manifest& expect, CampaignReport& report) {
+  Recovery rec;
+  const bool have_csv = !config.results_path.empty();
+  const bool have_journal = !config.journal_path.empty();
+
+  if (!have_csv) {
+    // No checkpoint: nothing is committed. A pre-existing journal is cut
+    // back to its begin line so the rerun cannot duplicate trial blocks.
+    if (have_journal) {
+      const auto js = scan_journal(store, config.journal_path);
+      if (js.existed) {
+        std::string keep;
+        for (std::size_t i = 0; i < js.lines.size(); ++i) {
+          if (js.events[i] == "campaign-begin") {
+            keep = js.lines[i] + "\n";
+            rec.journal_has_begin = true;
+            break;
+          }
+        }
+        store.atomic_replace(config.journal_path, keep);
+      }
+    }
+    return rec;
+  }
+
+  // -- Manifest: does this checkpoint belong to this campaign? A corrupt
+  // manifest parses to nullopt and is treated as missing, never trusted.
+  std::optional<Manifest> manifest;
+  if (const auto text = store.read(Manifest::path_for(config.results_path))) {
+    manifest = Manifest::parse(*text);
+  }
+  if (manifest) {
+    if (manifest->header_crc != expect.header_crc) {
+      throw CheckpointMismatchError(
+          "checkpoint mismatch in " + config.results_path +
+          ": the manifest records a different result-column set (header "
+          "digest " + hex32(manifest->header_crc) + ", this campaign " +
+          hex32(expect.header_crc) +
+          ")\nlikely cause: --resume points at a checkpoint from a "
+          "different sweep (stale --results target); move the file aside "
+          "or use a fresh --results path");
+    }
+    if (manifest->fault_seed != expect.fault_seed) {
+      throw CheckpointMismatchError(
+          "checkpoint mismatch in " + config.results_path +
+          ": the manifest records fault seed " +
+          std::to_string(manifest->fault_seed) + ", this run uses " +
+          std::to_string(expect.fault_seed) +
+          "; resuming would draw an inconsistent fault sequence\nlikely "
+          "cause: --fault-seed changed between runs; pass --fault-seed " +
+          std::to_string(manifest->fault_seed) +
+          " or use a fresh --results path");
+    }
+    if (manifest->trial_count != expect.trial_count ||
+        manifest->trials_crc != expect.trials_crc) {
+      throw CheckpointMismatchError(
+          "checkpoint mismatch in " + config.results_path +
+          ": the manifest records " +
+          std::to_string(manifest->trial_count) + " trials (list digest " +
+          hex32(manifest->trials_crc) + "), this run supplies " +
+          std::to_string(expect.trial_count) + " (digest " +
+          hex32(expect.trials_crc) +
+          "); the trial list must be identical across resumes\nlikely "
+          "cause: sweep parameters changed since the checkpoint was "
+          "written; use a fresh --results path");
+    }
+    rec.incarnations = manifest->incarnations;
+  }
+
+  auto cp = load_checkpoint(store, config.results_path, disk_width);
+  if (cp.existed && cp.found_header != header_line) {
+    if (manifest) {
+      // The manifest vouches for this campaign's configuration, so the
+      // damaged header is disk corruption: rebuild it from the config.
+      report.checkpoint_header_rebuilt = true;
+    } else {
+      throw CheckpointMismatchError(
+          "checkpoint mismatch in " + config.results_path +
+          ": header does not match this campaign's columns\n  expected: " +
+          header_line + "\n  found:    " + cp.found_header +
+          "\nlikely cause: --resume points at a checkpoint from a "
+          "different sweep (stale --results target); move the file aside "
+          "or use a fresh --results path");
+    }
+  }
+  report.checkpoint_corrupt_rows = cp.corrupt_rows;
+  report.checkpoint_corrupt_keys = cp.corrupt_keys;
+  report.checkpoint_tail_truncated = cp.tail_truncated;
+
+  // -- Journal cross-check. A trial's terminal event flushes strictly
+  // before its CSV row, but a power cut rolls each file back
+  // independently, so either artifact can be ahead of the other; only the
+  // intersection is safe to keep. The check applies only when the journal
+  // file exists — absent means the campaign never journaled (a config
+  // choice, not data loss).
+  JournalScan js;
+  bool cross_check = false;
+  std::unordered_set<std::string> complete;
+  if (have_journal) {
+    js = scan_journal(store, config.journal_path);
+    cross_check = js.existed;
+    for (std::size_t i = 0; i < js.lines.size(); ++i) {
+      if (js.events[i] == "trial-ok" || js.events[i] == "quarantine") {
+        complete.insert(js.keys[i]);
+      }
+    }
+  }
+
+  std::vector<std::string> keep_lines;
+  for (std::size_t i = 0; i < cp.lines.size(); ++i) {
+    const auto& key = cp.keys[i];
+    if (cross_check && complete.find(key) == complete.end()) {
+      ++report.checkpoint_rolled_back;
+      continue;
+    }
+    const auto cells = util::split_csv_line(cp.lines[i]);
+    CheckpointRow row;
+    row.status = cells[1] == "quarantined" ? TrialStatus::kQuarantined
+                                           : TrialStatus::kOkResumed;
+    row.cells.assign(cells.begin() + 2, cells.end() - 1);
+    if (!rec.committed.emplace(key, std::move(row)).second) continue;
+    keep_lines.push_back(cp.lines[i]);
+  }
+
+  // -- Atomic rewrite: exactly the trusted state — torn tails, corrupt
+  // rows, rolled-back records and superseded control events all vanish in
+  // one rename each; a crash mid-rewrite leaves the previous file intact.
+  std::string csv_content = header_line + "\n";
+  for (const auto& line : keep_lines) {
+    csv_content += line;
+    csv_content += '\n';
+  }
+  store.atomic_replace(config.results_path, csv_content);
+
+  if (have_journal && js.existed) {
+    std::string journal_content;
+    for (std::size_t i = 0; i < js.lines.size(); ++i) {
+      if (js.events[i] == "campaign-begin") {
+        if (rec.journal_has_begin) continue;  // keep the first only
+        rec.journal_has_begin = true;
+      } else if (js.keys[i].empty() ||
+                 rec.committed.find(js.keys[i]) == rec.committed.end()) {
+        // Campaign-level control lines (stop/abort/end, checkpoint
+        // quarantines) are superseded by this resume; keyed lines without
+        // a committed row belong to trials that will rerun.
+        continue;
+      }
+      journal_content += js.lines[i];
+      journal_content += '\n';
+    }
+    store.atomic_replace(config.journal_path, journal_content);
+  }
+  return rec;
 }
 
 }  // namespace
@@ -86,75 +253,87 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
                 config_.result_columns.end());
   for (const auto& trial : trials) validate_csv_cell(trial.key, "trial key");
 
-  // -- Load the checkpoint (resume): committed rows are skipped. A partial
-  // trailing line from a mid-write kill is discarded by rewriting the file
-  // with only the complete rows before appending continues.
-  std::unordered_map<std::string, CheckpointRow> committed;
-  std::vector<std::string> committed_lines;
-  if (config_.resume && !config_.results_path.empty()) {
-    std::ifstream in(config_.results_path);
-    if (in) {
-      std::string contents((std::istreambuf_iterator<char>(in)),
-                           std::istreambuf_iterator<char>());
-      std::istringstream lines(contents);
-      std::string line;
-      bool first = true;
-      std::size_t consumed = 0;
-      while (std::getline(lines, line)) {
-        const bool terminated = consumed + line.size() < contents.size() &&
-                                contents[consumed + line.size()] == '\n';
-        consumed += line.size() + 1;
-        if (!terminated) break;  // partial trailing write: uncommitted
-        const auto cells = split_csv_line(line);
-        if (first) {
-          first = false;
-          if (cells != header) {
-            throw std::runtime_error(
-                "CampaignRunner: checkpoint header mismatch in " +
-                config_.results_path);
-          }
-          continue;
-        }
-        if (cells.size() != 2 + width) break;  // corrupt tail: stop trusting
-        CheckpointRow row;
-        row.status = cells[1] == "quarantined" ? TrialStatus::kQuarantined
-                                               : TrialStatus::kOkResumed;
-        row.cells.assign(cells.begin() + 2, cells.end());
-        committed.emplace(cells[0], row);
-        committed_lines.push_back(line);
-      }
+  // The header as it sits on disk: the CRC trailer column is part of the
+  // checkpoint format (the header row itself carries no trailer).
+  auto header_cells = header;
+  header_cells.emplace_back(util::CsvWriter::kCrcColumn);
+  const auto header_line = util::CsvWriter::serialize(header_cells);
+  const auto disk_width = header_cells.size();
+
+  // Every byte of campaign state goes through one Store, so the whole
+  // persistence path can be crash-tested through fault::FaultyStore.
+  auto store = config_.store ? config_.store : util::default_store();
+  if (config_.faults.store.any()) {
+    store = std::make_shared<fault::FaultyStore>(store, config_.faults.seed,
+                                                 config_.faults.store);
+  }
+
+  // Campaign identity: what the manifest must match for --resume.
+  Manifest expect;
+  expect.header_crc = util::crc32c(header_line);
+  expect.fault_seed = config_.faults.seed;
+  expect.trial_count = trials.size();
+  {
+    std::string keys;
+    for (const auto& trial : trials) {
+      keys += trial.key;
+      keys += '\n';
     }
-    // Rewrite the checkpoint with exactly the rows we trust.
-    if (!committed.empty()) {
-      util::CsvWriter rewrite(config_.results_path, header);
-      for (const auto& line : committed_lines) {
-        rewrite.row(split_csv_line(line));
-      }
-      rewrite.flush();
-    }
+    expect.trials_crc = util::crc32c(keys);
+  }
+
+  CampaignReport report;
+  Recovery rec;
+  const bool have_csv = !config_.results_path.empty();
+  if (config_.resume) {
+    rec = recover(*store, config_, header_line, disk_width, expect, report);
+  }
+  const auto& committed = rec.committed;
+
+  if (have_csv) {
+    Manifest manifest = expect;
+    manifest.incarnations = rec.incarnations + 1;
+    store->atomic_replace(Manifest::path_for(config_.results_path),
+                          manifest.serialize());
   }
 
   std::unique_ptr<util::CsvWriter> csv;
-  if (!config_.results_path.empty()) {
-    csv = std::make_unique<util::CsvWriter>(
-        config_.results_path, header,
-        config_.resume ? util::CsvWriter::Mode::kAppend
-                       : util::CsvWriter::Mode::kTruncate);
+  if (have_csv) {
+    util::CsvWriter::Options options;
+    options.mode = config_.resume ? util::CsvWriter::Mode::kAppend
+                                  : util::CsvWriter::Mode::kTruncate;
+    options.row_crc = true;
+    options.store = store;
+    csv = std::make_unique<util::CsvWriter>(config_.results_path, header,
+                                            options);
   }
 
-  Journal journal(config_.journal_path, config_.resume);
+  Journal journal(config_.journal_path, config_.resume, store);
   const auto& faults = config_.faults;
-  journal.event(config_.resume && !committed.empty() ? "campaign-resume"
-                                                     : "campaign-begin")
-      .field("trials", static_cast<std::uint64_t>(trials.size()))
-      .field("committed", static_cast<std::uint64_t>(committed.size()))
-      .field("seed", faults.seed)
-      .field("transient_rate", faults.transient_rate, 4)
-      .field("thermal_rate", faults.thermal_rate, 4)
-      .field("persistent_rate", faults.persistent_rate, 4)
-      .field("fatal_rate", faults.fatal_rate, 4)
-      .field("setpoint_c", setpoint_c(), 1)
-      .field("band_c", band_c(), 2);
+  if (!rec.journal_has_begin) {
+    // Written at most once per campaign artifact: resumes keep the
+    // original begin line, so a finished journal is a pure function of
+    // (trials, plan, config) — independent of how often it crashed.
+    journal.event("campaign-begin")
+        .field("trials", static_cast<std::uint64_t>(trials.size()))
+        .field("committed", static_cast<std::uint64_t>(committed.size()))
+        .field("seed", faults.seed)
+        .field("transient_rate", faults.transient_rate, 4)
+        .field("thermal_rate", faults.thermal_rate, 4)
+        .field("persistent_rate", faults.persistent_rate, 4)
+        .field("fatal_rate", faults.fatal_rate, 4)
+        .field("setpoint_c", setpoint_c(), 1)
+        .field("band_c", band_c(), 2);
+  }
+  // Surface recovery findings before the campaign continues; these are
+  // campaign-level lines ("key", not "trial") and a later resume drops
+  // them along with the other superseded control events.
+  for (const auto& key : report.checkpoint_corrupt_keys) {
+    journal.event("checkpoint-quarantine")
+        .field("key", key)
+        .field("reason", "crc-mismatch");
+  }
+  journal.flush();
 
   // Campaign incarnation: how many rows were already committed when this
   // run started. Keys the fatal-fault draw so a crash does not deadlock
@@ -178,7 +357,9 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
 
   // -- Worker pool: each worker owns a private chip session and executes
   // whole trials; the reorder window keeps at most max(16, 2*jobs) finished
-  // trials buffered ahead of the sequencer.
+  // trials buffered ahead of the sequencer. All store I/O stays on this
+  // thread, so the write/fsync operation sequence — and with it every
+  // injected storage fault — is identical for any --jobs value.
   const auto jobs =
       static_cast<std::size_t>(config_.jobs < 1 ? 1 : config_.jobs);
   const std::size_t window = std::max<std::size_t>(16, 2 * jobs);
@@ -218,14 +399,23 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     worker_stats = {};
   };
 
-  CampaignReport report;
+  // Durable mode: batched fsync at trial-commit boundaries, journal first —
+  // a CSV row that survives power loss implies its journal block does too.
+  std::uint64_t commits_since_sync = 0;
+  const auto make_durable = [&] {
+    if (config_.fsync_every_trials == 0) return;
+    journal.durable();
+    if (csv) csv->durable();
+    commits_since_sync = 0;
+  };
+
   std::uint64_t processed = 0;
   std::size_t next_shard = 0;
   std::vector<std::string> row;
   row.reserve(2 + width);
 
   // -- Sequencer: walk the campaign in canonical order, committing each
-  // trial's CSV row and journal buffer exactly as the serial loop did.
+  // trial's journal block and CSV row exactly as the serial loop did.
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const auto& trial = trials[i];
     if (auto it = committed.find(trial.key); it != committed.end()) {
@@ -272,16 +462,19 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
           .field("trial_s", out.trial_s, 1);
       journal.flush();
       if (csv) csv->flush();
+      make_durable();
       finish();
       return report;
     }
 
-    // -- Commit: one CSV row per finished trial (ok or quarantined).
+    // -- Commit: the trial's journal block lands strictly before its CSV
+    // row (write-ahead discipline; recovery's cross-check depends on it).
     if (out.record.status == TrialStatus::kQuarantined) {
       ++report.quarantined;
     } else {
       ++report.completed;
     }
+    journal.flush();
     if (csv) {
       row.clear();
       row.emplace_back(out.record.key);
@@ -291,24 +484,33 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
       csv->row(row);
       csv->flush();
     }
-    journal.flush();
+    if (++commits_since_sync >= config_.fsync_every_trials &&
+        config_.fsync_every_trials != 0) {
+      make_durable();
+    }
     report.records.push_back(std::move(out.record));
   }
 
   finish();
-  const auto& stats = faulty_.stats();
+  // The end event carries only campaign-state totals, never run-local
+  // telemetry (retries, waits, this run's fault counts): those depend on
+  // how often the campaign crashed and resumed, and the journal must be a
+  // pure function of (trials, plan, config). Per-trial telemetry is in the
+  // trial blocks; run-local summaries go to the CampaignReport.
+  std::uint64_t ok_total = 0, quarantined_total = 0;
+  for (const auto& record : report.records) {
+    if (record.status == TrialStatus::kQuarantined) {
+      ++quarantined_total;
+    } else {
+      ++ok_total;
+    }
+  }
   journal.event("campaign-end")
-      .field("completed", report.completed)
-      .field("resumed", report.resumed)
-      .field("quarantined", report.quarantined)
-      .field("retries", report.retries)
-      .field("faults_injected", stats.injected_total)
-      .field("thermal_excursions", stats.thermal_excursions)
-      .field("guard_blocks", report.guard_blocks)
-      .field("guard_wait_s", report.guard_wait_s, 1)
-      .field("backoff_wait_s", report.backoff_wait_s, 1)
-      .field("campaign_s", report.campaign_seconds, 1);
+      .field("trials", static_cast<std::uint64_t>(trials.size()))
+      .field("completed", ok_total)
+      .field("quarantined", quarantined_total);
   journal.flush();
+  make_durable();
   return report;
 }
 

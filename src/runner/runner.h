@@ -11,12 +11,18 @@
 //     exponential backoff + decorrelated jitter, persistent faults
 //     quarantine the trial (reported, never silently dropped), fatal faults
 //     abort with the journal intact;
-//   * checkpointed results — every completed trial commits one CSV row;
-//     --resume skips committed rows, so an interrupted sweep restarts from
-//     the last committed trial and reproduces the uninterrupted run's CSV
-//     byte for byte;
+//   * checkpointed results — every completed trial commits one CRC-trailed
+//     CSV row; --resume verifies each record, truncates torn tails at the
+//     record boundary, quarantines mid-file corruption (reported, never
+//     silently re-used), cross-checks rows against the journal, and then
+//     reproduces the uninterrupted run's CSV byte for byte;
+//   * campaign manifest — `<results>.manifest` digests the header, fault
+//     seed and trial list; --resume against a mismatched checkpoint fails
+//     with an actionable CheckpointMismatchError instead of mixing sweeps;
 //   * JSONL journal — attempts, faults, backoff and guard waits, and the
-//     campaign summary, all derived from simulated time (deterministic);
+//     campaign summary, all derived from simulated time (deterministic),
+//     each line CRC-trailed and recovered to the same byte-identity
+//     guarantee as the checkpoint;
 //   * deterministic parallelism — `jobs` worker threads each execute trials
 //     on a private chip session reset to canonical power-on state before
 //     every trial, while a sequencer commits rows and journal events in
@@ -26,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +40,7 @@
 #include "fault/faulty_chip.h"
 #include "runner/journal.h"
 #include "runner/retry_policy.h"
+#include "runner/store.h"
 
 namespace hbmrd::runner {
 
@@ -84,6 +92,16 @@ struct RunnerConfig {
   std::vector<std::string> result_columns;
   /// Skip trials already committed in results_path.
   bool resume = false;
+  /// Storage backend for the checkpoint, journal and manifest. Null = the
+  /// shared PosixStore. Tests substitute a fault::FaultyStore here to
+  /// observe operation counts; when `faults.store` injects faults the
+  /// runner wraps this backend in a FaultyStore itself.
+  std::shared_ptr<Store> store;
+  /// Durable mode: fsync journal + checkpoint every N committed trials
+  /// (journal first — a durable CSV row implies its journal block is
+  /// durable) and at campaign end/abort. 0 = never fsync: commits survive
+  /// a process kill but not power loss.
+  std::uint64_t fsync_every_trials = 0;
   /// Stop (checkpointed, resumable) after this many trials have been
   /// processed this run; 0 = run to completion. Test hook for kill/resume
   /// and the natural sharding point for splitting campaigns across
@@ -114,6 +132,20 @@ struct CampaignReport {
   dram::BankCounters device_counters;
   bool aborted = false;
   std::string abort_reason;
+
+  // -- Resume-time recovery findings (all zero on a fresh run).
+  /// Mid-file checkpoint rows whose CRC failed: quarantined (dropped from
+  /// the trusted set and re-run), with their best-effort keys.
+  std::uint64_t checkpoint_corrupt_rows = 0;
+  std::vector<std::string> checkpoint_corrupt_keys;
+  /// CRC-valid rows dropped because the journal holds no complete block
+  /// for them (the row outran its journal events across a power cut).
+  std::uint64_t checkpoint_rolled_back = 0;
+  /// A torn trailing record was truncated at the record boundary.
+  bool checkpoint_tail_truncated = false;
+  /// The checkpoint header was damaged on disk but the manifest matched
+  /// this campaign, so the header was rebuilt rather than rejected.
+  bool checkpoint_header_rebuilt = false;
 
   /// Fraction of attempted trials that produced a committed result.
   [[nodiscard]] double completion_rate() const;

@@ -1,0 +1,18 @@
+// Storage backend aliases for the campaign runner.
+//
+// The runner persists three artifacts — checkpoint CSV, JSONL journal and
+// the campaign manifest — exclusively through the util::Store abstraction,
+// so every byte it writes can be routed through fault::FaultyStore and
+// crash-tested. These aliases keep runner code and its tests from spelling
+// the util namespace everywhere.
+#pragma once
+
+#include "util/store.h"
+
+namespace hbmrd::runner {
+
+using util::PosixStore;
+using util::Store;
+using util::StoreError;
+
+}  // namespace hbmrd::runner

@@ -1,0 +1,63 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace hbmrd::util {
+
+namespace {
+
+constexpr std::uint32_t kPolyReflected = 0x82f63b78u;  // 0x1EDC6F41 reversed
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (unsigned char c : bytes) {
+    crc = (crc >> 8) ^ kTable[(crc ^ c) & 0xffu];
+  }
+  return ~crc;
+}
+
+std::string crc32c_hex(std::uint32_t crc) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[crc & 0xfu];
+    crc >>= 4;
+  }
+  return hex;
+}
+
+bool parse_crc32c_hex(std::string_view hex, std::uint32_t* out) {
+  if (hex.size() != 8) return false;
+  std::uint32_t value = 0;
+  for (char c : hex) {
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace hbmrd::util

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli) — the record-integrity checksum of the campaign
+// storage layer.
+//
+// Every checkpoint CSV row and journal JSONL line carries an 8-hex-digit
+// CRC32C trailer so that resume and `campaign_fsck` can tell, at record
+// granularity, a committed record from a torn tail or mid-file bit rot.
+// CRC32C is the iSCSI/ext4 polynomial (0x1EDC6F41, reflected) — strong
+// enough for line-sized records and universally cross-checkable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hbmrd::util {
+
+/// CRC32C of `bytes`, optionally chained from a previous value.
+[[nodiscard]] std::uint32_t crc32c(std::string_view bytes,
+                                   std::uint32_t seed = 0);
+
+/// Lower-case fixed-width hex of a CRC value ("0badf00d").
+[[nodiscard]] std::string crc32c_hex(std::uint32_t crc);
+
+/// Parses an 8-hex-digit trailer; returns false on malformed input.
+[[nodiscard]] bool parse_crc32c_hex(std::string_view hex,
+                                    std::uint32_t* out);
+
+}  // namespace hbmrd::util

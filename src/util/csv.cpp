@@ -3,27 +3,45 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/crc32c.h"
+
 namespace hbmrd::util {
 
 CsvWriter::CsvWriter(const std::string& path,
                      std::vector<std::string> columns, Mode mode)
-    : path_(path), columns_(columns.size()) {
-  bool had_rows = false;
-  if (mode == Mode::kAppend) {
-    std::ifstream probe(path);
-    had_rows = probe.good() && probe.peek() != std::ifstream::traits_type::eof();
-  }
-  out_.open(path, mode == Mode::kAppend
-                      ? std::ios::out | std::ios::app
-                      : std::ios::out | std::ios::trunc);
-  if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
-  }
+    : CsvWriter(path, std::move(columns), Options{mode, false, nullptr}) {}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns, Options options)
+    : path_(path),
+      columns_(columns.size()),
+      row_crc_(options.row_crc),
+      store_(options.store ? std::move(options.store) : default_store()) {
   if (columns.empty()) {
     throw std::invalid_argument("CsvWriter: need at least one column");
   }
+  bool had_rows = false;
+  if (options.mode == Mode::kAppend) {
+    const auto existing = store_->read(path);
+    had_rows = existing.has_value() && !existing->empty();
+  }
+  file_ = store_->open(path, options.mode == Mode::kTruncate);
   // In append mode the header is only emitted when the file is new/empty.
-  if (!had_rows) row(columns);
+  if (!had_rows) {
+    if (row_crc_) columns.push_back(kCrcColumn);
+    pending_ += serialize(columns);
+    pending_ += '\n';
+    flush();
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // A destructor during unwind (including simulated crashes in tests)
+    // must not write further or terminate the process.
+  }
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
@@ -37,15 +55,45 @@ std::string CsvWriter::escape(const std::string& cell) {
   return escaped;
 }
 
+std::string CsvWriter::serialize(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    line += escape(cells[i]);
+  }
+  return line;
+}
+
+std::string CsvWriter::serialize_with_crc(
+    const std::vector<std::string>& cells) {
+  std::string line = serialize(cells);
+  line += ',';
+  line += crc32c_hex(crc32c(line.substr(0, line.size() - 1)));
+  return line;
+}
+
 void CsvWriter::row(const std::vector<std::string>& cells) {
   if (cells.size() != columns_) {
     throw std::invalid_argument("CsvWriter: row width mismatch");
   }
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << escape(cells[i]);
-  }
-  out_ << '\n';
+  pending_ += row_crc_ ? serialize_with_crc(cells) : serialize(cells);
+  pending_ += '\n';
+}
+
+void CsvWriter::flush() {
+  if (pending_.empty()) return;
+  // Detach the staged bytes before writing: if the append fails after a
+  // partial (torn) write, retrying it would duplicate the landed prefix.
+  // Dropped bytes are safe — the rows were not committed, so recovery
+  // reruns their trials; duplicated bytes would corrupt the record stream.
+  std::string out;
+  out.swap(pending_);
+  file_->append(out);
+}
+
+void CsvWriter::durable() {
+  flush();
+  file_->sync();
 }
 
 CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(std::string text) {
@@ -69,5 +117,48 @@ CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(
 }
 
 CsvWriter::RowBuilder::~RowBuilder() { writer_.row(cells_); }
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.empty()) return {};
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';  // doubled quote inside a quoted cell
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+bool verify_csv_row_crc(std::string_view line, std::string_view* payload) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const auto comma = line.rfind(',');
+  if (comma == std::string_view::npos) return false;
+  std::uint32_t stored = 0;
+  if (!parse_crc32c_hex(line.substr(comma + 1), &stored)) return false;
+  if (crc32c(line.substr(0, comma)) != stored) return false;
+  if (payload != nullptr) *payload = line.substr(0, comma);
+  return true;
+}
 
 }  // namespace hbmrd::util

@@ -1,10 +1,20 @@
-// Minimal CSV writer used by the benchmark harnesses to export the data
-// series behind each figure (pass --csv <dir> to any bench).
+// CSV writing and parsing for the benchmark harnesses and the campaign
+// checkpoint.
+//
+// Durability contract (CsvWriter): row() stages bytes in a process buffer;
+// flush() pushes them to the OS (they survive a process crash but not power
+// loss); durable() additionally fsyncs through the Store backend, after
+// which the rows survive power loss. The destructor flushes best-effort,
+// swallowing errors — a crashing process must not un-tear a torn write by
+// flushing during unwind.
 #pragma once
 
-#include <fstream>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "util/store.h"
 
 namespace hbmrd::util {
 
@@ -15,18 +25,38 @@ class CsvWriter {
     kAppend,    // checkpoint resume: keep existing rows, header only if new
   };
 
+  struct Options {
+    Mode mode = Mode::kTruncate;
+    /// Append a CRC32C trailer cell to every row (and a "crc" column to
+    /// the header): the campaign checkpoint's record-integrity format.
+    bool row_crc = false;
+    /// Storage backend; null = the shared PosixStore.
+    std::shared_ptr<Store> store;
+  };
+
   /// Opens `path` for writing and emits the header row (unless appending to
   /// an existing non-empty file, in which case the rows already committed
   /// are preserved — the campaign runner's resume path).
-  /// Throws std::runtime_error if the file cannot be created.
+  /// Throws StoreError if the file cannot be created.
   CsvWriter(const std::string& path, std::vector<std::string> columns,
             Mode mode = Mode::kTruncate);
+  CsvWriter(const std::string& path, std::vector<std::string> columns,
+            Options options);
 
-  /// Appends one row; must match the header width.
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; must match the header width (the CRC trailer cell,
+  /// when enabled, is added by the writer and not counted).
   void row(const std::vector<std::string>& cells);
 
-  /// Pushes buffered rows to the OS (checkpoint commit point).
-  void flush() { out_.flush(); }
+  /// Pushes buffered rows to the OS (survives a process kill; not power
+  /// loss). The checkpoint commit point.
+  void flush();
+
+  /// flush() + fsync: on return the committed rows survive power loss.
+  void durable();
 
   class RowBuilder {
    public:
@@ -50,12 +80,38 @@ class CsvWriter {
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
+  /// Header cell naming the CRC trailer column.
+  static constexpr const char* kCrcColumn = "crc";
+
+  /// Serializes cells into one CSV line (no newline, no CRC trailer).
+  [[nodiscard]] static std::string serialize(
+      const std::vector<std::string>& cells);
+
+  /// `serialize(cells) + ",<crc32c hex>"` — the on-disk form of a
+  /// CRC-trailed row.
+  [[nodiscard]] static std::string serialize_with_crc(
+      const std::vector<std::string>& cells);
+
  private:
   static std::string escape(const std::string& cell);
 
   std::string path_;
   std::size_t columns_;
-  std::ofstream out_;
+  bool row_crc_ = false;
+  std::shared_ptr<Store> store_;
+  std::unique_ptr<Store::File> file_;
+  std::string pending_;
 };
+
+/// Splits one CSV line into cells, honoring CsvWriter quoting (embedded
+/// commas, doubled quotes) and tolerating one trailing CR (CRLF tails).
+/// An empty line yields zero cells.
+[[nodiscard]] std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Verifies a CRC-trailed CSV line: the trailer is the text after the last
+/// comma and must be the CRC32C of everything before that comma. On
+/// success, `*payload` receives the line without the trailer.
+[[nodiscard]] bool verify_csv_row_crc(std::string_view line,
+                                      std::string_view* payload = nullptr);
 
 }  // namespace hbmrd::util

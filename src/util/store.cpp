@@ -1,0 +1,111 @@
+#include "util/store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace hbmrd::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* op, const std::string& path) {
+  throw StoreError(op, path, std::strerror(errno));
+}
+
+class PosixFile : public Store::File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(std::string_view bytes) override {
+    const char* data = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("append", path_);
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+std::unique_ptr<Store::File> PosixStore::open(const std::string& path,
+                                              bool truncate) {
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw_errno("open", path);
+  return std::make_unique<PosixFile>(fd, path);
+}
+
+std::optional<std::string> PosixStore::read(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw_errno("read", path);
+  }
+  std::string contents;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read", path);
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+void PosixStore::atomic_replace(const std::string& path,
+                                std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    auto file = open(tmp, /*truncate=*/true);
+    file->append(content);
+    file->sync();
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename", path);
+  }
+}
+
+void PosixStore::truncate(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    throw_errno("truncate", path);
+  }
+}
+
+bool PosixStore::remove(const std::string& path) {
+  if (::unlink(path.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;
+  throw_errno("remove", path);
+}
+
+std::shared_ptr<Store> default_store() {
+  static const std::shared_ptr<Store> store = std::make_shared<PosixStore>();
+  return store;
+}
+
+}  // namespace hbmrd::util

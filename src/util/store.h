@@ -1,0 +1,102 @@
+// File-storage backend of the campaign persistence layer.
+//
+// Everything the campaign runner persists — checkpoint CSV, JSONL journal,
+// manifest — goes through this abstraction instead of raw iostreams, for
+// two reasons:
+//
+//   * durability is explicit: append() pushes bytes to the OS immediately
+//     (no hidden stream buffer that a destructor might flush after a
+//     simulated crash), sync() is a real fsync, and atomic_replace() is the
+//     write-temp + fsync + rename idiom, so a whole-file rewrite can never
+//     destroy the previous contents;
+//   * fault injection is possible: `fault::FaultyStore` wraps any Store and
+//     injects short/torn writes, EIO/ENOSPC, and deterministic
+//     crash-at-Nth-operation points, which is how the crash-consistency
+//     tests prove the recovery protocol correct.
+//
+// Durability contract: append() makes bytes visible to other readers of the
+// file (OS buffer) but does NOT survive power loss until sync() returns.
+// atomic_replace() is durable on return. A crash between the two can leave
+// any prefix of un-synced appends — which is exactly what record-level CRC
+// trailers recover from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hbmrd::util {
+
+/// A storage operation failed (I/O error, no space, permission, ...).
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(std::string op, std::string path, const std::string& detail)
+      : std::runtime_error("store: " + op + " " + path + ": " + detail),
+        op_(std::move(op)),
+        path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string op_;
+  std::string path_;
+};
+
+class Store {
+ public:
+  /// An open append handle. Closing (destruction) releases the descriptor
+  /// but does NOT imply durability — un-synced bytes are still at risk.
+  class File {
+   public:
+    virtual ~File() = default;
+    /// Appends bytes; on return they are in the OS buffer (crash-visible,
+    /// not power-loss durable). Throws StoreError on failure; a short
+    /// (torn) write may have landed a prefix before the throw.
+    virtual void append(std::string_view bytes) = 0;
+    /// fsync: on return the file contents survive power loss.
+    virtual void sync() = 0;
+  };
+
+  virtual ~Store() = default;
+
+  /// Opens `path` for appending, creating it if missing; `truncate` starts
+  /// it empty. Throws StoreError.
+  virtual std::unique_ptr<File> open(const std::string& path,
+                                     bool truncate) = 0;
+
+  /// Whole-file read; nullopt when the file does not exist.
+  virtual std::optional<std::string> read(const std::string& path) = 0;
+
+  /// Durable whole-file replacement: writes `path`.tmp, fsyncs it, renames
+  /// over `path`. On return the new content is durable; a crash at any
+  /// point leaves either the complete old or the complete new file.
+  virtual void atomic_replace(const std::string& path,
+                              std::string_view content) = 0;
+
+  /// Truncates `path` to `size` bytes (used by fault injection to roll
+  /// back un-synced tails when simulating power loss).
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// Removes `path`; false if it did not exist.
+  virtual bool remove(const std::string& path) = 0;
+};
+
+/// The real backend: POSIX fds, O_APPEND writes, fsync, rename.
+class PosixStore : public Store {
+ public:
+  std::unique_ptr<File> open(const std::string& path, bool truncate) override;
+  std::optional<std::string> read(const std::string& path) override;
+  void atomic_replace(const std::string& path,
+                      std::string_view content) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  bool remove(const std::string& path) override;
+};
+
+/// The process-wide default backend (a shared PosixStore).
+[[nodiscard]] std::shared_ptr<Store> default_store();
+
+}  // namespace hbmrd::util

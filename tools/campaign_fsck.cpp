@@ -1,0 +1,59 @@
+// campaign_fsck: verify (and optionally repair) campaign artifacts.
+//
+//   campaign_fsck --results sweep.csv [--journal sweep.jsonl] [--repair]
+//
+// Exit status: 0 = clean, 1 = issues found (repaired if --repair), 2 =
+// fatal (not a campaign checkpoint / unreadable). See src/runner/fsck.h
+// for the checks; docs/RESILIENCE.md for the recovery model.
+#include <cstdio>
+
+#include "runner/fsck.h"
+#include "util/cli.h"
+
+namespace {
+
+constexpr const char* kHelp =
+    "usage: campaign_fsck --results <csv> [--journal <jsonl>] [--repair]\n"
+    "\n"
+    "Verifies a campaign checkpoint the way --resume would: CRC-trailed\n"
+    "rows, CRC-trailed journal lines, manifest digests, and the\n"
+    "cross-replay between checkpoint and journal. With --repair, rewrites\n"
+    "the artifacts down to the verified state (untrusted rows move to\n"
+    "<csv>.quarantine; nothing is deleted).\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hbmrd::util::Cli cli(argc, argv);
+  if (cli.has("--help") || !cli.has("--results")) {
+    std::fputs(kHelp, cli.has("--help") ? stdout : stderr);
+    return cli.has("--help") ? 0 : 2;
+  }
+
+  hbmrd::runner::FsckOptions options;
+  options.results_path = cli.get_string("--results", "");
+  options.journal_path = cli.get_string("--journal", "");
+  options.repair = cli.has("--repair");
+
+  hbmrd::runner::FsckReport report;
+  try {
+    report = hbmrd::runner::campaign_fsck(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "campaign_fsck: %s\n", error.what());
+    return 2;
+  }
+
+  for (const auto& issue : report.issues) {
+    std::fprintf(stderr, "%s: %s\n", issue.file.c_str(), issue.what.c_str());
+  }
+  std::printf(
+      "%s: %llu checkpoint row(s), %llu journal line(s), %llu trusted, "
+      "%zu issue(s)%s\n",
+      options.results_path.c_str(),
+      static_cast<unsigned long long>(report.checkpoint_rows),
+      static_cast<unsigned long long>(report.journal_lines),
+      static_cast<unsigned long long>(report.trusted_rows),
+      report.issues.size(), report.repaired ? " [repaired]" : "");
+  if (report.fatal) return 2;
+  return report.clean() ? 0 : 1;
+}
