@@ -73,6 +73,11 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(dram::kDefaultPlatformSeed))))
           [static_cast<std::size_t>(chip_index)];
 
+  // One bundle across every scenario campaign (fault sweep, storage
+  // reference, crash/resume incarnations): counters accumulate and the
+  // snapshot is written once at exit.
+  bench::CampaignObservability obs(ctx.cli());
+
   const std::vector<Scenario> scenarios = {
       {"baseline (fault-free)", 0.0, 0.0, 0.0},
       {"transient 1%", 0.01, 0.0, 0.0},
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
     config.faults.transient_rate = scenario.transient_rate;
     config.faults.thermal_rate = scenario.thermal_rate;
     config.faults.persistent_rate = scenario.persistent_rate;
+    obs.attach(config);
     runner::CampaignRunner campaign(chip, config);
 
     Outcome outcome;
@@ -191,6 +197,7 @@ int main(int argc, char** argv) {
     config.result_columns = {"value"};
     config.results_path = ref_csv;
     config.journal_path = ref_jsonl;
+    obs.attach(config);
     runner::CampaignRunner campaign(chip, config);
     (void)bench::run_campaign_or_die(campaign, trials);
   }
@@ -235,6 +242,7 @@ int main(int argc, char** argv) {
           util::default_store(),
           config.faults.seed + static_cast<std::uint64_t>(incarnation),
           store_faults);
+      obs.attach(config);
       runner::CampaignRunner campaign(chip, config);
       try {
         done = !campaign.run(trials).aborted;
@@ -270,5 +278,6 @@ int main(int argc, char** argv) {
                "committed payload re-measures identically because trials "
                "re-initialize their rows and run pinned to the calibrated "
                "setpoint)\n";
+  obs.finish();
   return all_ok ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include "fault/faulty_store.h"
 #include "runner/checkpoint.h"
+#include "util/store.h"
 
 namespace hbmrd::bench {
 
@@ -40,6 +41,12 @@ Storage flags (campaign persistence; see docs/RESILIENCE.md):
                          (EIO/ENOSPC/short write)
   --store-crash-write N  simulate power loss at the Nth write operation
   --store-crash-fsync N  simulate power loss at the Nth fsync operation
+
+Observability flags (see docs/OBSERVABILITY.md):
+  --metrics-out FILE JSON metrics + span snapshot, written atomically at
+                     exit; deterministic counters are byte-equal for any
+                     --jobs N
+  --progress         rate-limited live progress line on stderr
 )";
 
 }  // namespace
@@ -124,6 +131,39 @@ void BenchContext::compare(const std::string& what, const std::string& paper,
 
 void BenchContext::banner(const std::string& section) const {
   util::print_banner(std::cout, section);
+}
+
+CampaignObservability::CampaignObservability(const util::Cli& cli)
+    : metrics_out_(cli.get_string("--metrics-out", "")) {
+  enabled_ = !metrics_out_.empty() || cli.has("--progress");
+  if (cli.has("--progress")) {
+    progress_ = std::make_unique<obs::ProgressReporter>();
+  }
+}
+
+CampaignObservability::~CampaignObservability() {
+  try {
+    finish();
+  } catch (...) {
+    // A snapshot-write failure must not escape a destructor; the campaign
+    // artifacts themselves are unaffected.
+  }
+}
+
+void CampaignObservability::attach(runner::RunnerConfig& config) {
+  if (!enabled_) return;
+  config.metrics = &metrics_;
+  config.trace = &trace_;
+  config.progress = progress_.get();
+}
+
+void CampaignObservability::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (progress_) progress_->finish();
+  if (metrics_out_.empty()) return;
+  metrics_.write_snapshot(*util::default_store(), metrics_out_, &trace_);
+  std::cout << "(metrics snapshot written to " << metrics_out_ << ")\n";
 }
 
 runner::RunnerConfig campaign_config(const util::Cli& cli,

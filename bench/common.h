@@ -7,14 +7,19 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bender/platform.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "runner/runner.h"
 #include "study/address_map.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/parse.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -60,6 +65,44 @@ class BenchContext {
   std::string title_;
   bender::Platform platform_;
   std::vector<std::unique_ptr<study::AddressMap>> maps_;
+};
+
+/// Observability sinks for campaign harnesses (docs/OBSERVABILITY.md):
+///   --metrics-out FILE   JSON metrics + span snapshot (atomic replace)
+///   --progress           rate-limited live progress line on stderr
+/// Attach to every RunnerConfig the harness builds — attaching changes no
+/// committed CSV/journal byte. Deterministic counters accumulate across
+/// every campaign the harness runs (e.g. fig06's per-chip campaigns); the
+/// snapshot is written once by finish() (the destructor is a backstop).
+class CampaignObservability {
+ public:
+  explicit CampaignObservability(const util::Cli& cli);
+  ~CampaignObservability();
+
+  CampaignObservability(const CampaignObservability&) = delete;
+  CampaignObservability& operator=(const CampaignObservability&) = delete;
+
+  /// Points `config` at the shared sinks; no-op when neither flag was
+  /// passed (keeps the runner on its zero-instrumentation path).
+  void attach(runner::RunnerConfig& config);
+
+  /// The shared registry, or null when observability is disabled. Benches
+  /// use it for their own counters (e.g. bench.skipped_records).
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return enabled_ ? &metrics_ : nullptr;
+  }
+
+  /// Flushes the progress line and writes the --metrics-out snapshot;
+  /// idempotent.
+  void finish();
+
+ private:
+  bool enabled_ = false;
+  bool finished_ = false;
+  std::string metrics_out_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder trace_;
+  std::unique_ptr<obs::ProgressReporter> progress_;
 };
 
 /// Formats a BER as a percentage string.

@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
                                              : std::vector<int>{0, 1, 4, 5};
   const auto pattern = study::DataPattern::kCheckered0;
 
+  // One observability bundle across all per-chip campaigns: deterministic
+  // counters accumulate, and the snapshot is written once at the end.
+  bench::CampaignObservability obs(ctx.cli());
+
   std::vector<double> chip_means;
   std::vector<double> within_chip_spreads;
   for (int chip_index : chips) {
@@ -42,6 +46,7 @@ int main(int argc, char** argv) {
     auto config = bench::campaign_config(ctx.cli(), {"channel", "row", "ber"});
     config.results_path = per_chip_path(config.results_path, chip_index);
     config.journal_path = per_chip_path(config.journal_path, chip_index);
+    obs.attach(config);
     runner::CampaignRunner campaign(chip, config);
 
     std::vector<runner::CampaignRunner::Trial> trials;
@@ -71,7 +76,13 @@ int main(int argc, char** argv) {
         if (record.cells.size() == 3 &&
             record.cells[0] == std::to_string(ch) &&
             !record.cells[2].empty()) {
-          bers.push_back(std::stod(record.cells[2]));
+          // Resumed checkpoints can surface damaged payload cells; skip
+          // them rather than letting std::stod throw out of the analysis.
+          if (const auto ber = util::parse_double(record.cells[2])) {
+            bers.push_back(*ber);
+          } else if (obs.metrics() != nullptr) {
+            obs.metrics()->add("bench.skipped_records", 1);
+          }
         }
       }
       if (bers.empty()) continue;
@@ -114,5 +125,6 @@ int main(int argc, char** argv) {
   }
   ctx.compare("channel pairs behave alike (shared die)",
               "CH3/CH4-style grouping", "compare die column per chip");
+  obs.finish();
   return 0;
 }

@@ -20,9 +20,11 @@ int main(int argc, char** argv) {
   const auto& map = ctx.map_of(chip_index);
   const auto channels = ctx.channels(4);
 
-  runner::CampaignRunner campaign(
-      chip, bench::campaign_config(
-                ctx.cli(), {"channel", "pattern", "row", "hc_first"}));
+  bench::CampaignObservability obs(ctx.cli());
+  auto config = bench::campaign_config(
+      ctx.cli(), {"channel", "pattern", "row", "hc_first"});
+  obs.attach(config);
+  runner::CampaignRunner campaign(chip, config);
   std::vector<runner::CampaignRunner::Trial> trials;
   for (int ch : channels) {
     for (auto pattern : study::kAllPatterns) {
@@ -58,7 +60,13 @@ int main(int argc, char** argv) {
             record.cells[1] != pattern_name || record.cells[3].empty()) {
           continue;
         }
-        hcs.push_back(std::stod(record.cells[3]));
+        // Resumed checkpoints can surface damaged payload cells; skip
+        // them rather than letting std::stod throw out of the analysis.
+        if (const auto hc = util::parse_double(record.cells[3])) {
+          hcs.push_back(*hc);
+        } else if (obs.metrics() != nullptr) {
+          obs.metrics()->add("bench.skipped_records", 1);
+        }
       }
       if (hcs.empty()) continue;
       table.row()
@@ -89,5 +97,6 @@ int main(int argc, char** argv) {
   }
   ctx.compare("channels with more small-HC_first rows also show higher BER",
               "CH3/CH4 of Chip 1", "cross-check with fig06 output");
+  obs.finish();
   return 0;
 }

@@ -32,11 +32,12 @@ int main(int argc, char** argv) {
     victims.push_back(row);
   }
 
-  runner::CampaignRunner campaign(
-      chip,
-      bench::campaign_config(
-          ctx.cli(),
-          {"dummies", "aggr_acts", "row", "acts_per_dummy", "ber", "flips"}));
+  bench::CampaignObservability obs(ctx.cli());
+  auto config = bench::campaign_config(
+      ctx.cli(),
+      {"dummies", "aggr_acts", "row", "acts_per_dummy", "ber", "flips"});
+  obs.attach(config);
+  runner::CampaignRunner campaign(chip, config);
   std::vector<runner::CampaignRunner::Trial> trials;
   for (int dummies : dummy_counts) {
     for (int acts : aggressor_acts) {
@@ -79,9 +80,24 @@ int main(int argc, char** argv) {
             record.cells[4].empty()) {
           continue;
         }
-        acts_per_dummy = std::stoll(record.cells[3]);
-        bers.push_back(std::stod(record.cells[4]));
-        if (std::stoi(record.cells[5]) > 0) ++rows_with_flips;
+        // A resumed checkpoint can surface a record whose payload cells are
+        // damaged (e.g. hand-edited or partially recovered): skip it with a
+        // warning instead of letting std::stoll/stod/stoi throw out of the
+        // aggregation loop.
+        const auto apd = util::parse_i64(record.cells[3]);
+        const auto ber = util::parse_double(record.cells[4]);
+        const auto flips = util::parse_i64(record.cells[5]);
+        if (!apd || !ber || !flips) {
+          std::cerr << "warning: skipping checkpoint record '" << record.key
+                    << "' with unparsable payload cells\n";
+          if (obs.metrics() != nullptr) {
+            obs.metrics()->add("bench.skipped_records", 1);
+          }
+          continue;
+        }
+        acts_per_dummy = *apd;
+        bers.push_back(*ber);
+        if (*flips > 0) ++rows_with_flips;
       }
       if (bers.empty()) continue;
       const double mean = util::mean(bers);
@@ -128,5 +144,6 @@ int main(int argc, char** argv) {
   ctx.compare("dummy count beyond 4 barely matters",
               "mean BER varies by 0.003 between 4 and 7 dummies",
               "compare rows with equal aggr acts above");
+  obs.finish();
   return 0;
 }

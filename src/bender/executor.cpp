@@ -46,6 +46,7 @@ Executor::BankSchedule& Executor::sched(const dram::BankAddress& bank) {
 }
 
 void Executor::exec_act(const ActInstr& instr) {
+  ++counters_.acts;
   BankSchedule& b = sched(instr.bank);
   const dram::Cycle t = std::max(clock_, b.act_ok);
   stack_->activate({instr.bank, instr.row}, t);
@@ -58,6 +59,7 @@ void Executor::exec_act(const ActInstr& instr) {
 }
 
 void Executor::exec_pre(const PreInstr& instr) {
+  ++counters_.pres;
   BankSchedule& b = sched(instr.bank);
   const dram::Cycle t = b.open ? std::max(clock_, b.pre_ok) : clock_;
   stack_->precharge(instr.bank, t);
@@ -69,6 +71,7 @@ void Executor::exec_pre(const PreInstr& instr) {
 }
 
 void Executor::exec_pre_all(const PreAllInstr& instr) {
+  ++counters_.pres;
   // Schedule the PREA at a cycle legal for every open bank of the channel.
   dram::Cycle t = clock_;
   for (int pc = 0; pc < dram::kPseudoChannels; ++pc) {
@@ -112,6 +115,7 @@ void Executor::exec_ref(const RefInstr& instr) {
   if (instr.channel < 0 || instr.channel >= dram::kChannels) {
     throw std::out_of_range("REF channel");
   }
+  ++counters_.refs;
   dram::Cycle t = std::max(
       clock_, channel_ref_ok_[static_cast<std::size_t>(instr.channel)]);
   for (int pc = 0; pc < dram::kPseudoChannels; ++pc) {
@@ -175,6 +179,10 @@ bool Executor::try_hammer_fast_path(const Program& program,
   if (b.open) return false;  // require a precharged bank, like the device
   const dram::Cycle start = std::max(clock_, b.act_ok);
   const dram::Cycle end = stack_->bulk_hammer(*bank, steps, iterations, start);
+  // Represented commands: each iteration replays every [ACT .. PRE] step.
+  counters_.acts += iterations * steps.size();
+  counters_.pres += iterations * steps.size();
+  ++counters_.bulk_hammer_windows;
   b.open = false;
   b.last_act = end;  // conservative: next ACT is gated by act_ok below
   b.act_ok = end;
@@ -256,6 +264,9 @@ bool Executor::try_windowed_hammer_fast_path(const Program& program,
       const dram::Cycle start = std::max(clock_, b.act_ok);
       const dram::Cycle end = stack_->bulk_hammer(
           *bank, std::span(steps).subspan(e.begin, e.end - e.begin), 1, start);
+      counters_.acts += e.end - e.begin;
+      counters_.pres += e.end - e.begin;
+      ++counters_.bulk_hammer_windows;
       b.open = false;
       b.last_act = end;  // conservative, same as the pure fast path
       b.act_ok = end;

@@ -20,6 +20,20 @@
 
 namespace hbmrd::bender {
 
+/// Host-side command counts since executor construction (= since the last
+/// power cycle: HbmChip rebuilds the executor on power_cycle()). Counts
+/// REPRESENTED commands: a fast-path bulk_hammer window contributes the
+/// ACT/PRE commands its iterative equivalent would have issued, plus one
+/// bulk_hammer_windows tick per analytic window. Pure functions of the
+/// executed programs, so deterministic across --jobs N (the observability
+/// layer's determinism contract relies on this).
+struct ExecutorCounters {
+  std::uint64_t acts = 0;
+  std::uint64_t pres = 0;  // PRE and PREA commands
+  std::uint64_t refs = 0;
+  std::uint64_t bulk_hammer_windows = 0;
+};
+
 struct ExecutionResult {
   /// Data returned by RD instructions, in program order: one column read
   /// appends kWordsPerColumn words.
@@ -52,6 +66,8 @@ class Executor {
   void advance(dram::Cycle cycles) { clock_ += cycles; }
 
   [[nodiscard]] dram::Cycle now() const { return clock_; }
+
+  [[nodiscard]] const ExecutorCounters& counters() const { return counters_; }
 
  private:
   struct BankSchedule {
@@ -93,6 +109,7 @@ class Executor {
   dram::Stack* stack_;
   dram::TimingParams timing_;
   dram::Cycle clock_ = 0;
+  ExecutorCounters counters_;
   std::vector<BankSchedule> bank_sched_;
   std::vector<dram::Cycle> channel_ref_ok_;
 };

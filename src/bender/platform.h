@@ -57,6 +57,18 @@ class HbmChip : public ChipSession {
   [[nodiscard]] dram::Stack& stack() override { return *stack_; }
   [[nodiscard]] thermal::TemperatureRig& rig() { return rig_; }
 
+  /// Host-side command counts since the last power cycle (the executor is
+  /// rebuilt on power_cycle(), matching the device counters' semantics).
+  [[nodiscard]] const ExecutorCounters& executor_counters() const {
+    return executor_.counters();
+  }
+
+  /// Lifetime totals of the row-threshold-summary cache (which survives
+  /// power cycles; see src/disturb/threshold_cache.h).
+  [[nodiscard]] disturb::ThresholdCacheStats threshold_cache_stats() const {
+    return threshold_cache_->totals();
+  }
+
  private:
   void sync_thermal();
   [[nodiscard]] dram::StackConfig stack_config() const;

@@ -96,7 +96,10 @@ RowThresholdSummary build_row_summary(const FaultModel& model,
 
 const RowThresholdSummary* BankThresholdCache::peek(int physical_row) {
   const auto it = index_.find(physical_row);
-  if (it == index_.end()) return nullptr;
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
   return &it->second->second;
@@ -105,7 +108,7 @@ const RowThresholdSummary* BankThresholdCache::peek(int physical_row) {
 const RowThresholdSummary& BankThresholdCache::get(const FaultModel& model,
                                                    int physical_row) {
   if (const auto* cached = peek(physical_row)) return *cached;
-  ++stats_.misses;
+  ++stats_.builds;  // peek counted the miss
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
@@ -123,6 +126,7 @@ ThresholdCacheStats ThresholdCache::totals() const {
     if (!bank) continue;
     total.hits += bank->stats().hits;
     total.misses += bank->stats().misses;
+    total.builds += bank->stats().builds;
     total.evictions += bank->stats().evictions;
   }
   return total;

@@ -66,8 +66,16 @@ struct RowThresholdSummary {
 
 struct ThresholdCacheStats {
   std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t misses = 0;   // lookups that found no entry (peek and get)
+  std::uint64_t builds = 0;   // summaries materialized by get()
   std::uint64_t evictions = 0;
+
+  /// Total lookups. Every peek()/get() counts exactly one hit or miss, so
+  /// this is a pure function of the callers' control flow — deterministic
+  /// across --jobs N — while the hit/miss split depends on which worker's
+  /// cache served the trial (telemetry). docs/OBSERVABILITY.md states the
+  /// contract.
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
 };
 
 /// LRU over one bank's rows. Entries are immutable once built.
@@ -77,7 +85,7 @@ class BankThresholdCache {
       : address_(address), capacity_(capacity == 0 ? 1 : capacity) {}
 
   /// Returns the cached summary without building: nullptr on miss. A hit
-  /// refreshes the entry's LRU position.
+  /// refreshes the entry's LRU position; both outcomes count one lookup.
   [[nodiscard]] const RowThresholdSummary* peek(int physical_row);
 
   /// Returns the row's summary, building (and possibly evicting) on miss.

@@ -569,6 +569,10 @@ Cycle Bank::bulk_hammer(std::span<const HammerStep> steps,
     row_of_step[k] = static_cast<std::uint32_t>(r);
   }
 
+  ++counters_.bulk_hammer_windows;
+  counters_.hammer_dedup_hits +=
+      static_cast<std::uint64_t>(steps.size() - rows_hit.size());
+
   // Sense every hammered row once at its first activation, so pre-existing
   // dose materializes before the burst restores it. (Later activations of
   // the same row within the burst sense a just-restored row: a no-op.)

@@ -35,6 +35,12 @@ struct BankCounters {
   std::uint64_t refresh_commands = 0;
   std::uint64_t defense_victim_refreshes = 0;
   std::uint64_t bitflips_materialized = 0;
+  /// bulk_hammer invocations (one analytic hammer window each).
+  std::uint64_t bulk_hammer_windows = 0;
+  /// Steps bulk_hammer folded into an already-hammered row of the same
+  /// window (refresh-window bursts repeat aggressors and dummies): the
+  /// work the per-distinct-row dedup saved.
+  std::uint64_t hammer_dedup_hits = 0;
 };
 
 /// One activation of the hammer fast path: a row kept open for `on_cycles`.

@@ -160,6 +160,8 @@ BankCounters Stack::total_counters() const {
     totals.refresh_commands += c.refresh_commands;
     totals.defense_victim_refreshes += c.defense_victim_refreshes;
     totals.bitflips_materialized += c.bitflips_materialized;
+    totals.bulk_hammer_windows += c.bulk_hammer_windows;
+    totals.hammer_dedup_hits += c.hammer_dedup_hits;
   }
   return totals;
 }

@@ -1,0 +1,66 @@
+#include "obs/instrumented_store.h"
+
+#include <stdexcept>
+
+namespace hbmrd::obs {
+
+class InstrumentedStore::InstrumentedFile : public util::Store::File {
+ public:
+  InstrumentedFile(std::unique_ptr<util::Store::File> inner,
+                   MetricsRegistry* metrics)
+      : inner_(std::move(inner)), metrics_(metrics) {}
+
+  void append(std::string_view bytes) override {
+    metrics_->add("store.appends", 1);
+    metrics_->add("store.append_bytes", bytes.size());
+    inner_->append(bytes);
+  }
+
+  void sync() override {
+    metrics_->add("store.fsyncs", 1);
+    inner_->sync();
+  }
+
+ private:
+  std::unique_ptr<util::Store::File> inner_;
+  MetricsRegistry* metrics_;
+};
+
+InstrumentedStore::InstrumentedStore(std::shared_ptr<util::Store> inner,
+                                     MetricsRegistry* metrics)
+    : inner_(std::move(inner)), metrics_(metrics) {
+  if (inner_ == nullptr || metrics_ == nullptr) {
+    throw std::invalid_argument("InstrumentedStore: null inner/metrics");
+  }
+}
+
+std::unique_ptr<util::Store::File> InstrumentedStore::open(
+    const std::string& path, bool truncate) {
+  metrics_->add("store.opens", 1);
+  return std::make_unique<InstrumentedFile>(inner_->open(path, truncate),
+                                            metrics_);
+}
+
+std::optional<std::string> InstrumentedStore::read(const std::string& path) {
+  metrics_->add("store.reads", 1);
+  return inner_->read(path);
+}
+
+void InstrumentedStore::atomic_replace(const std::string& path,
+                                       std::string_view content) {
+  metrics_->add("store.replaces", 1);
+  inner_->atomic_replace(path, content);
+}
+
+void InstrumentedStore::truncate(const std::string& path,
+                                 std::uint64_t size) {
+  metrics_->add("store.truncates", 1);
+  inner_->truncate(path, size);
+}
+
+bool InstrumentedStore::remove(const std::string& path) {
+  metrics_->add("store.removes", 1);
+  return inner_->remove(path);
+}
+
+}  // namespace hbmrd::obs

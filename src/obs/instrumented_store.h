@@ -1,0 +1,44 @@
+// Store decorator that counts every storage operation into a
+// MetricsRegistry.
+//
+// The campaign runner funnels all artifact I/O through one util::Store on
+// the sequencer thread, and PR 2/3 guarantee the operation sequence is
+// identical for any --jobs value — which makes these counts deterministic
+// counters, not telemetry: `store.appends`, `store.fsyncs` and friends
+// must be byte-equal between --jobs 1 and --jobs N, and the tests assert
+// it. Counting happens BEFORE delegation, so an operation that fails (an
+// injected EIO, a simulated power cut) still counts as attempted — the
+// attempt sequence is the deterministic quantity, not the success count.
+//
+// Wrap order matters: the runner instruments OUTSIDE fault::FaultyStore,
+// so injected faults are visible as failed-but-counted attempts.
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "util/store.h"
+
+namespace hbmrd::obs {
+
+class InstrumentedStore : public util::Store {
+ public:
+  /// `metrics` must outlive the store; `inner` must be non-null.
+  InstrumentedStore(std::shared_ptr<util::Store> inner,
+                    MetricsRegistry* metrics);
+
+  std::unique_ptr<File> open(const std::string& path, bool truncate) override;
+  std::optional<std::string> read(const std::string& path) override;
+  void atomic_replace(const std::string& path,
+                      std::string_view content) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  bool remove(const std::string& path) override;
+
+ private:
+  class InstrumentedFile;
+
+  std::shared_ptr<util::Store> inner_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace hbmrd::obs

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace hbmrd::obs {
+
+namespace {
+
+/// Shortest round-trip double formatting (%.17g trimmed would be noisy;
+/// %.9g is enough for timings and rates and keeps snapshots readable).
+std::string format_number(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  if (counts.size() != bounds.size() + 1) counts.resize(bounds.size() + 1, 0);
+  // lower_bound: bucket i holds value <= bounds[i] (inclusive upper bound).
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  ++counts[static_cast<std::size_t>(it - bounds.begin())];
+  ++total;
+  sum += value;
+}
+
+const std::vector<double>& MetricsRegistry::kDefaultSecondsBounds() {
+  static const std::vector<double> bounds = {0.001, 0.01, 0.1, 1.0,
+                                             10.0,  60.0, 600.0};
+  return bounds;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta,
+                          MetricKind kind) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), Counter{delta, kind});
+    return;
+  }
+  if (it->second.kind != kind) {
+    throw std::logic_error("MetricsRegistry: counter '" + std::string(name) +
+                           "' re-registered with a different kind");
+  }
+  it->second.value += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              const std::vector<double>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    h.bounds = bounds.empty() ? kDefaultSecondsBounds() : bounds;
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+bool MetricsRegistry::has_counter(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+std::string MetricsRegistry::deterministic_fingerprint() const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    if (counter.kind != MetricKind::kDeterministic) continue;
+    out += name;
+    out += '=';
+    out += std::to_string(counter.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json(const TraceRecorder* trace) const {
+  std::string out = "{\n  \"deterministic\": {";
+  const auto emit_counters = [&out, this](MetricKind kind) {
+    bool first = true;
+    for (const auto& [name, counter] : counters_) {
+      if (counter.kind != kind) continue;
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      append_json_string(out, name);
+      out += ": " + std::to_string(counter.value);
+    }
+    if (!first) out += "\n  ";
+  };
+  emit_counters(MetricKind::kDeterministic);
+  out += "},\n  \"telemetry\": {\n    \"counters\": {";
+  {
+    // Re-indent the telemetry counters one level deeper.
+    std::string inner;
+    bool first = true;
+    for (const auto& [name, counter] : counters_) {
+      if (counter.kind != MetricKind::kTelemetry) continue;
+      inner += first ? "\n" : ",\n";
+      first = false;
+      inner += "      ";
+      append_json_string(inner, name);
+      inner += ": " + std::to_string(counter.value);
+    }
+    if (!first) inner += "\n    ";
+    out += inner;
+  }
+  out += "},\n    \"gauges\": {";
+  {
+    bool first = true;
+    for (const auto& [name, value] : gauges_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "      ";
+      append_json_string(out, name);
+      out += ": " + format_number(value);
+    }
+    if (!first) out += "\n    ";
+  }
+  out += "},\n    \"histograms\": {";
+  {
+    bool first = true;
+    for (const auto& [name, h] : histograms_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "      ";
+      append_json_string(out, name);
+      out += ": {\"total\": " + std::to_string(h.total) +
+             ", \"sum\": " + format_number(h.sum) + ", \"bounds\": [";
+      for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += format_number(h.bounds[i]);
+      }
+      out += "], \"counts\": [";
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(h.counts[i]);
+      }
+      out += "]}";
+    }
+    if (!first) out += "\n    ";
+  }
+  out += "}\n  }";
+  if (trace != nullptr) {
+    out += ",\n  \"spans\": {";
+    bool first = true;
+    for (const auto& [path, span] : trace->spans()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      append_json_string(out, path);
+      out += ": {\"count\": " + std::to_string(span.count) +
+             ", \"total_s\": " + format_number(span.total_s) +
+             ", \"min_s\": " + format_number(span.count ? span.min_s : 0.0) +
+             ", \"max_s\": " + format_number(span.max_s) + "}";
+    }
+    if (!first) out += "\n  ";
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::write_snapshot(util::Store& store,
+                                     const std::string& path,
+                                     const TraceRecorder* trace) const {
+  store.atomic_replace(path, to_json(trace));
+}
+
+}  // namespace hbmrd::obs

@@ -1,0 +1,73 @@
+// Rate-limited live progress line for long campaigns.
+//
+// A multi-hour sweep (the paper's Sec. 3 campaigns run for months) gives
+// the operator one line on stderr:
+//
+//   progress: 128/3072 trials (4%) | flips 345 | retries 3 | 41.2 trials/s
+//   | eta 1m12s
+//
+// The line is throttled to one emission per `min_interval_s` of wall time
+// (a fast campaign must not melt the terminal), plus an unconditional
+// final line from finish(). Progress is pure telemetry: it reads the wall
+// clock and writes to a stream, and touches no campaign artifact — the
+// CSV/journal byte-identity contract is unaffected by whether progress is
+// on (tests assert exactly that).
+//
+// The clock is injectable so tests can drive the rate limiter
+// deterministically; the default is obs::monotonic_seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace hbmrd::obs {
+
+class ProgressReporter {
+ public:
+  struct Options {
+    /// Minimum wall seconds between emitted lines (finish() ignores it).
+    double min_interval_s = 1.0;
+    /// Destination; null = std::cerr.
+    std::ostream* out = nullptr;
+    /// Injectable wall clock (tests); null = obs::monotonic_seconds.
+    std::function<double()> clock;
+  };
+
+  ProgressReporter();
+  explicit ProgressReporter(Options options);
+
+  /// Total trials the campaign will process; the runner calls this once it
+  /// knows the campaign size (0 = unknown, percentages and ETA omitted).
+  void set_total(std::uint64_t total) { total_ = total; }
+
+  /// Reports state after a committed trial; emits a line when the rate
+  /// limiter allows. `done` counts committed trials (completed + resumed +
+  /// quarantined), `flips` the bitflips materialized so far.
+  void update(std::uint64_t done, std::uint64_t flips, std::uint64_t retries);
+
+  /// Emits the final line unconditionally (idempotent).
+  void finish();
+
+  [[nodiscard]] std::uint64_t lines_emitted() const { return lines_; }
+
+ private:
+  void emit(bool final_line);
+
+  Options options_;
+  std::uint64_t total_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t flips_ = 0;
+  std::uint64_t retries_ = 0;
+  double start_s_ = 0.0;
+  double last_emit_s_ = 0.0;
+  std::uint64_t lines_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// "1m12s" / "3.2s" / "2h05m" — coarse human-readable ETA formatting.
+[[nodiscard]] std::string format_duration_s(double seconds);
+
+}  // namespace hbmrd::obs

@@ -1,0 +1,32 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace hbmrd::obs {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TraceRecorder::record(std::string_view path, double seconds) {
+  std::lock_guard lock(mu_);
+  auto it = spans_.find(path);
+  if (it == spans_.end()) {
+    it = spans_.emplace(std::string(path), SpanStats{}).first;
+  }
+  SpanStats& s = it->second;
+  if (s.count == 0 || seconds < s.min_s) s.min_s = seconds;
+  if (seconds > s.max_s) s.max_s = seconds;
+  ++s.count;
+  s.total_s += seconds;
+}
+
+SpanStats TraceRecorder::span(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  const auto it = spans_.find(path);
+  return it == spans_.end() ? SpanStats{} : it->second;
+}
+
+}  // namespace hbmrd::obs

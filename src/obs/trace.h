@@ -1,0 +1,80 @@
+// Scoped trace spans: where a campaign's wall-clock time actually goes.
+//
+// A span is a named region of host time — "campaign", "campaign/recover",
+// "campaign/trial", "campaign/commit" — aggregated by path into count /
+// total / min / max (no per-event log: a multi-hour sweep must not grow an
+// unbounded trace). Wall-clock readings exist ONLY here and in the metrics
+// telemetry section; they never reach the CSV checkpoint or the JSONL
+// journal, whose byte-identity is defined purely over simulated time
+// (docs/OBSERVABILITY.md, "determinism contract").
+//
+// Threading: record() takes a mutex so worker threads may report spans,
+// but the campaign runner records everything from the sequencer thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hbmrd::obs {
+
+/// Monotonic host clock, seconds since an arbitrary origin.
+[[nodiscard]] double monotonic_seconds();
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;  // meaningful once count > 0
+  double max_s = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  /// Folds one finished span into the aggregate for `path`.
+  void record(std::string_view path, double seconds);
+
+  /// Aggregates keyed by span path ('/'-separated, campaign at the root).
+  /// Not thread-safe against concurrent record(); read after the campaign.
+  [[nodiscard]] const std::map<std::string, SpanStats, std::less<>>& spans()
+      const {
+    return spans_;
+  }
+
+  [[nodiscard]] SpanStats span(std::string_view path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+};
+
+/// RAII span: records the elapsed monotonic time on destruction. A null
+/// recorder makes the timer a no-op (the campaign runner's "observability
+/// not attached" path costs two null checks, no clock reads).
+class SpanTimer {
+ public:
+  SpanTimer(TraceRecorder* recorder, std::string path)
+      : recorder_(recorder),
+        path_(std::move(path)),
+        start_s_(recorder ? monotonic_seconds() : 0.0) {}
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() { stop(); }
+
+  /// Records the span now (idempotent); the destructor becomes a no-op.
+  void stop() {
+    if (recorder_ == nullptr) return;
+    recorder_->record(path_, monotonic_seconds() - start_s_);
+    recorder_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string path_;
+  double start_s_;
+};
+
+}  // namespace hbmrd::obs

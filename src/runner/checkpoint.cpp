@@ -3,6 +3,7 @@
 #include "runner/journal.h"
 #include "util/crc32c.h"
 #include "util/csv.h"
+#include "util/parse.h"
 
 namespace hbmrd::runner {
 
@@ -51,16 +52,19 @@ std::optional<Manifest> Manifest::parse(std::string_view text) {
       cells[1] != "v" + std::to_string(kVersion)) {
     return std::nullopt;
   }
+  // Exception-free cell parsing: a corrupt digit cell must resolve to "not
+  // a manifest" (treated as missing), never to a throw out of recovery.
   Manifest m;
-  try {
-    if (!util::parse_crc32c_hex(cells[2], &m.header_crc)) return std::nullopt;
-    m.fault_seed = std::stoull(cells[3]);
-    m.trial_count = std::stoull(cells[4]);
-    if (!util::parse_crc32c_hex(cells[5], &m.trials_crc)) return std::nullopt;
-    m.incarnations = std::stoull(cells[6]);
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  if (!util::parse_crc32c_hex(cells[2], &m.header_crc)) return std::nullopt;
+  const auto fault_seed = util::parse_u64(cells[3]);
+  const auto trial_count = util::parse_u64(cells[4]);
+  if (!fault_seed || !trial_count) return std::nullopt;
+  m.fault_seed = *fault_seed;
+  m.trial_count = *trial_count;
+  if (!util::parse_crc32c_hex(cells[5], &m.trials_crc)) return std::nullopt;
+  const auto incarnations = util::parse_u64(cells[6]);
+  if (!incarnations) return std::nullopt;
+  m.incarnations = *incarnations;
   return m;
 }
 

@@ -7,6 +7,10 @@
 #include <unordered_set>
 
 #include "fault/faulty_store.h"
+#include "obs/instrumented_store.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "runner/checkpoint.h"
 #include "runner/parallel.h"
 #include "runner/worker.h"
@@ -34,7 +38,31 @@ void accumulate(dram::BankCounters& into, const dram::BankCounters& delta) {
   into.refresh_commands += delta.refresh_commands;
   into.defense_victim_refreshes += delta.defense_victim_refreshes;
   into.bitflips_materialized += delta.bitflips_materialized;
+  into.bulk_hammer_windows += delta.bulk_hammer_windows;
+  into.hammer_dedup_hits += delta.hammer_dedup_hits;
 }
+
+/// Deterministic counter names pre-registered at campaign start, so every
+/// snapshot carries the full catalog even when a count stays zero (the CI
+/// smoke job diffs the key set). docs/OBSERVABILITY.md documents each.
+constexpr const char* kDeterministicCatalog[] = {
+    "campaign.trials",        "campaign.completed",
+    "campaign.resumed",       "campaign.quarantined",
+    "campaign.retries",       "campaign.guard_blocks",
+    "campaign.aborts",        "recovery.corrupt_rows",
+    "recovery.rolled_back_rows", "recovery.tail_truncations",
+    "recovery.header_rebuilds",  "exec.acts",
+    "exec.pres",              "exec.refs",
+    "exec.hammer_windows",    "device.acts",
+    "device.refs",            "device.victim_refreshes",
+    "device.bitflips",        "device.hammer_windows",
+    "device.dedup_hits",      "cache.lookups",
+    "faults.injected",        "faults.thermal_excursions",
+    "store.appends",          "store.append_bytes",
+    "store.fsyncs",           "store.replaces",
+    "store.reads",            "store.opens",
+    "store.truncates",        "store.removes",
+};
 
 std::string hex32(std::uint32_t value) { return util::crc32c_hex(value); }
 
@@ -267,6 +295,18 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     store = std::make_shared<fault::FaultyStore>(store, config_.faults.seed,
                                                  config_.faults.store);
   }
+  obs::MetricsRegistry* metrics = config_.metrics;
+  if (metrics != nullptr) {
+    // Instrument OUTSIDE the fault injector: injected failures still count
+    // as attempted operations. All store I/O runs on this (sequencer)
+    // thread in a jobs-independent sequence, so store.* counters are
+    // deterministic.
+    store = std::make_shared<obs::InstrumentedStore>(store, metrics);
+    for (const char* name : kDeterministicCatalog) metrics->add(name, 0);
+    metrics->add("campaign.trials",
+                 static_cast<std::uint64_t>(trials.size()));
+  }
+  obs::SpanTimer campaign_span(config_.trace, "campaign");
 
   // Campaign identity: what the manifest must match for --resume.
   Manifest expect;
@@ -286,9 +326,18 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
   Recovery rec;
   const bool have_csv = !config_.results_path.empty();
   if (config_.resume) {
+    obs::SpanTimer recover_span(config_.trace, "campaign/recover");
     rec = recover(*store, config_, header_line, disk_width, expect, report);
   }
   const auto& committed = rec.committed;
+  if (metrics != nullptr) {
+    metrics->add("recovery.corrupt_rows", report.checkpoint_corrupt_rows);
+    metrics->add("recovery.rolled_back_rows", report.checkpoint_rolled_back);
+    metrics->add("recovery.tail_truncations",
+                 report.checkpoint_tail_truncated ? 1 : 0);
+    metrics->add("recovery.header_rebuilds",
+                 report.checkpoint_header_rebuilt ? 1 : 0);
+  }
 
   if (have_csv) {
     Manifest manifest = expect;
@@ -414,6 +463,70 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
   std::vector<std::string> row;
   row.reserve(2 + width);
 
+  obs::ProgressReporter* progress = config_.progress;
+  if (progress != nullptr) {
+    progress->set_total(static_cast<std::uint64_t>(trials.size()));
+  }
+  const auto report_progress = [&] {
+    if (progress == nullptr) return;
+    progress->update(report.completed + report.resumed + report.quarantined,
+                     report.device_counters.bitflips_materialized,
+                     report.retries);
+  };
+  // Folds one committed (or fatally aborted) trial's deltas into the
+  // registry. Runs on the sequencer thread in canonical trial order, which
+  // is what makes every kDeterministic counter byte-equal across --jobs N:
+  // each delta is a pure function of (profile, trial index, fault plan,
+  // incarnation), and the accumulation order is the canonical one.
+  const auto meter_trial = [&](const TrialOutcome& out) {
+    if (config_.trace != nullptr) {
+      config_.trace->record("campaign/trial", out.wall_s);
+    }
+    if (metrics == nullptr) return;
+    metrics->add("campaign.retries", out.retries);
+    metrics->add("campaign.guard_blocks", out.guard_blocks);
+    metrics->add("exec.acts", out.exec.acts);
+    metrics->add("exec.pres", out.exec.pres);
+    metrics->add("exec.refs", out.exec.refs);
+    metrics->add("exec.hammer_windows", out.exec.bulk_hammer_windows);
+    metrics->add("device.acts", out.device.activations);
+    metrics->add("device.refs", out.device.refresh_commands);
+    metrics->add("device.victim_refreshes",
+                 out.device.defense_victim_refreshes);
+    metrics->add("device.bitflips", out.device.bitflips_materialized);
+    metrics->add("device.hammer_windows", out.device.bulk_hammer_windows);
+    metrics->add("device.dedup_hits", out.device.hammer_dedup_hits);
+    metrics->add("cache.lookups", out.cache.lookups());
+    // The hit/miss/build/eviction split depends on which worker's cache
+    // served the trial: telemetry, excluded from the fingerprint.
+    metrics->add("cache.hits", out.cache.hits, obs::MetricKind::kTelemetry);
+    metrics->add("cache.misses", out.cache.misses,
+                 obs::MetricKind::kTelemetry);
+    metrics->add("cache.builds", out.cache.builds,
+                 obs::MetricKind::kTelemetry);
+    metrics->add("cache.evictions", out.cache.evictions,
+                 obs::MetricKind::kTelemetry);
+    metrics->add("faults.injected", out.fault_delta.injected_total);
+    metrics->add("faults.thermal_excursions",
+                 out.fault_delta.thermal_excursions);
+    metrics->observe("trial.wall_s", out.wall_s);
+  };
+  // Run-level gauges (telemetry): simulated totals plus the wall clock.
+  const auto finish_observability = [&] {
+    campaign_span.stop();
+    if (metrics != nullptr) {
+      metrics->add("campaign.completed", 0);  // ensure key exists
+      metrics->set_gauge("campaign.sim_seconds", report.campaign_seconds);
+      metrics->set_gauge("campaign.guard_wait_s", report.guard_wait_s);
+      metrics->set_gauge("campaign.backoff_wait_s", report.backoff_wait_s);
+      if (config_.trace != nullptr) {
+        metrics->set_gauge("campaign.wall_s",
+                           config_.trace->span("campaign").total_s);
+      }
+    }
+    if (progress != nullptr) progress->finish();
+  };
+
   // -- Sequencer: walk the campaign in canonical order, committing each
   // trial's journal block and CSV row exactly as the serial loop did.
   for (std::size_t i = 0; i < trials.size(); ++i) {
@@ -424,6 +537,8 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
       record.status = it->second.status;
       record.cells = it->second.cells;
       ++report.resumed;
+      if (metrics != nullptr) metrics->add("campaign.resumed", 1);
+      report_progress();
       report.records.push_back(std::move(record));
       continue;
     }
@@ -452,6 +567,7 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     report.backoff_wait_s += out.backoff_wait_s;
     report.campaign_seconds += out.trial_s;
     accumulate(report.device_counters, out.device);
+    meter_trial(out);
 
     if (out.fatal) {
       report.aborted = true;
@@ -464,6 +580,8 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
       if (csv) csv->flush();
       make_durable();
       finish();
+      if (metrics != nullptr) metrics->add("campaign.aborts", 1);
+      finish_observability();
       return report;
     }
 
@@ -471,23 +589,30 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     // row (write-ahead discipline; recovery's cross-check depends on it).
     if (out.record.status == TrialStatus::kQuarantined) {
       ++report.quarantined;
+      if (metrics != nullptr) metrics->add("campaign.quarantined", 1);
     } else {
       ++report.completed;
+      if (metrics != nullptr) metrics->add("campaign.completed", 1);
     }
-    journal.flush();
-    if (csv) {
-      row.clear();
-      row.emplace_back(out.record.key);
-      row.emplace_back(to_string(out.record.status));
-      row.insert(row.end(), out.record.cells.begin(), out.record.cells.end());
-      row.resize(2 + width);  // quarantined rows: empty payload cells
-      csv->row(row);
-      csv->flush();
+    {
+      obs::SpanTimer commit_span(config_.trace, "campaign/commit");
+      journal.flush();
+      if (csv) {
+        row.clear();
+        row.emplace_back(out.record.key);
+        row.emplace_back(to_string(out.record.status));
+        row.insert(row.end(), out.record.cells.begin(),
+                   out.record.cells.end());
+        row.resize(2 + width);  // quarantined rows: empty payload cells
+        csv->row(row);
+        csv->flush();
+      }
+      if (++commits_since_sync >= config_.fsync_every_trials &&
+          config_.fsync_every_trials != 0) {
+        make_durable();
+      }
     }
-    if (++commits_since_sync >= config_.fsync_every_trials &&
-        config_.fsync_every_trials != 0) {
-      make_durable();
-    }
+    report_progress();
     report.records.push_back(std::move(out.record));
   }
 
@@ -511,6 +636,8 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
       .field("quarantined", quarantined_total);
   journal.flush();
   make_durable();
+  if (metrics != nullptr && report.aborted) metrics->add("campaign.aborts", 1);
+  finish_observability();
   return report;
 }
 

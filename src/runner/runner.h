@@ -42,6 +42,12 @@
 #include "runner/retry_policy.h"
 #include "runner/store.h"
 
+namespace hbmrd::obs {
+class MetricsRegistry;
+class ProgressReporter;
+class TraceRecorder;
+}  // namespace hbmrd::obs
+
 namespace hbmrd::runner {
 
 enum class TrialStatus {
@@ -112,6 +118,17 @@ struct RunnerConfig {
   /// value produces CSV/journal byte-identical to jobs = 1 (values < 1 are
   /// clamped to 1). See docs/PERFORMANCE.md.
   int jobs = 1;
+
+  // -- Observability (docs/OBSERVABILITY.md). All optional, owned by the
+  // caller, and strictly outside the CSV/journal artifacts: attaching any
+  // of them changes no committed byte.
+  /// Counter/gauge/histogram sink; deterministic counters accumulate in
+  /// sequencer commit order, so they are byte-equal across --jobs N.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Wall-clock span aggregates (campaign / recover / trial / commit).
+  obs::TraceRecorder* trace = nullptr;
+  /// Rate-limited live progress line (stderr by default).
+  obs::ProgressReporter* progress = nullptr;
 };
 
 struct CampaignReport {

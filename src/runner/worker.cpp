@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "runner/journal.h"
 
 namespace hbmrd::runner {
@@ -13,6 +14,29 @@ namespace {
 /// Pseudo-fault label for a guard band that never recovered in time.
 constexpr const char* kGuardTimeout = "guard-band-timeout";
 constexpr const char* kTrialTimeout = "trial-timeout";
+
+disturb::ThresholdCacheStats cache_delta(
+    const disturb::ThresholdCacheStats& now,
+    const disturb::ThresholdCacheStats& before) {
+  disturb::ThresholdCacheStats d;
+  d.hits = now.hits - before.hits;
+  d.misses = now.misses - before.misses;
+  d.builds = now.builds - before.builds;
+  d.evictions = now.evictions - before.evictions;
+  return d;
+}
+
+fault::FaultyChip::Stats fault_stats_delta(
+    const fault::FaultyChip::Stats& now,
+    const fault::FaultyChip::Stats& before) {
+  fault::FaultyChip::Stats d;
+  d.injected_total = now.injected_total - before.injected_total;
+  for (std::size_t k = 0; k < d.by_kind.size(); ++k) {
+    d.by_kind[k] = now.by_kind[k] - before.by_kind[k];
+  }
+  d.thermal_excursions = now.thermal_excursions - before.thermal_excursions;
+  return d;
+}
 
 }  // namespace
 
@@ -79,12 +103,25 @@ TrialOutcome TrialWorker::run(const CampaignRunner::Trial& trial,
   TrialOutcome out;
   out.record.key = trial.key;
   std::string* sink = journal_enabled_ ? &out.journal : nullptr;
+  const double wall_t0 = obs::monotonic_seconds();
+  const auto cache0 = chip_.threshold_cache_stats();
+  const auto faults0 = faulty_.stats();
+  // Everything this helper fills is a per-trial delta; both return paths
+  // below must go through it.
+  const auto finalize = [&] {
+    out.trial_s = chip_.rig().time_s() - trial_t0_;
+    out.device = chip_.stack().total_counters();
+    out.exec = chip_.executor_counters();
+    out.cache = cache_delta(chip_.threshold_cache_stats(), cache0);
+    out.fault_delta = fault_stats_delta(faulty_.stats(), faults0);
+    out.wall_s = obs::monotonic_seconds() - wall_t0;
+  };
 
   // Canonical session state: same rig snapshot, same power-on stack for
   // every trial, so the outcome cannot depend on execution order.
   chip_.rig() = rig0_;
   chip_.power_cycle();
-  const double trial_t0 = chip_.rig().time_s();
+  trial_t0_ = chip_.rig().time_s();
   const auto width = config_.result_columns.size();
 
   for (int attempt = 1; attempt <= config_.retry.max_attempts; ++attempt) {
@@ -135,8 +172,7 @@ TrialOutcome TrialWorker::run(const CampaignRunner::Trial& trial,
         // Not a fault: a trial-body or validation bug. Hand it to the
         // sequencer, which rethrows at this trial's commit point.
         out.error = std::current_exception();
-        out.trial_s = chip_.rig().time_s() - trial_t0;
-        out.device = chip_.stack().total_counters();
+        finalize();
         return out;
       }
     }
@@ -145,7 +181,7 @@ TrialOutcome TrialWorker::run(const CampaignRunner::Trial& trial,
       Journal::buffered(sink, "trial-ok")
           .field("trial", trial.key)
           .field("attempts", attempt)
-          .field("trial_s", chip_.rig().time_s() - trial_t0, 1);
+          .field("trial_s", chip_.rig().time_s() - trial_t0_, 1);
       break;
     }
     if (fault_cls == fault::FaultClass::kFatal) {
@@ -176,8 +212,7 @@ TrialOutcome TrialWorker::run(const CampaignRunner::Trial& trial,
         .field("attempts", out.record.attempts)
         .field("reason", out.record.quarantine_reason);
   }
-  out.trial_s = chip_.rig().time_s() - trial_t0;
-  out.device = chip_.stack().total_counters();
+  finalize();
   return out;
 }
 

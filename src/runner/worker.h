@@ -37,6 +37,20 @@ struct TrialOutcome {
   /// Device-side counters since the trial's power-on (the stack is fresh at
   /// trial start, so this is the per-trial delta).
   dram::BankCounters device;
+  /// Host-side command counts since the trial's power-on (same semantics:
+  /// the executor is rebuilt with the stack).
+  bender::ExecutorCounters exec;
+  /// Threshold-cache stats delta over this trial. lookups() is a pure
+  /// function of the trial (deterministic); the hit/miss split depends on
+  /// which worker's cache served it (telemetry).
+  disturb::ThresholdCacheStats cache;
+  /// Injected-fault stats delta over this trial (pure function of trial
+  /// index / attempt / incarnation, so commit-order accumulation is
+  /// deterministic even when a fatal abort discards in-flight trials).
+  fault::FaultyChip::Stats fault_delta;
+  /// Host wall-clock seconds the trial consumed (telemetry only; never
+  /// enters an artifact).
+  double wall_s = 0.0;
   bool fatal = false;
   std::string fatal_kind;
   /// Non-fault exception from the trial body or result validation; the
@@ -73,6 +87,7 @@ class TrialWorker {
   fault::FaultyChip faulty_;
   double setpoint_c_ = 0.0;
   double band_c_ = 0.0;
+  double trial_t0_ = 0.0;  // simulated rig time at current trial start
   bool journal_enabled_ = false;
 };
 

@@ -4,11 +4,13 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
 
 #include "bender/assembly.h"
+#include "util/parse.h"
 #include "study/ber.h"
 #include "study/hc_first.h"
 #include "study/retention.h"
@@ -39,11 +41,23 @@ constexpr const char* kHelp = R"(commands:
   quit                                   exit
 )";
 
+// Exception-free token parsing (util::parse): a malformed or out-of-range
+// operand must produce one actionable usage error, never a raw
+// invalid_argument/out_of_range escaping from std::stoi/std::stod.
 int parse_int(const std::string& token) {
-  std::size_t used = 0;
-  const int value = std::stoi(token, &used, 0);
-  if (used != token.size()) throw std::invalid_argument("bad int " + token);
-  return value;
+  const auto value = util::parse_i64(token, 0);  // base 0: 0x/0 prefixes
+  if (!value || *value < std::numeric_limits<int>::min() ||
+      *value > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("bad int '" + token +
+                                "' (decimal, 0x hex or 0 octal, int range)");
+  }
+  return static_cast<int>(*value);
+}
+
+double parse_num(const std::string& token) {
+  const auto value = util::parse_double(token);
+  if (!value) throw std::invalid_argument("bad number '" + token + "'");
+  return *value;
 }
 
 }  // namespace
@@ -148,7 +162,7 @@ bool Shell::execute(const std::string& line, std::ostream& out) {
       dram::Cycle on_cycles = 0;
       for (std::size_t i = 5; i < tokens.size(); ++i) {
         if (tokens[i].rfind("on=", 0) == 0) {
-          on_cycles = dram::ns_to_cycles(std::stod(tokens[i].substr(3)));
+          on_cycles = dram::ns_to_cycles(parse_num(tokens[i].substr(3)));
         } else {
           rows.push_back(parse_int(tokens[i]));
         }
@@ -197,11 +211,11 @@ bool Shell::execute(const std::string& line, std::ostream& out) {
       }
     } else if (cmd == "idle") {
       need(1);
-      state_->chip().idle(std::stod(tokens[1]));
+      state_->chip().idle(parse_num(tokens[1]));
       out << "ok\n";
     } else if (cmd == "refresh") {
       need(2);
-      state_->chip().idle_with_refresh(std::stod(tokens[1]),
+      state_->chip().idle_with_refresh(parse_num(tokens[1]),
                                        parse_int(tokens[2]));
       out << "ok\n";
     } else if (cmd == "temp") {

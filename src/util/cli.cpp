@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parse.h"
+
 namespace hbmrd::util {
 
 Cli::Cli(int argc, const char* const* argv) {
@@ -33,23 +35,24 @@ std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return fallback;
-  try {
-    return std::stoll(it->second);
-  } catch (const std::exception&) {
+  // Full-token parse: "12x" is rejected, where stoll would silently read 12.
+  const auto value = parse_i64(it->second);
+  if (!value) {
     throw std::invalid_argument("flag " + name + " expects an integer, got '" +
                                 it->second + "'");
   }
+  return *value;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return fallback;
-  try {
-    return std::stod(it->second);
-  } catch (const std::exception&) {
+  const auto value = parse_double(it->second);
+  if (!value) {
     throw std::invalid_argument("flag " + name + " expects a number, got '" +
                                 it->second + "'");
   }
+  return *value;
 }
 
 std::string Cli::get_string(const std::string& name,

@@ -1,0 +1,86 @@
+#include "util/parse.h"
+
+#include <charconv>
+
+namespace hbmrd::util {
+
+namespace {
+
+/// Resolves strtoull-style base auto-detection, consuming any radix prefix.
+int detect_base(std::string_view& digits, int base) {
+  if (base != 0) return base;
+  if (digits.size() >= 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    digits.remove_prefix(2);
+    return 16;
+  }
+  if (digits.size() >= 2 && digits[0] == '0') return 8;
+  return 10;
+}
+
+template <typename T>
+std::optional<T> parse_integer(std::string_view text, int base) {
+  std::string_view digits = text;
+  bool negative = false;
+  if constexpr (std::is_signed_v<T>) {
+    if (!digits.empty() && (digits[0] == '-' || digits[0] == '+')) {
+      negative = digits[0] == '-';
+      digits.remove_prefix(1);
+    }
+  }
+  base = detect_base(digits, base);
+  // from_chars itself accepts a '-' for signed types; after stripping the
+  // sign above, a second sign ("--1", "-+1") must fail here.
+  if (digits.empty() || digits[0] == '-' || digits[0] == '+') {
+    return std::nullopt;
+  }
+  // from_chars handles the sign itself only for signed types; feeding it
+  // the unsigned digit run and applying the sign here keeps one code path.
+  T magnitude{};
+  const auto* first = digits.data();
+  const auto* last = digits.data() + digits.size();
+  const auto [ptr, ec] = std::from_chars(first, last, magnitude, base);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if constexpr (std::is_signed_v<T>) {
+    if (negative) {
+      // from_chars parsed the magnitude as a positive T, so any
+      // representable negative value except T_MIN survives negation;
+      // "-9223372036854775808" is rejected (magnitude overflows above).
+      return -magnitude;
+    }
+  }
+  return magnitude;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view text, int base) {
+  return parse_integer<std::uint64_t>(text, base);
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view text, int base) {
+  return parse_integer<std::int64_t>(text, base);
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string_view digits = text;
+  bool negative = false;
+  if (digits[0] == '-' || digits[0] == '+') {
+    // from_chars accepts '-' but not '+'; normalize both here.
+    negative = digits[0] == '-';
+    digits.remove_prefix(1);
+    // A second sign ("--1") must fail: from_chars would accept '-' itself.
+    if (digits.empty() || digits[0] == '-' || digits[0] == '+') {
+      return std::nullopt;
+    }
+  }
+  double value = 0.0;
+  const auto* first = digits.data();
+  const auto* last = digits.data() + digits.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return negative ? -value : value;
+}
+
+}  // namespace hbmrd::util

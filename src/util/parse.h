@@ -1,0 +1,38 @@
+// Exception-free numeric parsing for artifact and flag text.
+//
+// Campaign artifacts (manifest cells, checkpoint rows, journal fields) are
+// parsed on the recovery path, where the input is by definition possibly
+// corrupt: a digit string can be truncated, overflowed, or replaced by
+// arbitrary bytes by the exact failures the recovery protocol exists to
+// survive. std::stoull-style parsing turns every such byte pattern into a
+// std::invalid_argument/out_of_range thrown from deep inside recovery;
+// these helpers return std::nullopt instead, so call sites must decide —
+// quarantine, truncate, reject with an actionable error — and cannot
+// accidentally let a parse abort the process.
+//
+// All helpers parse the ENTIRE token: trailing garbage ("12x", "3.5 ") is a
+// failure, not a partial success. No locale, no leading whitespace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hbmrd::util {
+
+/// Unsigned decimal (base 10) or, with base 0, auto-detected radix the way
+/// strtoull does it: "0x"/"0X" prefix = hex, leading "0" = octal, otherwise
+/// decimal. nullopt on empty input, any non-digit, or overflow.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text,
+                                                     int base = 10);
+
+/// Signed variant of parse_u64; accepts one leading '-' or '+'. With
+/// base 0 the radix prefix follows the sign ("-0x10" = -16).
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view text,
+                                                    int base = 10);
+
+/// Finite-format double ("1.5", "-3e-4", "inf", "nan"); nullopt on empty
+/// input, trailing garbage, or a value outside double's range.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+}  // namespace hbmrd::util

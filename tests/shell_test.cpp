@@ -61,6 +61,29 @@ TEST(Shell, CommentsBlanksAndErrors) {
   run_command(shell, "write 0 0 0 12junk 0", /*expect_ok=*/false);
 }
 
+TEST(Shell, MalformedOperandsAreUsageErrorsNotCrashes) {
+  Shell shell;
+  // Out-of-int-range literal: stoi used to throw a raw out_of_range here.
+  const auto huge = run_command(shell, "chip 99999999999999999999",
+                                /*expect_ok=*/false);
+  EXPECT_NE(huge.find("error: bad int"), std::string::npos) << huge;
+  run_command(shell, "write 0 0 0 123 999999999999999999999",
+              /*expect_ok=*/false);
+  // Malformed floating-point operands.
+  const auto bad_idle = run_command(shell, "idle forever",
+                                    /*expect_ok=*/false);
+  EXPECT_NE(bad_idle.find("error: bad number"), std::string::npos)
+      << bad_idle;
+  run_command(shell, "refresh 1.5x 0", /*expect_ok=*/false);
+  run_command(shell, "hammer 0 0 0 100 64 on=soon", /*expect_ok=*/false);
+  // Hex operands keep working (base-0 parsing).
+  EXPECT_NE(run_command(shell, "write 0 0 0 123 0x5A").find("ok"),
+            std::string::npos);
+  // The shell is still usable after every error above.
+  EXPECT_NE(run_command(shell, "read 0 0 0 123 0x5A").find("0 bitflips"),
+            std::string::npos);
+}
+
 TEST(Shell, RunLoopStopsAtQuit) {
   Shell shell;
   std::istringstream in("chips\nquit\nnever-reached\n");

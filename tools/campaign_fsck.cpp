@@ -1,39 +1,53 @@
 // campaign_fsck: verify (and optionally repair) campaign artifacts.
 //
 //   campaign_fsck --results sweep.csv [--journal sweep.jsonl] [--repair]
+//                 [--metrics-out metrics.json]
 //
 // Exit status: 0 = clean, 1 = issues found (repaired if --repair), 2 =
-// fatal (not a campaign checkpoint / unreadable). See src/runner/fsck.h
-// for the checks; docs/RESILIENCE.md for the recovery model.
+// fatal (not a campaign checkpoint / unreadable / usage error). See
+// src/runner/fsck.h for the checks; docs/RESILIENCE.md for the recovery
+// model and docs/OBSERVABILITY.md for the metrics snapshot.
 #include <cstdio>
+#include <exception>
 
+#include "obs/metrics.h"
 #include "runner/fsck.h"
 #include "util/cli.h"
+#include "util/store.h"
 
 namespace {
 
 constexpr const char* kHelp =
     "usage: campaign_fsck --results <csv> [--journal <jsonl>] [--repair]\n"
+    "                     [--metrics-out <json>]\n"
     "\n"
     "Verifies a campaign checkpoint the way --resume would: CRC-trailed\n"
     "rows, CRC-trailed journal lines, manifest digests, and the\n"
     "cross-replay between checkpoint and journal. With --repair, rewrites\n"
     "the artifacts down to the verified state (untrusted rows move to\n"
-    "<csv>.quarantine; nothing is deleted).\n";
+    "<csv>.quarantine; nothing is deleted). --metrics-out writes the\n"
+    "fsck.* counters as a JSON metrics snapshot.\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const hbmrd::util::Cli cli(argc, argv);
-  if (cli.has("--help") || !cli.has("--results")) {
-    std::fputs(kHelp, cli.has("--help") ? stdout : stderr);
-    return cli.has("--help") ? 0 : 2;
-  }
-
   hbmrd::runner::FsckOptions options;
-  options.results_path = cli.get_string("--results", "");
-  options.journal_path = cli.get_string("--journal", "");
-  options.repair = cli.has("--repair");
+  std::string metrics_out;
+  try {
+    const hbmrd::util::Cli cli(argc, argv);
+    if (cli.has("--help") || !cli.has("--results")) {
+      std::fputs(kHelp, cli.has("--help") ? stdout : stderr);
+      return cli.has("--help") ? 0 : 2;
+    }
+    options.results_path = cli.get_string("--results", "");
+    options.journal_path = cli.get_string("--journal", "");
+    options.repair = cli.has("--repair");
+    metrics_out = cli.get_string("--metrics-out", "");
+  } catch (const std::exception& error) {
+    // A malformed flag is a usage error, not a crash.
+    std::fprintf(stderr, "campaign_fsck: %s\n%s", error.what(), kHelp);
+    return 2;
+  }
 
   hbmrd::runner::FsckReport report;
   try {
@@ -54,6 +68,25 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.journal_lines),
       static_cast<unsigned long long>(report.trusted_rows),
       report.issues.size(), report.repaired ? " [repaired]" : "");
+
+  if (!metrics_out.empty()) {
+    hbmrd::obs::MetricsRegistry metrics;
+    metrics.add("fsck.checkpoint_rows", report.checkpoint_rows);
+    metrics.add("fsck.journal_lines", report.journal_lines);
+    metrics.add("fsck.trusted_rows", report.trusted_rows);
+    metrics.add("fsck.issues", report.issues.size());
+    metrics.add("fsck.fatal", report.fatal ? 1 : 0);
+    metrics.add("fsck.repaired", report.repaired ? 1 : 0);
+    try {
+      metrics.write_snapshot(*hbmrd::util::default_store(), metrics_out,
+                             nullptr);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "campaign_fsck: cannot write %s: %s\n",
+                   metrics_out.c_str(), error.what());
+      return 2;
+    }
+  }
+
   if (report.fatal) return 2;
   return report.clean() ? 0 : 1;
 }

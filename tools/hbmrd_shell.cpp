@@ -5,9 +5,16 @@
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
-  const hbmrd::util::Cli cli(argc, argv);
-  hbmrd::shell::Shell shell(static_cast<std::uint64_t>(cli.get_int(
-      "--seed",
-      static_cast<std::int64_t>(hbmrd::dram::kDefaultPlatformSeed))));
+  std::uint64_t seed = hbmrd::dram::kDefaultPlatformSeed;
+  try {
+    const hbmrd::util::Cli cli(argc, argv);
+    seed = static_cast<std::uint64_t>(
+        cli.get_int("--seed", static_cast<std::int64_t>(seed)));
+  } catch (const std::exception& error) {
+    // A malformed flag is a usage error, not a crash.
+    std::cerr << "hbmrd_shell: " << error.what() << "\n";
+    return 2;
+  }
+  hbmrd::shell::Shell shell(seed);
   return shell.run(std::cin, std::cout) == 0 ? 0 : 1;
 }
