@@ -88,14 +88,15 @@ int main(int argc, char** argv) {
   };
 
   std::vector<runner::CampaignRunner::Trial> trials;
+  study::HcSearchConfig hc_config;
+  hc_config.incremental = !ctx.cli().has("--hc-scratch");
   for (int row : study::spread_rows(n_rows)) {
     trials.push_back(
         {"hcfirst:row" + std::to_string(row),
-         [&map, row](bender::ChipSession& session)
+         [&map, row, hc_config](bender::ChipSession& session)
              -> std::vector<std::string> {
-           study::HcSearchConfig config;
            const auto hc = study::find_hc_first(session, map,
-                                                {{0, 0, 0}, row}, config);
+                                                {{0, 0, 0}, row}, hc_config);
            return {hc ? std::to_string(*hc) : ""};
          }});
   }

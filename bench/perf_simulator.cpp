@@ -116,10 +116,13 @@ void BM_RowSummaryBuild(benchmark::State& state) {
 BENCHMARK(BM_RowSummaryBuild);
 
 void BM_HcFirstSearch(benchmark::State& state) {
+  // Arg 0 = from-scratch reference path, arg 1 = checkpointed incremental
+  // engine; both produce identical HC values (study_hc_incremental_test).
   bender::Platform platform;
   auto& chip = platform.chip(2);
   const auto map = study::AddressMap::from_scheme(chip.profile().mapping);
   study::HcSearchConfig hc_config;
+  hc_config.incremental = state.range(0) != 0;
   int row = 4000;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -127,7 +130,7 @@ void BM_HcFirstSearch(benchmark::State& state) {
     row += 7;  // fresh rows so caching cannot flatter the number
   }
 }
-BENCHMARK(BM_HcFirstSearch);
+BENCHMARK(BM_HcFirstSearch)->Arg(0)->Arg(1)->ArgName("incremental");
 
 void BM_ParallelCampaign(benchmark::State& state) {
   // End-to-end campaign through the sharded runner at a given --jobs

@@ -45,6 +45,16 @@ Executor::BankSchedule& Executor::sched(const dram::BankAddress& bank) {
   return bank_sched_[index];
 }
 
+const Executor::BankSchedule& Executor::sched(
+    const dram::BankAddress& bank) const {
+  return const_cast<Executor*>(this)->sched(bank);
+}
+
+dram::Cycle Executor::act_backlog(const dram::BankAddress& bank) const {
+  const BankSchedule& b = sched(bank);
+  return b.act_ok > clock_ ? b.act_ok - clock_ : 0;
+}
+
 void Executor::exec_act(const ActInstr& instr) {
   ++counters_.acts;
   BankSchedule& b = sched(instr.bank);

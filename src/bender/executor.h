@@ -55,6 +55,15 @@ struct ExecutionResult {
 };
 
 class Executor {
+ private:
+  struct BankSchedule {
+    bool open = false;
+    dram::Cycle act_ok = 0;    // earliest next ACT
+    dram::Cycle pre_ok = 0;    // earliest next PRE (tRAS)
+    dram::Cycle rdwr_ok = 0;   // earliest next RD/WR (tRCD)
+    dram::Cycle last_act = 0;
+  };
+
  public:
   explicit Executor(dram::Stack* stack);
 
@@ -69,16 +78,38 @@ class Executor {
 
   [[nodiscard]] const ExecutorCounters& counters() const { return counters_; }
 
- private:
-  struct BankSchedule {
-    bool open = false;
-    dram::Cycle act_ok = 0;    // earliest next ACT
-    dram::Cycle pre_ok = 0;    // earliest next PRE (tRAS)
-    dram::Cycle rdwr_ok = 0;   // earliest next RD/WR (tRCD)
-    dram::Cycle last_act = 0;
+  /// Opaque scheduler snapshot for the device checkpoint layer: the clock
+  /// and every bank's timing window. Counters are not part of it (they
+  /// count represented work, which is monotone even across restores).
+  class Snapshot {
+    friend class Executor;
+    dram::Cycle clock = 0;
+    std::vector<BankSchedule> bank_sched;
+    std::vector<dram::Cycle> channel_ref_ok;
   };
 
+  [[nodiscard]] Snapshot checkpoint_state() const {
+    Snapshot s;
+    s.clock = clock_;
+    s.bank_sched = bank_sched_;
+    s.channel_ref_ok = channel_ref_ok_;
+    return s;
+  }
+
+  void restore_state(const Snapshot& s) {
+    clock_ = s.clock;
+    bank_sched_ = s.bank_sched;
+    channel_ref_ok_ = s.channel_ref_ok;
+  }
+
+  /// Cycles the next ACT to `bank` must still wait at the current clock
+  /// (the command-context backlog left by whatever ran before); 0 when the
+  /// bank is immediately activatable.
+  [[nodiscard]] dram::Cycle act_backlog(const dram::BankAddress& bank) const;
+
+ private:
   BankSchedule& sched(const dram::BankAddress& bank);
+  [[nodiscard]] const BankSchedule& sched(const dram::BankAddress& bank) const;
 
   void exec_act(const ActInstr& instr);
   void exec_pre(const PreInstr& instr);

@@ -60,11 +60,58 @@ void HbmChip::power_cycle() {
   // The stack reboots into its deterministic power-on state (the same
   // "silicon lottery" as at construction); the executor's clock and bank
   // schedule restart with it. The rig is untouched: heater, fan, and chip
-  // temperature do not care about the board's power rail.
+  // temperature do not care about the board's power rail. Checkpoints die
+  // with the stack, and any probe accounting ends with the session.
   stack_ = std::make_unique<dram::Stack>(stack_config());
   executor_ = Executor(stack_.get());
   thermal_synced_at_ = 0;
+  exec_checkpoints_.clear();
+  probe_accounting_ = false;
   stack_->set_temperature(pinned_c_ ? *pinned_c_ : rig_.temperature_c());
+}
+
+std::size_t HbmChip::checkpoint() {
+  const std::size_t id = stack_->push_checkpoint();
+  if (id != exec_checkpoints_.size()) {
+    throw std::logic_error("checkpoint: executor ladder out of lockstep");
+  }
+  exec_checkpoints_.push_back(executor_.checkpoint_state());
+  return id;
+}
+
+void HbmChip::restore(std::size_t id) {
+  if (id >= exec_checkpoints_.size()) {
+    throw std::out_of_range(
+        "restore: unknown checkpoint (discarded or lost to a power cycle)");
+  }
+  stack_->restore_checkpoint(id);
+  executor_.restore_state(exec_checkpoints_[id]);
+  exec_checkpoints_.resize(id + 1);
+  // The rig never rewinds (real time is monotone); re-anchor the sync point
+  // so the rewound device clock is not charged as negative elapsed time.
+  thermal_synced_at_ = executor_.now();
+}
+
+void HbmChip::discard_checkpoints() {
+  stack_->discard_checkpoints();
+  exec_checkpoints_.clear();
+}
+
+void HbmChip::begin_probe_accounting() {
+  sync_thermal();
+  probe_accounting_ = true;
+}
+
+void HbmChip::account_thermal_cycles(dram::Cycle cycles) {
+  if (cycles == 0) return;
+  rig_.advance(dram::cycles_to_seconds(cycles));
+  thermal_synced_at_ = executor_.now();
+  stack_->set_temperature(pinned_c_ ? *pinned_c_ : rig_.temperature_c());
+}
+
+void HbmChip::end_probe_accounting() {
+  probe_accounting_ = false;
+  thermal_synced_at_ = executor_.now();
 }
 
 void HbmChip::pin_temperature(std::optional<double> celsius) {
@@ -74,7 +121,14 @@ void HbmChip::pin_temperature(std::optional<double> celsius) {
 
 ExecutionResult HbmChip::run(const Program& program) {
   auto result = executor_.run(program);
-  sync_thermal();
+  if (probe_accounting_) {
+    // The probe engine replays the legacy-equivalent duration itself via
+    // account_thermal_cycles(); charging the device time here as well
+    // would advance the rig twice for replayed hammer windows.
+    thermal_synced_at_ = executor_.now();
+  } else {
+    sync_thermal();
+  }
   return result;
 }
 

@@ -52,6 +52,27 @@ class HbmChip : public ChipSession {
     return pinned_c_;
   }
 
+  // -- Device-state checkpoints (see ChipSession) ---------------------------
+  // The stack's copy-on-write dose checkpoints paired with a scheduler
+  // snapshot; power_cycle() invalidates the whole ladder (the stack is
+  // rebuilt), so restore() after a power cycle throws.
+
+  [[nodiscard]] bool supports_checkpoints() const override {
+    return stack_->checkpoint_supported();
+  }
+  std::size_t checkpoint() override;
+  void restore(std::size_t id) override;
+  void discard_checkpoints() override;
+
+  void begin_probe_accounting() override;
+  void account_thermal_cycles(dram::Cycle cycles) override;
+  void end_probe_accounting() override;
+
+  [[nodiscard]] dram::Cycle act_backlog(const dram::BankAddress& bank)
+      override {
+    return executor_.act_backlog(bank);
+  }
+
   // -- Backdoors for tests and diagnostics (not part of the host protocol) --
 
   [[nodiscard]] dram::Stack& stack() override { return *stack_; }
@@ -84,6 +105,11 @@ class HbmChip : public ChipSession {
   Executor executor_;
   dram::Cycle thermal_synced_at_ = 0;
   std::optional<double> pinned_c_;
+  /// Scheduler snapshots in lockstep with the stack's checkpoint ladder.
+  std::vector<Executor::Snapshot> exec_checkpoints_;
+  /// While set, run() defers the thermal-rig advance to
+  /// account_thermal_cycles() (see ChipSession::begin_probe_accounting).
+  bool probe_accounting_ = false;
 };
 
 /// All six boards of the testbed (Table 3).

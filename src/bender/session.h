@@ -9,6 +9,7 @@
 // knowing — the study layer is written against ChipSession only.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
@@ -18,6 +19,20 @@
 #include "dram/stack.h"
 
 namespace hbmrd::bender {
+
+/// Deterministic probe-engine counters, one set per session. Filled by the
+/// incremental HC search engine (src/study/ber_probe.*) and surfaced as the
+/// study.* campaign metrics (docs/OBSERVABILITY.md): pure functions of the
+/// executed searches, byte-equal across --jobs N.
+struct ProbeCounters {
+  /// Hammer-count probes measured on the device (memoized repeats excluded).
+  std::uint64_t hc_probes = 0;
+  /// Aggressor activations actually simulated by probes.
+  std::uint64_t hammers_replayed = 0;
+  /// Aggressor activations a from-scratch probe would have replayed but a
+  /// checkpoint restore skipped.
+  std::uint64_t hammers_saved = 0;
+};
 
 class ChipSession {
  public:
@@ -39,6 +54,45 @@ class ChipSession {
   /// stack() to the real device.
   [[nodiscard]] virtual dram::Stack& stack() = 0;
 
+  // -- Device-state checkpoints (incremental-dose probe engine) -------------
+  // Default implementations describe a session without checkpoint support;
+  // HbmChip overrides them (and FaultyChip forwards, so faults stay
+  // transparent to the probe engine).
+
+  /// True when checkpoint()/restore() are usable on this session.
+  [[nodiscard]] virtual bool supports_checkpoints() const { return false; }
+
+  /// Captures the device state (copy-on-write) and returns a checkpoint id.
+  virtual std::size_t checkpoint();
+
+  /// Rewinds the device to checkpoint `id` (discarding younger ones; `id`
+  /// stays valid). Throws after a power cycle: checkpoints do not survive
+  /// the stack rebuild.
+  virtual void restore(std::size_t id);
+
+  /// Forgets all checkpoints without changing the current state.
+  virtual void discard_checkpoints() {}
+
+  /// Probe-duration accounting: between begin and end, run() defers the
+  /// thermal-rig advance and the caller replays the legacy-equivalent
+  /// duration through account_thermal_cycles(), so checkpoint replays do
+  /// not double-charge wall-clock time. No-ops without checkpoint support.
+  virtual void begin_probe_accounting() {}
+  virtual void account_thermal_cycles(dram::Cycle cycles) { (void)cycles; }
+  virtual void end_probe_accounting() {}
+
+  /// Cycles the next ACT to `bank` would still wait at the current clock.
+  [[nodiscard]] virtual dram::Cycle act_backlog(const dram::BankAddress& bank) {
+    (void)bank;
+    return 0;
+  }
+
+  /// The session's probe-engine counters (see ProbeCounters).
+  [[nodiscard]] ProbeCounters& probe_counters() { return probe_counters_; }
+  [[nodiscard]] const ProbeCounters& probe_counters() const {
+    return probe_counters_;
+  }
+
   // -- SoftMC-style convenience wrappers (each runs a small program) --------
   // Implemented on run()/stack() so that session-layer faults apply to all
   // of them uniformly.
@@ -56,6 +110,9 @@ class ChipSession {
 
   /// ECC mode register (disabled for characterization, Sec. 3.1).
   void set_ecc_enabled(bool on);
+
+ private:
+  ProbeCounters probe_counters_;
 };
 
 }  // namespace hbmrd::bender

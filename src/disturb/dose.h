@@ -21,39 +21,51 @@ struct DoseEpoch {
   /// Content-version of the aggressor when this epoch was opened; used to
   /// merge consecutive activations with unchanged aggressor data.
   std::uint64_t aggressor_version = 0;
-  /// Accumulated dose, in equivalent minimum-on-time activations (already
-  /// includes the tAggON and temperature factors, but *not* the per-bit
-  /// coupling or the distance factor, which are applied at sense time).
-  double dose = 0.0;
+  /// Per-activation dose, in equivalent minimum-on-time activations
+  /// (already includes the tAggON and temperature factors, but *not* the
+  /// per-bit coupling or the distance factor, which are applied at sense
+  /// time).
+  double unit = 0.0;
+  /// Number of activations accumulated at that unit dose. Keeping the
+  /// (unit, count) factorization instead of a pre-multiplied double makes
+  /// dose accumulation associative: hammering a row in two windows of
+  /// n and m activations yields bit-for-bit the same epoch as one window
+  /// of n + m, which the checkpointed incremental HC search relies on.
+  std::uint64_t count = 0;
   /// Aggressor contents during these activations.
   dram::RowBits aggressor_bits;
+
+  [[nodiscard]] double dose() const {
+    return unit * static_cast<double>(count);
+  }
 };
 
 /// The dose epochs of one victim row. Appends merge with the previous epoch
-/// when the (distance, aggressor version) pair is unchanged — the common
-/// case during hammering.
+/// when the (distance, aggressor version, unit dose) triple is unchanged —
+/// the common case during hammering.
 class DoseLedger {
  public:
   void add(int distance, std::uint64_t aggressor_version,
-           const dram::RowBits& aggressor_bits, double dose) {
+           const dram::RowBits& aggressor_bits, double unit,
+           std::uint64_t count = 1) {
     if (!epochs_.empty()) {
       auto& last = epochs_.back();
       if (last.distance == distance &&
-          last.aggressor_version == aggressor_version) {
-        last.dose += dose;
+          last.aggressor_version == aggressor_version && last.unit == unit) {
+        last.count += count;
         return;
       }
     }
-    // A new epoch for the same (distance, version) that is not the most
-    // recent one can still merge: scan backwards (lists stay tiny).
+    // A new epoch for the same (distance, version, unit) that is not the
+    // most recent one can still merge: scan backwards (lists stay tiny).
     for (auto it = epochs_.rbegin(); it != epochs_.rend(); ++it) {
       if (it->distance == distance &&
-          it->aggressor_version == aggressor_version) {
-        it->dose += dose;
+          it->aggressor_version == aggressor_version && it->unit == unit) {
+        it->count += count;
         return;
       }
     }
-    epochs_.push_back(DoseEpoch{distance, aggressor_version, dose,
+    epochs_.push_back(DoseEpoch{distance, aggressor_version, unit, count,
                                 aggressor_bits});
   }
 
@@ -68,7 +80,7 @@ class DoseLedger {
   [[nodiscard]] double adjacent_dose() const {
     double total = 0.0;
     for (const auto& e : epochs_) {
-      if (e.distance == 1 || e.distance == -1) total += e.dose;
+      if (e.distance == 1 || e.distance == -1) total += e.dose();
     }
     return total;
   }

@@ -58,18 +58,90 @@ Bank::RowState& Bank::state(int physical_row, Cycle now) {
           fault_->power_on_word(address_, physical_row, w);
     }
     rs.last_restore = now;
+    if (!layers_.empty()) {
+      // The row had no state at push time: record an erase pre-image.
+      layers_.back().pre.emplace(physical_row, std::nullopt);
+      rs.cow_epoch = cow_epoch_;
+    }
+  } else {
+    cow_touch(physical_row, it->second);
   }
   return it->second;
 }
 
 Bank::RowState* Bank::find_state(int physical_row) {
   const auto it = rows_.find(physical_row);
-  return it == rows_.end() ? nullptr : &it->second;
+  if (it == rows_.end()) return nullptr;
+  cow_touch(physical_row, it->second);
+  return &it->second;
 }
 
 const disturb::DoseLedger* Bank::ledger(int physical_row) const {
   const auto it = rows_.find(physical_row);
   return it == rows_.end() ? nullptr : &it->second.ledger;
+}
+
+std::size_t Bank::push_checkpoint() {
+  if (open_row_) {
+    throw std::logic_error("push_checkpoint: bank must be precharged");
+  }
+  if (defense_ && !defense_->checkpointable()) {
+    throw std::logic_error(
+        "push_checkpoint: attached defense is not checkpointable");
+  }
+  layers_.push_back(CheckpointLayer{
+      {}, refresh_pointer_, checker_, defense_ ? defense_->clone() : nullptr});
+  ++cow_epoch_;  // invalidate all cow tags: pre-images go to the new layer
+  return layers_.size() - 1;
+}
+
+void Bank::restore_checkpoint(std::size_t index) {
+  if (index >= layers_.size()) {
+    throw std::out_of_range("restore_checkpoint: no such checkpoint");
+  }
+  // Apply pre-images newest layer first; older layers overwrite, so every
+  // row lands on its value as of the target push.
+  for (std::size_t j = layers_.size(); j-- > index;) {
+    for (auto& [row, pre] : layers_[j].pre) {
+      if (pre) {
+        if (pre->min_retention_ref_s < 0) {
+          // The retention floor is a pure function of the row's fixed cell
+          // parameters, so a value computed after the push is still valid
+          // before it — keep it instead of rescanning 8K cells per probe.
+          if (const auto it = rows_.find(row); it != rows_.end()) {
+            pre->min_retention_ref_s = it->second.min_retention_ref_s;
+          }
+        }
+        rows_.insert_or_assign(row, std::move(*pre));
+      } else {
+        rows_.erase(row);
+      }
+    }
+  }
+  const CheckpointLayer& target = layers_[index];
+  refresh_pointer_ = target.refresh_pointer;
+  checker_ = target.checker;
+  open_row_.reset();  // push requires a precharged bank
+  if (target.defense) {
+    // Clone again so the layer stays restorable a second time.
+    defense_ = target.defense->clone();
+  }
+  // The target layer stays on the ladder, now collecting fresh pre-images;
+  // counters_ deliberately keeps counting (represented work is monotone).
+  layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+                layers_.end());
+  layers_.back().pre.clear();
+  ++cow_epoch_;
+}
+
+void Bank::discard_checkpoints() { layers_.clear(); }
+
+void Bank::drop_row_states() {
+  if (!layers_.empty()) {
+    throw std::logic_error(
+        "drop_row_states: checkpoints active (pre-images would dangle)");
+  }
+  rows_.clear();
 }
 
 int Bank::open_row() const {
@@ -108,7 +180,7 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
     // Upper bound of any cell's effective dose: full coupling, intra bonus.
     const double max_coupling = 1.0 + fault_->params().coupling_intra_bonus;
     for (const auto& e : row.ledger.epochs()) {
-      max_dose += e.dose * fault_->distance_factor(e.distance);
+      max_dose += e.dose() * fault_->distance_factor(e.distance);
     }
     max_dose *= max_coupling * temp_vuln;
     // Cheapest deterministic early-out: below the chip-wide threshold
@@ -279,7 +351,7 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
           const bool intra_differs = (left != value) || (right != value);
           double dose = 0.0;
           for (const auto& e : epochs) {
-            dose += e.dose * fault_->distance_factor(e.distance) *
+            dose += e.dose() * fault_->distance_factor(e.distance) *
                     fault_->coupling(value, e.aggressor_bits.get(bit),
                                      intra_differs);
           }
@@ -328,7 +400,7 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
           const bool intra_differs = (left != value) || (right != value);
           double dose = 0.0;
           for (const auto& e : epochs) {
-            dose += e.dose * fault_->distance_factor(e.distance) *
+            dose += e.dose() * fault_->distance_factor(e.distance) *
                     fault_->coupling(value, e.aggressor_bits.get(bit),
                                      intra_differs);
           }
@@ -609,13 +681,12 @@ Cycle Bank::bulk_hammer(std::span<const HammerStep> steps,
   // bit for bit.
   for (std::size_t k = 0; k < steps.size(); ++k) {
     const HammeredRow& hr = rows_hit[row_of_step[k]];
-    const double dose = fault_->taggon_factor(steps[k].on_cycles) *
-                        static_cast<double>(iterations);
+    const double unit = fault_->taggon_factor(steps[k].on_cycles);
     for (std::size_t di = 0; di < 4; ++di) {
       RowState* victim = hr.victims[di];
       if (victim == nullptr) continue;
       victim->ledger.add(-kDistances[di], hr.state->version, hr.state->bits,
-                         dose);
+                         unit, iterations);
     }
     if (defense_) {
       defense_->on_activate_bulk(hr.row, iterations, end);

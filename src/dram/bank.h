@@ -105,6 +105,37 @@ class Bank {
   }
   [[nodiscard]] ReadDisturbDefense* defense() { return defense_.get(); }
 
+  // -- Dose checkpoints (copy-on-write) --------------------------------------
+  //
+  // A checkpoint captures the bank's device-visible state — row contents,
+  // dose ledgers, retention clocks, refresh pointer, timing-checker state,
+  // and a clone of the defense tracker — lazily: pushing a layer records
+  // nothing, and the pre-image of a row is copied the first time it is
+  // touched afterwards. Cost is O(rows touched since the push), never
+  // O(rows per bank). Used by the incremental HC search engine
+  // (src/study/ber_probe.*) to rewind a hammered row to a lower dose.
+
+  /// Opens a new checkpoint layer and returns its index. The bank must be
+  /// precharged and its defense (if any) checkpointable.
+  std::size_t push_checkpoint();
+
+  /// Rewinds the bank to the state captured by checkpoint `index` and
+  /// discards all younger checkpoints; `index` itself stays valid (it can
+  /// be restored again).
+  void restore_checkpoint(std::size_t index);
+
+  /// Forgets all checkpoints without changing the current state.
+  void discard_checkpoints();
+
+  [[nodiscard]] std::size_t checkpoint_depth() const {
+    return layers_.size();
+  }
+
+  /// False when the attached defense cannot be cloned (push would throw).
+  [[nodiscard]] bool checkpoint_supported() const {
+    return !defense_ || defense_->checkpointable();
+  }
+
   // -- Introspection / simulator-only helpers -------------------------------
 
   [[nodiscard]] bool is_open() const { return open_row_.has_value(); }
@@ -112,8 +143,9 @@ class Bank {
   [[nodiscard]] int refresh_pointer() const { return refresh_pointer_; }
 
   /// Drops all per-row simulator state (contents revert to power-on).
-  /// Memory-reclaim hook for long sweeps; not a DRAM operation.
-  void drop_row_states() { rows_.clear(); }
+  /// Memory-reclaim hook for long sweeps; not a DRAM operation. Illegal
+  /// while checkpoints are active (the pre-images would dangle).
+  void drop_row_states();
 
   /// Number of rows currently carrying state.
   [[nodiscard]] std::size_t touched_rows() const { return rows_.size(); }
@@ -134,10 +166,31 @@ class Bank {
     /// temperature (seconds); < 0 = not yet computed. Senses skip the
     /// retention scan entirely while the unrefreshed time stays below it.
     double min_retention_ref_s = -1.0;
+    /// Copy-on-write generation whose top layer already holds this row's
+    /// pre-image (0 = none); see cow_touch().
+    std::uint64_t cow_epoch = 0;
+  };
+
+  /// One checkpoint: lazily collected row pre-images (nullopt = the row had
+  /// no state at push time) plus the bank scalars captured eagerly.
+  struct CheckpointLayer {
+    std::unordered_map<int, std::optional<RowState>> pre;
+    int refresh_pointer = 0;
+    BankTimingChecker checker;
+    std::unique_ptr<ReadDisturbDefense> defense;  // clone; null if none
   };
 
   RowState& state(int physical_row, Cycle now);
   [[nodiscard]] RowState* find_state(int physical_row);
+
+  /// Records `rs`'s pre-image into the top checkpoint layer if it has not
+  /// been recorded since the layer became top. Called from every state
+  /// lookup, so each mutation site is covered by construction.
+  void cow_touch(int physical_row, RowState& rs) {
+    if (layers_.empty() || rs.cow_epoch == cow_epoch_) return;
+    layers_.back().pre.emplace(physical_row, rs);
+    rs.cow_epoch = cow_epoch_;
+  }
 
   /// Sense: applies retention decay and disturbance flips to the stored
   /// bits, then clears the dose ledger and resets the retention clock.
@@ -162,6 +215,11 @@ class Bank {
   std::optional<int> open_row_;
   int refresh_pointer_ = 0;
   std::unordered_map<int, RowState> rows_;
+  /// Active checkpoint ladder (oldest first) and the generation counter
+  /// that invalidates RowState::cow_epoch tags; bumped on every push and
+  /// restore so stale tags never suppress a needed pre-image copy.
+  std::vector<CheckpointLayer> layers_;
+  std::uint64_t cow_epoch_ = 0;
   std::unique_ptr<ReadDisturbDefense> defense_;
   BankCounters counters_;
   disturb::BankThresholdCache* threshold_cache_ = nullptr;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dram/timing.h"
@@ -14,6 +15,17 @@ namespace hbmrd::dram {
 class ReadDisturbDefense {
  public:
   virtual ~ReadDisturbDefense() = default;
+
+  /// True when clone() returns a faithful deep copy of the tracker state.
+  /// The device checkpoint layer (Bank::push_checkpoint) refuses to
+  /// checkpoint a bank whose defense cannot be cloned, so sessions with
+  /// such defenses fall back to the from-scratch measurement path.
+  [[nodiscard]] virtual bool checkpointable() const { return false; }
+
+  /// Deep copy of the defense state, or null when unsupported.
+  [[nodiscard]] virtual std::unique_ptr<ReadDisturbDefense> clone() const {
+    return nullptr;
+  }
 
   /// Called on every ACT to this bank (physical row index).
   virtual void on_activate(int physical_row, Cycle now) = 0;

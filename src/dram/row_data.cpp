@@ -26,6 +26,9 @@ int RowBits::count_diff(const RowBits& other) const {
 
 std::vector<int> RowBits::diff_positions(const RowBits& other) const {
   std::vector<int> positions;
+  // One popcount pass sizes the allocation exactly; flip-heavy senses
+  // otherwise pay log2(flips) reallocations while extracting positions.
+  positions.reserve(static_cast<std::size_t>(count_diff(other)));
   for (int w = 0; w < kWords; ++w) {
     std::uint64_t diff = words_[static_cast<std::size_t>(w)] ^
                          other.words_[static_cast<std::size_t>(w)];

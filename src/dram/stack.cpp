@@ -166,6 +166,52 @@ BankCounters Stack::total_counters() const {
   return totals;
 }
 
+std::size_t Stack::push_checkpoint() {
+  if (mode_registers_.ecc_enabled()) {
+    throw std::logic_error(
+        "push_checkpoint: ECC parity is not checkpointed; disable ECC first");
+  }
+  for (auto& bank : banks_) {
+    if (bank.is_open()) {
+      throw std::logic_error("push_checkpoint: all banks must be precharged");
+    }
+  }
+  const std::size_t index = checkpoint_modes_.size();
+  for (auto& bank : banks_) {
+    const std::size_t got = bank.push_checkpoint();
+    if (got != index) {
+      throw std::logic_error("push_checkpoint: bank ladder out of lockstep");
+    }
+  }
+  checkpoint_modes_.push_back(mode_registers_);
+  return index;
+}
+
+void Stack::restore_checkpoint(std::size_t index) {
+  if (index >= checkpoint_modes_.size()) {
+    throw std::out_of_range("restore_checkpoint: no such checkpoint");
+  }
+  for (auto& bank : banks_) {
+    bank.restore_checkpoint(index);
+  }
+  mode_registers_ = checkpoint_modes_[index];
+  checkpoint_modes_.resize(index + 1);
+}
+
+void Stack::discard_checkpoints() {
+  for (auto& bank : banks_) {
+    bank.discard_checkpoints();
+  }
+  checkpoint_modes_.clear();
+}
+
+bool Stack::checkpoint_supported() const {
+  for (const auto& bank : banks_) {
+    if (!bank.checkpoint_supported()) return false;
+  }
+  return true;
+}
+
 void Stack::drop_row_states(const BankAddress& address) {
   bank(address).drop_row_states();
   // Drop the matching parity as well so a later ECC read does not decode

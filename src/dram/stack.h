@@ -72,6 +72,27 @@ class Stack {
                     std::span<const HammerStep> logical_steps,
                     std::uint64_t iterations, Cycle start);
 
+  // -- Dose checkpoints (copy-on-write; see Bank) ----------------------------
+
+  /// Opens one checkpoint layer on every bank (lockstep) and snapshots the
+  /// mode registers; returns the checkpoint index. Requires ECC disabled
+  /// (parity is not checkpointed) and every bank precharged.
+  std::size_t push_checkpoint();
+
+  /// Rewinds every bank and the mode registers to checkpoint `index`;
+  /// younger checkpoints are discarded, `index` stays restorable.
+  void restore_checkpoint(std::size_t index);
+
+  /// Forgets all checkpoints without changing the current state.
+  void discard_checkpoints();
+
+  [[nodiscard]] std::size_t checkpoint_depth() const {
+    return checkpoint_modes_.size();
+  }
+
+  /// False when any bank's defense cannot be cloned.
+  [[nodiscard]] bool checkpoint_supported() const;
+
   // -- Environment -----------------------------------------------------------
 
   void set_temperature(double celsius) { env_.temperature_c = celsius; }
@@ -105,6 +126,9 @@ class Stack {
   Environment env_;
   ModeRegisters mode_registers_;
   std::vector<Bank> banks_;
+  /// Mode-register snapshots, one per active checkpoint (bank layers are
+  /// kept in lockstep, so this doubles as the ladder depth).
+  std::vector<ModeRegisters> checkpoint_modes_;
 
   // Sideband ECC parity, stored per (bank, logical row) when ECC is on.
   // 8 parity bits per 64-bit data word; see src/ecc/. Parity cells are not

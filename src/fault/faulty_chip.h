@@ -48,6 +48,26 @@ class FaultyChip final : public bender::ChipSession {
   }
   [[nodiscard]] dram::Stack& stack() override { return chip_.stack(); }
 
+  // Device checkpoints forward to the real chip unchanged: the fault plan
+  // draws on (trial, attempt, incarnation) only, and faults fire at run()
+  // above, so checkpoint replays see exactly the draws the from-scratch
+  // path would have seen.
+  [[nodiscard]] bool supports_checkpoints() const override {
+    return chip_.supports_checkpoints();
+  }
+  std::size_t checkpoint() override { return chip_.checkpoint(); }
+  void restore(std::size_t id) override { chip_.restore(id); }
+  void discard_checkpoints() override { chip_.discard_checkpoints(); }
+  void begin_probe_accounting() override { chip_.begin_probe_accounting(); }
+  void account_thermal_cycles(dram::Cycle cycles) override {
+    chip_.account_thermal_cycles(cycles);
+  }
+  void end_probe_accounting() override { chip_.end_probe_accounting(); }
+  [[nodiscard]] dram::Cycle act_backlog(const dram::BankAddress& bank)
+      override {
+    return chip_.act_backlog(bank);
+  }
+
   // -- Diagnostics ----------------------------------------------------------
 
   [[nodiscard]] bender::HbmChip& raw() { return chip_; }

@@ -57,7 +57,9 @@ constexpr const char* kDeterministicCatalog[] = {
     "device.refs",            "device.victim_refreshes",
     "device.bitflips",        "device.hammer_windows",
     "device.dedup_hits",      "cache.lookups",
-    "faults.injected",        "faults.thermal_excursions",
+    "study.hc_probes",        "study.hammers_replayed",
+    "study.hammers_saved",    "faults.injected",
+    "faults.thermal_excursions",
     "store.appends",          "store.append_bytes",
     "store.fsyncs",           "store.replaces",
     "store.reads",            "store.opens",
@@ -497,6 +499,9 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     metrics->add("device.hammer_windows", out.device.bulk_hammer_windows);
     metrics->add("device.dedup_hits", out.device.hammer_dedup_hits);
     metrics->add("cache.lookups", out.cache.lookups());
+    metrics->add("study.hc_probes", out.probes.hc_probes);
+    metrics->add("study.hammers_replayed", out.probes.hammers_replayed);
+    metrics->add("study.hammers_saved", out.probes.hammers_saved);
     // The hit/miss/build/eviction split depends on which worker's cache
     // served the trial: telemetry, excluded from the fingerprint.
     metrics->add("cache.hits", out.cache.hits, obs::MetricKind::kTelemetry);

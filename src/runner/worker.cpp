@@ -106,6 +106,7 @@ TrialOutcome TrialWorker::run(const CampaignRunner::Trial& trial,
   const double wall_t0 = obs::monotonic_seconds();
   const auto cache0 = chip_.threshold_cache_stats();
   const auto faults0 = faulty_.stats();
+  const auto probes0 = faulty_.probe_counters();
   // Everything this helper fills is a per-trial delta; both return paths
   // below must go through it.
   const auto finalize = [&] {
@@ -114,6 +115,11 @@ TrialOutcome TrialWorker::run(const CampaignRunner::Trial& trial,
     out.exec = chip_.executor_counters();
     out.cache = cache_delta(chip_.threshold_cache_stats(), cache0);
     out.fault_delta = fault_stats_delta(faulty_.stats(), faults0);
+    const auto& probes = faulty_.probe_counters();
+    out.probes.hc_probes = probes.hc_probes - probes0.hc_probes;
+    out.probes.hammers_replayed =
+        probes.hammers_replayed - probes0.hammers_replayed;
+    out.probes.hammers_saved = probes.hammers_saved - probes0.hammers_saved;
     out.wall_s = obs::monotonic_seconds() - wall_t0;
   };
 

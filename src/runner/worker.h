@@ -44,6 +44,11 @@ struct TrialOutcome {
   /// function of the trial (deterministic); the hit/miss split depends on
   /// which worker's cache served it (telemetry).
   disturb::ThresholdCacheStats cache;
+  /// Probe-engine counters delta over this trial (hc_probes /
+  /// hammers_replayed / hammers_saved). Pure functions of the trial like
+  /// the device counters, so they land in the deterministic metrics
+  /// catalog (study.*).
+  bender::ProbeCounters probes;
   /// Injected-fault stats delta over this trial (pure function of trial
   /// index / attempt / incarnation, so commit-order accumulation is
   /// deterministic even when a fatal abort discards in-flight trials).

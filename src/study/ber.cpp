@@ -4,18 +4,12 @@
 
 namespace hbmrd::study {
 
-namespace {
-
-/// Builds the Table 1 initialization + double-sided hammer + victim readback
-/// program for one victim row.
-bender::Program make_ber_program(const AddressMap& map,
-                                 const dram::RowAddress& victim,
-                                 const BerConfig& config) {
+void append_ber_init(bender::ProgramBuilder& builder, const AddressMap& map,
+                     const dram::RowAddress& victim, const BerConfig& config) {
   const auto victim_bits = victim_row_bits(config.pattern);
   const auto aggressor_bits = aggressor_row_bits(config.pattern);
   const auto aggressors = map.aggressors_of(victim.row);
 
-  bender::ProgramBuilder builder;
   builder.write_row(victim.bank, victim.row, victim_bits);
   for (int row : aggressors) {
     builder.write_row(victim.bank, row, aggressor_bits);
@@ -28,8 +22,32 @@ bender::Program make_ber_program(const AddressMap& map,
     }
     builder.write_row(victim.bank, row, victim_bits);
   }
-  builder.hammer(victim.bank, aggressors, config.hammer_count,
-                 config.on_cycles);
+}
+
+RowBerResult make_row_ber_result(const dram::RowAddress& victim,
+                                 const dram::RowBits& read_back,
+                                 const BerConfig& config) {
+  const auto expected = victim_row_bits(config.pattern);
+  RowBerResult row_result;
+  row_result.victim = victim;
+  row_result.flipped_bits = read_back.diff_positions(expected);
+  row_result.bitflips = static_cast<int>(row_result.flipped_bits.size());
+  row_result.ber =
+      static_cast<double>(row_result.bitflips) / dram::kRowBits;
+  return row_result;
+}
+
+namespace {
+
+/// Builds the Table 1 initialization + double-sided hammer + victim readback
+/// program for one victim row.
+bender::Program make_ber_program(const AddressMap& map,
+                                 const dram::RowAddress& victim,
+                                 const BerConfig& config) {
+  bender::ProgramBuilder builder;
+  append_ber_init(builder, map, victim, config);
+  builder.hammer(victim.bank, map.aggressors_of(victim.row),
+                 config.hammer_count, config.on_cycles);
   builder.read_row(victim.bank, victim.row);
   return std::move(builder).build();
 }
@@ -40,16 +58,7 @@ RowBerResult measure_row_ber(bender::ChipSession& chip, const AddressMap& map,
                              const dram::RowAddress& victim,
                              const BerConfig& config) {
   const auto result = chip.run(make_ber_program(map, victim, config));
-  const auto read_back = result.row(0);
-  const auto expected = victim_row_bits(config.pattern);
-
-  RowBerResult row_result;
-  row_result.victim = victim;
-  row_result.flipped_bits = read_back.diff_positions(expected);
-  row_result.bitflips = static_cast<int>(row_result.flipped_bits.size());
-  row_result.ber =
-      static_cast<double>(row_result.bitflips) / dram::kRowBits;
-  return row_result;
+  return make_row_ber_result(victim, result.row(0), config);
 }
 
 std::vector<RowBerResult> measure_bank_ber(bender::ChipSession& chip,

@@ -38,6 +38,18 @@ struct RowBerResult {
                                            const dram::RowAddress& victim,
                                            const BerConfig& config);
 
+/// Appends the Table 1 initialization prefix (victim, aggressors, ring
+/// writes) of the BER program. Shared between the one-shot measurement
+/// above and the resumable probe engine (study/ber_probe.h) so both issue
+/// command-identical initializations.
+void append_ber_init(bender::ProgramBuilder& builder, const AddressMap& map,
+                     const dram::RowAddress& victim, const BerConfig& config);
+
+/// Assembles a RowBerResult from a victim readback.
+[[nodiscard]] RowBerResult make_row_ber_result(const dram::RowAddress& victim,
+                                               const dram::RowBits& read_back,
+                                               const BerConfig& config);
+
 /// Measures BER over a set of victim rows of one bank; returns one result
 /// per row (order preserved).
 [[nodiscard]] std::vector<RowBerResult> measure_bank_ber(

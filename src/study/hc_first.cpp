@@ -1,18 +1,31 @@
 #include "study/hc_first.h"
 
+#include <stdexcept>
+
 #include "study/ber.h"
+#include "study/ber_probe.h"
 
 namespace hbmrd::study {
 
-int bitflips_at(bender::ChipSession& chip, const AddressMap& map,
-                const dram::RowAddress& victim, std::uint64_t hammer_count,
-                const HcSearchConfig& config) {
+namespace {
+
+BerConfig ber_config_of(const HcSearchConfig& config,
+                        std::uint64_t hammer_count) {
   BerConfig ber_config;
   ber_config.pattern = config.pattern;
   ber_config.hammer_count = hammer_count;
   ber_config.on_cycles = config.on_cycles;
   ber_config.init_ring = config.init_ring;
-  return measure_row_ber(chip, map, victim, ber_config).bitflips;
+  return ber_config;
+}
+
+}  // namespace
+
+int bitflips_at(bender::ChipSession& chip, const AddressMap& map,
+                const dram::RowAddress& victim, std::uint64_t hammer_count,
+                const HcSearchConfig& config) {
+  return measure_row_ber(chip, map, victim, ber_config_of(config, hammer_count))
+      .bitflips;
 }
 
 std::optional<std::uint64_t> find_hc_nth(bender::ChipSession& chip,
@@ -21,33 +34,9 @@ std::optional<std::uint64_t> find_hc_nth(bender::ChipSession& chip,
                                          int n,
                                          const HcSearchConfig& config) {
   if (n < 1) throw std::invalid_argument("find_hc_nth: n must be >= 1");
-
-  // A single activation pair can already flip cells at extreme on-times
-  // (Sec. 6: HC_first of 1 at tAggON = 16 ms).
-  if (bitflips_at(chip, map, victim, 1, config) >= n) return 1;
-
-  // Exponential bracketing from a coarse floor.
-  std::uint64_t lo = 1;
-  std::uint64_t hi = 1024;
-  while (hi < config.max_hammer_count &&
-         bitflips_at(chip, map, victim, hi, config) < n) {
-    lo = hi;
-    hi *= 2;
-  }
-  if (hi >= config.max_hammer_count) {
-    hi = config.max_hammer_count;
-    if (bitflips_at(chip, map, victim, hi, config) < n) return std::nullopt;
-  }
-  // Invariant: flips(lo) < n <= flips(hi).
-  while (lo + 1 < hi) {
-    const std::uint64_t mid = lo + (hi - lo) / 2;
-    if (bitflips_at(chip, map, victim, mid, config) < n) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return hi;
+  BerProbe probe(chip, map, victim, ber_config_of(config, 0),
+                 config.incremental);
+  return find_nth_flip(probe, n, 1, config.max_hammer_count);
 }
 
 }  // namespace hbmrd::study

@@ -1,5 +1,7 @@
 #include "study/hcn.h"
 
+#include "study/ber_probe.h"
+
 namespace hbmrd::study {
 
 HcnResult measure_hcn(bender::ChipSession& chip, const AddressMap& map,
@@ -8,42 +10,22 @@ HcnResult measure_hcn(bender::ChipSession& chip, const AddressMap& map,
   HcnResult result;
   result.victim = victim;
 
+  // One shared probe engine for all ten searches: its memo makes every
+  // search resume exactly where the previous one stopped, and (on
+  // checkpoint-capable sessions) its checkpoint ladder carries the
+  // accumulated dose across the n = 1..10 chain.
+  BerConfig ber_config;
+  ber_config.pattern = config.pattern;
+  ber_config.on_cycles = config.on_cycles;
+  ber_config.init_ring = config.init_ring;
+  BerProbe probe(chip, map, victim, ber_config, config.incremental);
+
   std::uint64_t lower = 1;  // flips(lower - 1) is known to be < n
   for (int n = 1; n <= kHcnFlips; ++n) {
-    // Bracket [lo, hi] with flips(lo) < n <= flips(hi), starting from the
-    // previous result (flip counts are monotone in hammer count).
-    std::uint64_t lo = lower;
-    if (bitflips_at(chip, map, victim, lo, config) >= n) {
-      result.hc[static_cast<std::size_t>(n - 1)] = lo;
-      continue;
-    }
-    std::uint64_t hi = std::max<std::uint64_t>(lo * 2, 1024);
-    bool found = false;
-    while (hi < config.max_hammer_count) {
-      if (bitflips_at(chip, map, victim, hi, config) >= n) {
-        found = true;
-        break;
-      }
-      lo = hi;
-      hi *= 2;
-    }
-    if (!found) {
-      hi = config.max_hammer_count;
-      if (bitflips_at(chip, map, victim, hi, config) < n) {
-        // This and all later bitflip counts are out of reach.
-        break;
-      }
-    }
-    while (lo + 1 < hi) {
-      const std::uint64_t mid = lo + (hi - lo) / 2;
-      if (bitflips_at(chip, map, victim, mid, config) < n) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    result.hc[static_cast<std::size_t>(n - 1)] = hi;
-    lower = hi;
+    const auto hc = find_nth_flip(probe, n, lower, config.max_hammer_count);
+    if (!hc) break;  // this and all later bitflip counts are out of reach
+    result.hc[static_cast<std::size_t>(n - 1)] = *hc;
+    lower = *hc;
   }
   return result;
 }

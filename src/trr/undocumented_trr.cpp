@@ -19,12 +19,21 @@ void UndocumentedTrr::latch_pending(int physical_row) {
   }
   pending_.push_back(physical_row);
   while (static_cast<int>(pending_.size()) > p_.pending_capacity) {
-    pending_.pop_front();
+    pending_.erase(pending_.begin());
   }
 }
 
 void UndocumentedTrr::note_activation(int physical_row, std::uint64_t count) {
-  window_counts_[physical_row] += count;
+  const auto counted =
+      std::find_if(window_counts_.begin(), window_counts_.end(),
+                   [physical_row](const auto& e) {
+                     return e.first == physical_row;
+                   });
+  if (counted != window_counts_.end()) {
+    counted->second += count;
+  } else {
+    window_counts_.emplace_back(physical_row, count);
+  }
   window_total_ += count;
 
   if (first_act_armed_) {
@@ -35,7 +44,7 @@ void UndocumentedTrr::note_activation(int physical_row, std::uint64_t count) {
   // Move-to-front recency sampler over distinct rows.
   const auto it = std::find(sampler_.begin(), sampler_.end(), physical_row);
   if (it != sampler_.end()) sampler_.erase(it);
-  sampler_.push_front(physical_row);
+  sampler_.insert(sampler_.begin(), physical_row);
   while (static_cast<int>(sampler_.size()) > p_.sampler_capacity) {
     sampler_.pop_back();
   }

@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dram/defense.h"
@@ -44,12 +44,20 @@ class UndocumentedTrr final : public dram::ReadDisturbDefense {
                         dram::Cycle now) override;
   std::vector<int> on_refresh(dram::Cycle now) override;
 
+  // All tracker state (window counts, sampler, latches, pending queue) is
+  // plain copyable data, so the device checkpoint layer can snapshot it.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  [[nodiscard]] std::unique_ptr<dram::ReadDisturbDefense> clone()
+      const override {
+    return std::make_unique<UndocumentedTrr>(*this);
+  }
+
   [[nodiscard]] const TrrParams& params() const { return p_; }
 
   // Introspection for tests.
   [[nodiscard]] std::uint64_t refs_seen() const { return ref_count_; }
-  [[nodiscard]] const std::deque<int>& sampler() const { return sampler_; }
-  [[nodiscard]] const std::deque<int>& pending() const { return pending_; }
+  [[nodiscard]] const std::vector<int>& sampler() const { return sampler_; }
+  [[nodiscard]] const std::vector<int>& pending() const { return pending_; }
 
  private:
   void note_activation(int physical_row, std::uint64_t count);
@@ -58,19 +66,25 @@ class UndocumentedTrr final : public dram::ReadDisturbDefense {
   TrrParams p_;
   std::uint64_t ref_count_ = 0;
 
+  // All containers below are flat vectors, bounded by the handful of
+  // distinct rows a refresh window sees (window_counts_) or the small
+  // sampler/pending capacities. Flat storage keeps clone() — called for
+  // every bank at every device-checkpoint push — allocation-free for idle
+  // banks, where the hot path would otherwise copy empty node containers.
+
   // Window state since the previous REF (any REF, Obsv. 27).
-  std::unordered_map<int, std::uint64_t> window_counts_;
+  std::vector<std::pair<int, std::uint64_t>> window_counts_;
   std::uint64_t window_total_ = 0;
 
   // Rolling recency sampler of distinct rows (most recent at the front).
-  std::deque<int> sampler_;
+  std::vector<int> sampler_;
 
   // First-ACT latch: armed right after every TRR-capable REF (Obsv. 26).
   bool first_act_armed_ = true;  // the very first ACT after power-up counts
   std::optional<int> first_act_row_;
 
   // Aggressors detected since the last TRR-capable REF.
-  std::deque<int> pending_;
+  std::vector<int> pending_;
 };
 
 }  // namespace hbmrd::trr

@@ -12,24 +12,43 @@ TEST(DoseLedger, StartsEmpty) {
   EXPECT_TRUE(ledger.epochs().empty());
 }
 
-TEST(DoseLedger, MergesSameDistanceAndVersion) {
+TEST(DoseLedger, MergesSameDistanceVersionAndUnit) {
   DoseLedger ledger;
   const auto bits = dram::RowBits::filled(0xAA);
   ledger.add(1, 7, bits, 10.0);
-  ledger.add(1, 7, bits, 5.0);
+  ledger.add(1, 7, bits, 10.0, 4);
   ASSERT_EQ(ledger.epochs().size(), 1u);
-  EXPECT_DOUBLE_EQ(ledger.epochs()[0].dose, 15.0);
+  EXPECT_EQ(ledger.epochs()[0].count, 5u);
+  EXPECT_DOUBLE_EQ(ledger.epochs()[0].dose(), 50.0);
   EXPECT_EQ(ledger.epochs()[0].distance, 1);
 }
 
-TEST(DoseLedger, SeparatesDistancesAndVersions) {
+TEST(DoseLedger, SeparatesDistancesVersionsAndUnits) {
   DoseLedger ledger;
   const auto bits = dram::RowBits::filled(0xAA);
   ledger.add(1, 7, bits, 10.0);
   ledger.add(-1, 7, bits, 4.0);
-  ledger.add(1, 8, bits, 2.0);  // content changed: new epoch
-  EXPECT_EQ(ledger.epochs().size(), 3u);
-  EXPECT_DOUBLE_EQ(ledger.adjacent_dose(), 16.0);
+  ledger.add(1, 8, bits, 2.0);   // content changed: new epoch
+  ledger.add(1, 7, bits, 2.5);   // different unit dose: new epoch
+  EXPECT_EQ(ledger.epochs().size(), 4u);
+  EXPECT_DOUBLE_EQ(ledger.adjacent_dose(), 18.5);
+}
+
+TEST(DoseLedger, SplitAccumulationIsExactlyAssociative) {
+  // The incremental HC search hammers a count in several delta windows;
+  // the resulting epoch must equal one window of the summed count exactly
+  // (integer count addition, no floating-point re-association).
+  const auto bits = dram::RowBits::filled(0x0F);
+  const double unit = 0.3;  // not exactly representable
+  DoseLedger split;
+  split.add(1, 1, bits, unit, 7);
+  split.add(1, 1, bits, unit, 93);
+  split.add(1, 1, bits, unit, 900);
+  DoseLedger whole;
+  whole.add(1, 1, bits, unit, 1000);
+  ASSERT_EQ(split.epochs().size(), 1u);
+  EXPECT_EQ(split.epochs()[0].count, whole.epochs()[0].count);
+  EXPECT_EQ(split.epochs()[0].dose(), whole.epochs()[0].dose());
 }
 
 TEST(DoseLedger, MergesWithEarlierEpochAfterInterleaving) {
@@ -42,8 +61,8 @@ TEST(DoseLedger, MergesWithEarlierEpochAfterInterleaving) {
     ledger.add(-1, 2, bits_b, 1.0);
   }
   ASSERT_EQ(ledger.epochs().size(), 2u);
-  EXPECT_DOUBLE_EQ(ledger.epochs()[0].dose, 100.0);
-  EXPECT_DOUBLE_EQ(ledger.epochs()[1].dose, 100.0);
+  EXPECT_DOUBLE_EQ(ledger.epochs()[0].dose(), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.epochs()[1].dose(), 100.0);
 }
 
 TEST(DoseLedger, AdjacentDoseIgnoresBlastRadius) {
