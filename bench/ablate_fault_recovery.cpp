@@ -266,6 +266,77 @@ int main(int argc, char** argv) {
   }
   storage_table.print(std::cout);
 
+  // -- Process-supervision ablation: the same campaign sharded across
+  // supervised worker processes (fork-mode), with worker crashes, hangs
+  // and heartbeat drops injected. The supervisor must restart/handoff the
+  // shards and the merged artifacts must be byte-identical to the
+  // uninterrupted single-process reference above.
+  ctx.banner("Process supervision: sharded workers, injected crash/hang");
+  struct ChaosScenario {
+    std::string label;
+    std::uint64_t shards;
+    fault::WorkerFaultConfig worker;
+  };
+  const auto shards_override =
+      static_cast<std::uint64_t>(ctx.cli().get_int("--shards", 0));
+  const std::vector<ChaosScenario> chaos_scenarios = {
+      // Trial numbers are global and 1-based; keep them small so the
+      // faults fire even at --rows-scaled-down campaign sizes.
+      {"2 shards, crash in trial 2's commit", 2, {.crash_at_trial = 2}},
+      {"2 shards, hang before trial 5", 2, {.hang_at_trial = 5}},
+      {"2 shards, heartbeats drop after 3", 2, {.drop_heartbeats_after = 3}},
+      {"4 shards, crash at 2 + hang at 5",
+       4,
+       {.crash_at_trial = 2, .hang_at_trial = 5}},
+  };
+  util::Table chaos_table({"scenario", "spawns", "crashes", "hangs",
+                           "stolen", "csv bytes", "journal bytes"});
+  bool chaos_ok = true;
+  int chaos_index = 0;
+  for (const auto& scenario : chaos_scenarios) {
+    const auto tag = "chaos" + std::to_string(chaos_index++);
+    const std::string csv_path = artifact(tag, ".csv");
+    const std::string jsonl_path = artifact(tag, ".jsonl");
+    // Shard stores, manifests and the shard index all derive from these
+    // paths; clear any previous run's files by prefix.
+    const auto prefix = "storage_" + tag;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().filename().string().rfind(prefix, 0) == 0) {
+        std::filesystem::remove(entry.path());
+      }
+    }
+
+    bender::HbmChip chip(profile);
+    runner::RunnerConfig config;
+    config.result_columns = {"value"};
+    config.results_path = csv_path;
+    config.journal_path = jsonl_path;
+    config.faults.worker = scenario.worker;
+    obs.attach(config);
+
+    runner::SupervisorConfig supervision;
+    supervision.shards = shards_override ? shards_override : scenario.shards;
+    supervision.hang_timeout_s = 1.0;        // wall-clock; keep the bench quick
+    supervision.restart_backoff = {5, 0.05, 0.25};
+    runner::Supervisor supervisor(chip, config, supervision);
+    const auto srep = supervisor.run(trials);
+
+    const bool csv_same =
+        !srep.campaign.aborted && slurp(csv_path) == slurp(ref_csv);
+    const bool jsonl_same =
+        !srep.campaign.aborted && slurp(jsonl_path) == slurp(ref_jsonl);
+    if (!csv_same || !jsonl_same) chaos_ok = false;
+    chaos_table.row()
+        .cell(scenario.label)
+        .cell(static_cast<long long>(srep.spawns))
+        .cell(static_cast<long long>(srep.crashes))
+        .cell(static_cast<long long>(srep.hangs_killed))
+        .cell(static_cast<long long>(srep.shards_stolen))
+        .cell(csv_same ? "identical" : "DIFFER")
+        .cell(jsonl_same ? "identical" : "DIFFER");
+  }
+  chaos_table.print(std::cout);
+
   ctx.banner("Checks");
   ctx.compare("completion at 1% transient rate", ">= 99%",
               all_ok ? "pass" : "FAIL");
@@ -273,7 +344,9 @@ int main(int argc, char** argv) {
               all_ok ? "pass" : "FAIL");
   ctx.compare("storage-fault recovery", "byte-identical artifacts",
               storage_ok ? "pass" : "FAIL");
-  if (!storage_ok) all_ok = false;
+  ctx.compare("supervised shard recovery", "byte-identical merged artifacts",
+              chaos_ok ? "pass" : "FAIL");
+  if (!storage_ok || !chaos_ok) all_ok = false;
   std::cout << "(faults cost retries, backoff, and guard waits — never "
                "results: quarantined trials are reported above, and every "
                "committed payload re-measures identically because trials "

@@ -1,5 +1,6 @@
 #include "common.h"
 
+#include <csignal>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -35,6 +36,22 @@ Campaign flags (harnesses built on the resilient runner):
   --fault-seed N     fault plan seed (decoupled from --seed)
   --no-guard         disable the temperature guard band
 
+Sharded campaign flags (process supervision; see docs/RESILIENCE.md):
+  --shards N         run the campaign as N supervised worker processes;
+                     the merged artifacts are byte-identical to --shards 1
+  --hang-timeout S   SIGKILL a worker silent for S wall seconds (def. 30)
+  --max-restarts N   quarantine a shard after N consecutive no-progress
+                     failures (default 5)
+  --worker-crash-trial K    inject: worker SIGKILLs itself inside trial
+                            K's commit (after the journal flush)
+  --worker-hang-trial K     inject: worker wedges before trial K
+  --worker-heartbeat-drop K inject: worker stops heartbeating after K
+                            trials (the watchdog must reap it)
+  --worker-crash-repeats N  injected worker faults fire for the first N
+                            incarnations of the shard (default 1)
+  (--shard-worker and the other --shard-* flags are spawned by the
+   supervisor itself and are not meant to be passed by hand)
+
 Storage flags (campaign persistence; see docs/RESILIENCE.md):
   --durable-every N  fsync journal + checkpoint every N committed trials
   --store-fault-rate R   per-write probability of an injected I/O error
@@ -53,6 +70,7 @@ Observability flags (see docs/OBSERVABILITY.md):
 
 BenchContext::BenchContext(int argc, char** argv, const std::string& title)
     : cli_(argc, argv),
+      argv_(argv, argv + argc),
       title_(title),
       platform_(static_cast<std::uint64_t>(
           cli_.get_int("--seed",
@@ -192,13 +210,138 @@ runner::RunnerConfig campaign_config(const util::Cli& cli,
       static_cast<std::uint64_t>(cli.get_int("--store-crash-write", 0));
   config.faults.store.crash_at_fsync =
       static_cast<std::uint64_t>(cli.get_int("--store-crash-fsync", 0));
+  config.faults.worker.crash_at_trial =
+      static_cast<std::uint64_t>(cli.get_int("--worker-crash-trial", 0));
+  config.faults.worker.hang_at_trial =
+      static_cast<std::uint64_t>(cli.get_int("--worker-hang-trial", 0));
+  config.faults.worker.drop_heartbeats_after =
+      static_cast<std::uint64_t>(cli.get_int("--worker-heartbeat-drop", 0));
+  config.faults.worker.repeat_incarnations =
+      static_cast<std::uint64_t>(cli.get_int("--worker-crash-repeats", 1));
   return config;
+}
+
+namespace {
+
+/// `--shard-worker` mode: the supervisor re-invoked this harness to run
+/// one shard of one campaign. If `campaign` is the one named by
+/// `--shard-campaign`, run its [--shard-lo, --shard-hi) slice against the
+/// per-shard store and exit with the shard_exit verdict; otherwise return
+/// a "shard-skip" report so a multi-campaign harness (fig06's per-chip
+/// loop) can move on to the campaign the supervisor meant.
+runner::CampaignReport run_shard_worker(
+    const util::Cli& cli, runner::CampaignRunner& campaign,
+    const std::vector<runner::CampaignRunner::Trial>& trials) {
+  if (campaign.config().results_path !=
+      cli.get_string("--shard-campaign", "")) {
+    runner::CampaignReport skip;
+    skip.aborted = true;
+    skip.abort_reason = "shard-skip";
+    return skip;
+  }
+
+  auto config = campaign.config();
+  config.results_path = cli.get_string("--shard-results", "");
+  config.journal_path = cli.get_string("--shard-journal", "");
+  config.resume = cli.has("--shard-resume");
+  config.shard.enabled = true;
+  config.shard.lo = static_cast<std::uint64_t>(cli.get_int("--shard-lo", 0));
+  config.shard.hi = static_cast<std::uint64_t>(cli.get_int("--shard-hi", 0));
+  config.shard.heartbeat_fd = static_cast<int>(cli.get_int("--shard-fd", -1));
+  config.shard.incarnation =
+      static_cast<std::uint64_t>(cli.get_int("--shard-incarnation", 0));
+  // Observability belongs to the supervisor process; the worker's stdout
+  // already lands in the per-shard log.
+  config.metrics = nullptr;
+  config.trace = nullptr;
+  config.progress = nullptr;
+
+  runner::install_graceful_stop();  // SIGTERM = checkpoint-flush and exit
+  std::signal(SIGPIPE, SIG_IGN);    // dead supervisor mutes the heartbeat
+
+  int code = runner::shard_exit::kError;
+  try {
+    runner::CampaignRunner worker(campaign.chip(), config);
+    const auto report = worker.run(trials);
+    if (!report.aborted) {
+      code = runner::shard_exit::kComplete;
+    } else if (report.abort_reason == "signal") {
+      code = runner::shard_exit::kStopped;
+    } else {
+      code = runner::shard_exit::kAborted;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "shard worker: " << error.what() << "\n";
+  }
+  std::exit(code);
+}
+
+runner::CampaignReport run_supervised(
+    BenchContext& ctx, runner::CampaignRunner& campaign,
+    const std::vector<runner::CampaignRunner::Trial>& trials,
+    std::uint64_t shards) {
+  const auto& cli = ctx.cli();
+  runner::SupervisorConfig config;
+  config.shards = shards;
+  config.hang_timeout_s = cli.get_double("--hang-timeout", 30.0);
+  config.max_restarts = static_cast<int>(cli.get_int("--max-restarts", 5));
+  config.worker_argv = ctx.argv();
+  runner::Supervisor supervisor(campaign.chip(), campaign.config(), config);
+  const auto report = supervisor.run(trials);
+  print_supervisor_report(std::cout, report);
+  return report.campaign;
+}
+
+}  // namespace
+
+runner::CampaignReport run_campaign_or_die(
+    BenchContext& ctx, runner::CampaignRunner& campaign,
+    const std::vector<runner::CampaignRunner::Trial>& trials) {
+  const auto& cli = ctx.cli();
+  try {
+    if (cli.has("--shard-worker")) {
+      return run_shard_worker(cli, campaign, trials);
+    }
+    const auto shards =
+        static_cast<std::uint64_t>(cli.get_int("--shards", 1));
+    runner::install_graceful_stop();
+    if (shards > 1) return run_supervised(ctx, campaign, trials, shards);
+    return campaign.run(trials);
+  } catch (const runner::CheckpointMismatchError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << "\n";
+  } catch (const runner::StoreError& error) {
+    std::cerr << "error: campaign storage failed: " << error.what()
+              << "\n(committed state is intact; rerun with --resume once "
+                 "the storage problem is fixed)\n";
+  } catch (const fault::StoreCrashError& error) {
+    std::cerr << "error: " << error.what()
+              << "\n(artifacts left in their torn post-crash state; rerun "
+                 "with --resume to recover)\n";
+  }
+  std::exit(2);
+}
+
+void print_supervisor_report(std::ostream& out,
+                             const runner::SupervisorReport& report) {
+  out << "Supervisor: " << report.shards << " shard(s) -> "
+      << report.final_shards << " final, " << report.spawns << " spawn(s), "
+      << report.restarts << " restart(s), " << report.crashes
+      << " crash(es), " << report.hangs_killed << " hang(s) killed, "
+      << report.shards_stolen << " stolen, " << report.shards_quarantined
+      << " quarantined, " << report.worker_fsck_repairs
+      << " fsck repair(s), " << report.heartbeats << " heartbeat(s)\n";
+  for (const auto& shard : report.quarantined_shards) {
+    out << "  quarantined: " << shard << "\n";
+  }
 }
 
 runner::CampaignReport run_campaign_or_die(
     runner::CampaignRunner& campaign,
     const std::vector<runner::CampaignRunner::Trial>& trials) {
   try {
+    runner::install_graceful_stop();
     return campaign.run(trials);
   } catch (const runner::CheckpointMismatchError& error) {
     std::cerr << "error: " << error.what() << "\n";

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto report = bench::run_campaign_or_die(campaign, trials);
+  const auto report = bench::run_campaign_or_die(ctx, campaign, trials);
 
   // Aggregate the committed results (freshly measured and resumed alike).
   util::Table table({"Channel", "Pattern", "min HC_first", "median", "mean"});

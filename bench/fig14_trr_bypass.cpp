@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto report = bench::run_campaign_or_die(campaign, trials);
+  const auto report = bench::run_campaign_or_die(ctx, campaign, trials);
 
   util::Table table({"dummies", "aggr acts", "acts/dummy", "mean BER",
                      "max BER", "rows w/ flips"});

@@ -84,6 +84,37 @@ struct StoreFaultConfig {
   }
 };
 
+/// Worker-process fault injection for sharded campaigns (see
+/// runner/supervisor.h). These faults act on the worker *process* itself —
+/// SIGKILL mid-commit, a wedge that stops the heartbeat, a reporting path
+/// that goes silent — so the supervisor's crash detection, hang watchdog
+/// and shard-handoff recovery can be exercised deterministically. Trial
+/// numbers are global (1-based positions in the campaign list), so exactly
+/// the shard that owns the trial fires the fault.
+struct WorkerFaultConfig {
+  /// SIGKILL the worker inside the commit of this trial, after its journal
+  /// block reached the OS but before its CSV row — the widest window the
+  /// write-ahead discipline must close. 0 = never.
+  std::uint64_t crash_at_trial = 0;
+  /// Wedge (stop heartbeating, never progress) when reaching this trial;
+  /// only the supervisor's watchdog SIGKILL ends the process. 0 = never.
+  std::uint64_t hang_at_trial = 0;
+  /// Mute the heartbeat pipe after this many trials while continuing to
+  /// work — then wedge instead of exiting, like a stuck reporting thread;
+  /// the watchdog must kill a worker it can no longer observe. 0 = never.
+  std::uint64_t drop_heartbeats_after = 0;
+  /// How many worker incarnations (supervisor restarts, 0-based gate) the
+  /// faults keep firing for. 1 = first spawn only (the restarted worker
+  /// recovers); a large value turns crash_at_trial into a crash loop that
+  /// must end in shard quarantine.
+  std::uint64_t repeat_incarnations = 1;
+
+  [[nodiscard]] bool any() const {
+    return crash_at_trial != 0 || hang_at_trial != 0 ||
+           drop_heartbeats_after != 0;
+  }
+};
+
 struct FaultPlanConfig {
   std::uint64_t seed = 0x5eedfa17ull;
 
@@ -105,6 +136,10 @@ struct FaultPlanConfig {
   /// I/O faults against the campaign's storage backend (seeded from the
   /// same plan seed; see fault::FaultyStore).
   StoreFaultConfig store;
+
+  /// Process-level faults against sharded campaign workers (fire only when
+  /// the runner executes in shard-worker mode).
+  WorkerFaultConfig worker;
 
   [[nodiscard]] bool fault_free() const {
     return transient_rate <= 0.0 && thermal_rate <= 0.0 &&

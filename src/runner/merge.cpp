@@ -1,0 +1,225 @@
+#include "runner/merge.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "runner/checkpoint.h"
+#include "runner/journal.h"
+#include "runner/shard.h"
+#include "util/csv.h"
+
+namespace hbmrd::runner {
+
+namespace {
+
+void add(MergeReport& report, const std::string& file, std::string what) {
+  report.issues.push_back({file, std::move(what)});
+}
+
+}  // namespace
+
+MergeReport merge_shards(const MergeOptions& options) {
+  MergeReport report;
+  auto store = options.store ? options.store : util::default_store();
+
+  // -- Shard index: the partition the supervisor committed to.
+  const auto index_path = shard_index_path(options.results_path);
+  const auto index_text = store->read(index_path);
+  if (!index_text) {
+    add(report, index_path, "shard index missing or unreadable");
+    return report;
+  }
+  const auto set = ShardSet::parse(*index_text);
+  if (!set) {
+    add(report, index_path, "shard index corrupt (CRC or syntax)");
+    return report;
+  }
+  auto shards = set->shards;
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardSpec& a, const ShardSpec& b) { return a.lo < b.lo; });
+
+  // Coverage: the shards must tile [0, trial_count) exactly.
+  std::uint64_t cursor = 0;
+  for (const auto& shard : shards) {
+    if (shard.lo != cursor || shard.hi <= shard.lo) {
+      add(report, index_path,
+          "shards do not tile the campaign: shard " +
+              std::to_string(shard.id) + " covers [" +
+              std::to_string(shard.lo) + ", " + std::to_string(shard.hi) +
+              "), expected lo " + std::to_string(cursor));
+      return report;
+    }
+    cursor = shard.hi;
+  }
+  if (cursor != set->trial_count) {
+    add(report, index_path,
+        "shards cover " + std::to_string(cursor) + " of " +
+            std::to_string(set->trial_count) + " trials");
+    return report;
+  }
+  report.shards = shards.size();
+
+  // -- Shard manifests: every shard must carry the same campaign identity.
+  std::optional<Manifest> identity;
+  std::uint64_t incarnations = 0;
+  for (const auto& shard : shards) {
+    const auto csv_path = shard_artifact_path(options.results_path, shard.id);
+    const auto manifest_path = Manifest::path_for(csv_path);
+    std::optional<Manifest> manifest;
+    if (const auto text = store->read(manifest_path)) {
+      manifest = Manifest::parse(*text);
+    }
+    if (!manifest) {
+      add(report, manifest_path, "shard manifest missing or corrupt");
+      continue;
+    }
+    incarnations += manifest->incarnations;
+    if (!identity) {
+      identity = *manifest;
+      continue;
+    }
+    if (manifest->header_crc != identity->header_crc ||
+        manifest->fault_seed != identity->fault_seed ||
+        manifest->trial_count != identity->trial_count ||
+        manifest->trials_crc != identity->trials_crc) {
+      add(report, manifest_path,
+          "shard manifest disagrees with shard " +
+              std::to_string(shards.front().id) +
+              " (different campaign identity)");
+    }
+  }
+  if (!report.issues.empty()) return report;
+  if (identity && identity->trial_count != set->trial_count) {
+    add(report, index_path,
+        "shard manifests record " + std::to_string(identity->trial_count) +
+            " trials, the index records " +
+            std::to_string(set->trial_count));
+    return report;
+  }
+
+  // -- Shard checkpoints: complete, clean, and sharing one header.
+  std::string header_line;
+  std::size_t disk_width = 0;
+  std::string csv_content;
+  for (const auto& shard : shards) {
+    const auto csv_path = shard_artifact_path(options.results_path, shard.id);
+    const auto contents = store->read(csv_path);
+    if (!contents || contents->empty()) {
+      add(report, csv_path, "shard checkpoint missing or empty");
+      continue;
+    }
+    const auto newline = contents->find('\n');
+    const auto found_header = newline == std::string::npos
+                                  ? *contents
+                                  : contents->substr(0, newline);
+    if (header_line.empty()) {
+      header_line = found_header;
+      disk_width = util::split_csv_line(header_line).size();
+      csv_content = header_line + "\n";
+    } else if (found_header != header_line) {
+      add(report, csv_path, "shard checkpoint header differs");
+      continue;
+    }
+    const auto cp = load_checkpoint(*store, csv_path, disk_width);
+    if (cp.corrupt_rows != 0 || cp.tail_truncated) {
+      add(report, csv_path,
+          "shard checkpoint not clean (" + std::to_string(cp.corrupt_rows) +
+              " corrupt row(s)" +
+              (cp.tail_truncated ? ", torn tail" : std::string()) +
+              "); resume the shard worker or run fsck --repair first");
+      continue;
+    }
+    if (cp.lines.size() != shard.size()) {
+      add(report, csv_path,
+          "shard incomplete: " + std::to_string(cp.lines.size()) + " of " +
+              std::to_string(shard.size()) + " rows committed");
+      continue;
+    }
+    for (const auto& line : cp.lines) {
+      const auto cells = util::split_csv_line(line);
+      if (cells[1] == "quarantined") {
+        ++report.quarantined;
+      } else {
+        ++report.completed;
+      }
+      csv_content += line;
+      csv_content += '\n';
+      ++report.rows;
+    }
+  }
+  if (!report.issues.empty()) return report;
+
+  // -- Journals: shared begin line, keyed per-trial blocks in shard order.
+  std::string journal_content;
+  if (!options.journal_path.empty()) {
+    std::string begin_line;
+    std::string blocks;
+    for (const auto& shard : shards) {
+      const auto jsonl_path =
+          shard_artifact_path(options.journal_path, shard.id);
+      const auto js = scan_journal(*store, jsonl_path);
+      if (!js.existed) {
+        add(report, jsonl_path, "shard journal missing");
+        continue;
+      }
+      if (js.dropped != 0) {
+        add(report, jsonl_path,
+            "shard journal not clean (" + std::to_string(js.dropped) +
+                " torn/corrupt line(s) at the tail)");
+        continue;
+      }
+      bool shard_has_begin = false;
+      for (std::size_t i = 0; i < js.lines.size(); ++i) {
+        if (js.events[i] == "campaign-begin") {
+          // Identical bytes in every shard: the begin line carries the
+          // campaign totals and the fault plan, never shard state.
+          if (begin_line.empty()) begin_line = js.lines[i];
+          if (js.lines[i] != begin_line) {
+            add(report, jsonl_path,
+                "campaign-begin line differs across shards");
+          }
+          shard_has_begin = true;
+          continue;
+        }
+        // Keyed lines are per-trial blocks, already in canonical order
+        // within the shard. Keyless control lines (shard-local stop /
+        // abort / end events) are superseded by the merge, exactly as a
+        // resume supersedes them.
+        if (js.keys[i].empty()) continue;
+        blocks += js.lines[i];
+        blocks += '\n';
+      }
+      if (!shard_has_begin) {
+        add(report, jsonl_path, "shard journal has no campaign-begin line");
+      }
+    }
+    if (!report.issues.empty()) return report;
+    journal_content = begin_line + "\n" + blocks;
+    {
+      auto end_event = Journal::buffered(&journal_content, "campaign-end");
+      end_event.field("trials", set->trial_count)
+          .field("completed", report.completed)
+          .field("quarantined", report.quarantined);
+    }
+    report.journal_lines =
+        static_cast<std::uint64_t>(std::count(journal_content.begin(),
+                                              journal_content.end(), '\n'));
+  }
+
+  // -- Publish. Atomic replaces, inputs untouched: rerunnable after any
+  // partial failure, producing the identical bytes.
+  store->atomic_replace(options.results_path, csv_content);
+  if (!options.journal_path.empty()) {
+    store->atomic_replace(options.journal_path, journal_content);
+  }
+  if (identity) {
+    Manifest manifest = *identity;
+    manifest.incarnations = incarnations;
+    store->atomic_replace(Manifest::path_for(options.results_path),
+                          manifest.serialize());
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace hbmrd::runner

@@ -1,8 +1,11 @@
 #include "runner/runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -393,12 +396,40 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
   const auto incarnation = static_cast<std::uint64_t>(committed.size());
   faulty_.set_incarnation(incarnation);
 
+  // -- Shard mode: restrict the sequencer to the worker's global index
+  // range. Everything else — fault-plan keys, journal bytes, CSV rows — is
+  // computed exactly as the unsharded campaign computes it, which is what
+  // makes the supervisor's merge byte-identical by construction.
+  const bool shard_mode = config_.shard.enabled;
+  const auto range_begin =
+      shard_mode ? std::min<std::size_t>(config_.shard.lo, trials.size())
+                 : std::size_t{0};
+  const auto range_end =
+      shard_mode ? std::min<std::size_t>(config_.shard.hi, trials.size())
+                 : trials.size();
+  HeartbeatEmitter heartbeat(shard_mode ? config_.shard.heartbeat_fd : -1);
+  heartbeat.hello();
+  // Injected worker-process faults fire only in shard mode and only while
+  // the shard's restart count is below the repeat gate — the restarted
+  // incarnation recovers, exactly like the fatal-fault incarnation key.
+  const auto& worker_faults = config_.faults.worker;
+  const bool worker_faults_armed =
+      shard_mode && worker_faults.any() &&
+      config_.shard.incarnation < worker_faults.repeat_incarnations;
+  // A muted heartbeat emulates a wedged reporting path: the worker keeps
+  // committing but the supervisor goes blind and must watchdog-kill it, so
+  // instead of exiting cleanly the worker wedges at its exit point.
+  bool heartbeat_muted = false;
+  const auto wedge_forever = [] {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  };
+
   // -- Canonical-order list of trials the checkpoint does not satisfy,
   // truncated to the stop-after budget: exactly the trials this run will
   // execute, in the order the sequencer commits them.
   std::vector<std::size_t> pending;
-  pending.reserve(trials.size());
-  for (std::size_t i = 0; i < trials.size(); ++i) {
+  pending.reserve(range_end - range_begin);
+  for (std::size_t i = range_begin; i < range_end; ++i) {
     if (committed.find(trials[i].key) == committed.end()) pending.push_back(i);
   }
   if (config_.stop_after_trials != 0 &&
@@ -534,7 +565,25 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
 
   // -- Sequencer: walk the campaign in canonical order, committing each
   // trial's journal block and CSV row exactly as the serial loop did.
-  for (std::size_t i = 0; i < trials.size(); ++i) {
+  for (std::size_t i = range_begin; i < range_end; ++i) {
+    // The global 1-based trial number the worker-fault schedule keys on.
+    const auto trial_no = static_cast<std::uint64_t>(i) + 1;
+    if (worker_faults_armed &&
+        worker_faults.drop_heartbeats_after != 0 &&
+        trial_no > worker_faults.drop_heartbeats_after) {
+      heartbeat_muted = true;
+    }
+    if (graceful_stop_requested()) {
+      // Operator SIGTERM/SIGINT (or a supervisor reclaiming the shard):
+      // stop at this commit boundary with the artifacts flushed — the
+      // resume then reproduces the uninterrupted bytes, no repair needed.
+      report.aborted = true;
+      report.abort_reason = "signal";
+      journal.event("campaign-stop")
+          .field("reason", report.abort_reason)
+          .field("processed", processed);
+      break;
+    }
     const auto& trial = trials[i];
     if (auto it = committed.find(trial.key); it != committed.end()) {
       TrialRecord record;
@@ -545,7 +594,13 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
       if (metrics != nullptr) metrics->add("campaign.resumed", 1);
       report_progress();
       report.records.push_back(std::move(record));
+      // Re-beat resumed trials: the supervisor's progress count per
+      // incarnation is then simply "committed rows in range".
+      if (!heartbeat_muted) heartbeat.progress(static_cast<std::uint64_t>(i));
       continue;
+    }
+    if (worker_faults_armed && worker_faults.hang_at_trial == trial_no) {
+      wedge_forever();
     }
     if (next_shard >= pending.size()) {
       // The stop-after budget truncated `pending` exactly here.
@@ -602,6 +657,13 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     {
       obs::SpanTimer commit_span(config_.trace, "campaign/commit");
       journal.flush();
+      if (worker_faults_armed && worker_faults.crash_at_trial == trial_no) {
+        // The nastiest crash point the write-ahead discipline allows: the
+        // trial's journal block is in the OS buffer, its CSV row is not.
+        // Recovery's intersection drops the orphan block and reruns the
+        // trial, byte-identically. SIGKILL: no unwind, no flush.
+        std::raise(SIGKILL);
+      }
       if (csv) {
         row.clear();
         row.emplace_back(out.record.key);
@@ -617,6 +679,7 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
         make_durable();
       }
     }
+    if (!heartbeat_muted) heartbeat.progress(static_cast<std::uint64_t>(i));
     report_progress();
     report.records.push_back(std::move(out.record));
   }
@@ -643,6 +706,10 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
   make_durable();
   if (metrics != nullptr && report.aborted) metrics->add("campaign.aborts", 1);
   finish_observability();
+  // A worker whose heartbeat path wedged never reports completion either —
+  // the watchdog must reap it; its committed rows survive for the handoff.
+  if (heartbeat_muted) wedge_forever();
+  if (!report.aborted) heartbeat.done();
   return report;
 }
 

@@ -40,6 +40,7 @@
 #include "fault/faulty_chip.h"
 #include "runner/journal.h"
 #include "runner/retry_policy.h"
+#include "runner/shard.h"
 #include "runner/store.h"
 
 namespace hbmrd::obs {
@@ -113,6 +114,12 @@ struct RunnerConfig {
   /// and the natural sharding point for splitting campaigns across
   /// workers.
   std::uint64_t stop_after_trials = 0;
+  /// Shard-worker mode (process-isolated campaigns, runner/supervisor.h):
+  /// when enabled, the sequencer walks only global trial indices in
+  /// [shard.lo, shard.hi), heartbeats each commit over shard.heartbeat_fd,
+  /// and honors the injected faults.worker schedule. Trial indices, fault
+  /// draws and journal bytes stay exactly the unsharded campaign's.
+  ShardWorkerConfig shard;
   /// Worker threads executing trials. Each worker owns a private chip
   /// session; a sequencer commits results in canonical trial order, so any
   /// value produces CSV/journal byte-identical to jobs = 1 (values < 1 are
@@ -187,6 +194,9 @@ class CampaignRunner {
 
   [[nodiscard]] fault::FaultyChip& session() { return faulty_; }
   [[nodiscard]] const RunnerConfig& config() const { return config_; }
+  /// The campaign chip — what a shard worker or supervisor builds its own
+  /// runner around (bench/common.cpp).
+  [[nodiscard]] bender::HbmChip& chip() { return chip_; }
 
   /// The guard/pin setpoint: the profile's controlled target or ambient.
   [[nodiscard]] double setpoint_c() const;
