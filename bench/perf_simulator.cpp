@@ -74,14 +74,16 @@ BENCHMARK(BM_HammerFastPath)->Arg(1000)->Arg(100000);
 
 void BM_SenseDisturbedRow(benchmark::State& state) {
   // The dominant cost of every probe: reading a victim whose ledger holds
-  // dose. state.range(0) selects the scan mode: 0 = uncached (a full
-  // 8192-cell threshold scan per sense), 1 = threshold cache attached (the
-  // first sense builds the row summary, every later sense is a warm hit
-  // driving the candidate-prefix scan).
+  // dose. state.range(0) selects the scan mode: 0 = uncached (a whole-row
+  // threshold scan per sense), 1 = threshold cache attached (the first
+  // sense builds the row summary, every later sense is a warm hit driving
+  // the candidate-prefix scan). state.range(1) = 1 forces the per-cell
+  // scalar reference path instead of the word-parallel bitplane scan.
   auto c = config();
   if (state.range(0) != 0) {
     c.threshold_cache = std::make_shared<disturb::ThresholdCache>();
   }
+  c.scalar_sense = state.range(1) != 0;
   dram::Stack stack(std::move(c));
   bender::Executor executor(&stack);
   const std::array<int, 2> rows = {4299, 4301};
@@ -98,9 +100,10 @@ void BM_SenseDisturbedRow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SenseDisturbedRow)
-    ->Arg(0)
-    ->Arg(1)
-    ->ArgName("cached");
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->ArgNames({"cached", "scalar"});
 
 void BM_RowSummaryBuild(benchmark::State& state) {
   // Cold-miss cost of the threshold cache: one full per-cell scan plus the

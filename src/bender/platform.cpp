@@ -37,6 +37,7 @@ dram::StackConfig HbmChip::stack_config() const {
     };
   }
   config.threshold_cache = threshold_cache_;
+  config.scalar_sense = profile_.scalar_sense;
   return config;
 }
 
@@ -143,9 +144,10 @@ double HbmChip::temperature_c() {
   return stack_->temperature();
 }
 
-Platform::Platform(std::uint64_t seed) {
-  for (const auto& profile : dram::chip_profiles(seed)) {
-    chips_.push_back(std::make_unique<HbmChip>(profile));
+Platform::Platform(std::uint64_t seed, bool scalar_sense) {
+  for (auto profile : dram::chip_profiles(seed)) {
+    profile.scalar_sense = scalar_sense;
+    chips_.push_back(std::make_unique<HbmChip>(std::move(profile)));
   }
 }
 

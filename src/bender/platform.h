@@ -115,7 +115,10 @@ class HbmChip : public ChipSession {
 /// All six boards of the testbed (Table 3).
 class Platform {
  public:
-  explicit Platform(std::uint64_t seed = dram::kDefaultPlatformSeed);
+  /// `scalar_sense` forces every chip onto the per-cell reference sense
+  /// path (--scalar-sense at the CLI); device behavior is identical.
+  explicit Platform(std::uint64_t seed = dram::kDefaultPlatformSeed,
+                    bool scalar_sense = false);
 
   [[nodiscard]] int chip_count() const {
     return static_cast<int>(chips_.size());

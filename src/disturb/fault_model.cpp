@@ -253,4 +253,75 @@ double FaultModel::normal_cdf(double z) {
   return 0.5 * std::erfc(-z * M_SQRT1_2);
 }
 
+FaultModel::RowHashPrefixes FaultModel::row_hash_prefixes(
+    const dram::BankAddress& bank, int physical_row) const {
+  const std::uint64_t bk = bank_key(bank);
+  RowHashPrefixes p;
+  p.orientation = hash_key(p_.seed, kTagOrientation, bk, physical_row);
+  p.outlier = hash_key(p_.seed, kTagOutlierCell, bk, physical_row);
+  p.weak = hash_key(p_.seed, kTagWeakCell, bk, physical_row);
+  p.cell_threshold = hash_key(p_.seed, kTagCellZ, bk, physical_row);
+  p.leaky = hash_key(p_.seed, kTagLeaky, bk, physical_row);
+  p.leaky_retention = hash_key(p_.seed, kTagLeakyRetention, bk, physical_row);
+  p.normal_retention =
+      hash_key(p_.seed, kTagNormalRetention, bk, physical_row);
+  return p;
+}
+
+double FaultModel::uniform_at(std::uint64_t prefix, int bit) noexcept {
+  return util::to_unit(
+      util::mix64(prefix ^ static_cast<std::uint64_t>(bit)));
+}
+
+std::uint64_t FaultModel::membership_threshold(double fraction) noexcept {
+  // to_unit(h) = (h >> 11) * 2^-53, so to_unit(h) < f is equivalent to
+  // (h >> 11) < ceil(f * 2^53): the power-of-two scaling is exact, and for
+  // integer k and real t, k < t iff k < ceil(t).
+  if (!(fraction > 0.0)) return 0;
+  if (fraction >= 1.0) return std::uint64_t{1} << 53;
+  return static_cast<std::uint64_t>(std::ceil(fraction * 0x1p53));
+}
+
+bool FaultModel::below_threshold(std::uint64_t prefix, int bit,
+                                 std::uint64_t threshold) noexcept {
+  return (util::mix64(prefix ^ static_cast<std::uint64_t>(bit)) >> 11) <
+         threshold;
+}
+
+void FaultModel::fill_membership_plane(std::uint64_t prefix, double fraction,
+                                       std::span<std::uint64_t> out) noexcept {
+  const std::uint64_t threshold = membership_threshold(fraction);
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    const std::uint64_t base = static_cast<std::uint64_t>(w) << 6;
+    std::uint64_t word = 0;
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      const std::uint64_t h = util::mix64(prefix ^ (base + b));
+      word |= static_cast<std::uint64_t>((h >> 11) < threshold) << b;
+    }
+    out[w] = word;
+  }
+}
+
+void FaultModel::fill_uniform_row(std::uint64_t prefix,
+                                  std::span<double> out) noexcept {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = util::to_unit(util::mix64(prefix ^ static_cast<std::uint64_t>(i)));
+  }
+}
+
+void FaultModel::fill_retention_uniform_row(
+    std::uint64_t leaky_prefix, std::uint64_t normal_prefix,
+    std::span<const std::uint64_t> leaky_plane,
+    std::span<double> out) noexcept {
+  for (std::size_t w = 0; w < leaky_plane.size(); ++w) {
+    const std::uint64_t plane = leaky_plane[w];
+    const std::uint64_t base = static_cast<std::uint64_t>(w) << 6;
+    for (std::uint64_t b = 0; b < 64 && base + b < out.size(); ++b) {
+      const std::uint64_t prefix =
+          ((plane >> b) & 1u) ? leaky_prefix : normal_prefix;
+      out[base + b] = util::to_unit(util::mix64(prefix ^ (base + b)));
+    }
+  }
+}
+
 }  // namespace hbmrd::disturb

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -136,6 +137,61 @@ class FaultModel {
 
   /// Standard normal CDF.
   [[nodiscard]] static double normal_cdf(double z);
+
+  // -- Word-batched row primitives (bitplane device model) ------------------
+  // Every per-cell property above hashes (seed, tag, bank, row, bit); the
+  // fold structure of util::hash_key means the (seed, tag, bank, row)
+  // prefix can be hoisted once per row, leaving one mix64 round per cell.
+  // The helpers below exploit that seam: uniform_at(prefix, bit) is
+  // integer-identical to the corresponding per-cell call, so planes and
+  // uniform rows built from a RowHashPrefixes reproduce the scalar hashes
+  // bit for bit (asserted by tests/device_bitplane_test.cpp).
+
+  /// Hoisted per-row hash prefixes, one per per-cell hash domain.
+  struct RowHashPrefixes {
+    std::uint64_t orientation = 0;       // is_true_cell
+    std::uint64_t outlier = 0;           // is_outlier_cell
+    std::uint64_t weak = 0;              // is_weak_cell
+    std::uint64_t cell_threshold = 0;    // cell_threshold_uniform
+    std::uint64_t leaky = 0;             // is_leaky_cell
+    std::uint64_t leaky_retention = 0;   // retention_uniform(leaky=true)
+    std::uint64_t normal_retention = 0;  // retention_uniform(leaky=false)
+  };
+  [[nodiscard]] RowHashPrefixes row_hash_prefixes(
+      const dram::BankAddress& bank, int physical_row) const;
+
+  /// The per-cell uniform under a hoisted prefix; equals the matching
+  /// uniform(seed, tag, bank, row, bit) call exactly.
+  [[nodiscard]] static double uniform_at(std::uint64_t prefix,
+                                         int bit) noexcept;
+
+  /// Integer membership threshold: (hash >> 11) < membership_threshold(f)
+  /// is exactly equivalent to to_unit(hash) < f, keeping the plane fills
+  /// branchless and free of int->double conversions.
+  [[nodiscard]] static std::uint64_t membership_threshold(
+      double fraction) noexcept;
+
+  /// True iff uniform_at(prefix, bit) < the fraction that produced
+  /// `threshold` (via membership_threshold).
+  [[nodiscard]] static bool below_threshold(std::uint64_t prefix, int bit,
+                                            std::uint64_t threshold) noexcept;
+
+  /// Fills a 64-bit-per-word membership plane: bit b of word w is set iff
+  /// uniform_at(prefix, 64*w + b) < fraction. `out` spans kRowBits/64 words.
+  static void fill_membership_plane(std::uint64_t prefix, double fraction,
+                                    std::span<std::uint64_t> out) noexcept;
+
+  /// Fills one uniform per cell; out.size() == kRowBits.
+  static void fill_uniform_row(std::uint64_t prefix,
+                               std::span<double> out) noexcept;
+
+  /// Fills each cell's retention uniform from its own population's hash
+  /// domain, selected per cell by `leaky_plane` (as filled above).
+  static void fill_retention_uniform_row(std::uint64_t leaky_prefix,
+                                         std::uint64_t normal_prefix,
+                                         std::span<const std::uint64_t>
+                                             leaky_plane,
+                                         std::span<double> out) noexcept;
 
   /// Conservative lower bound on any cell threshold of any row of this
   /// chip (5-sigma process-variation margins, 6-sigma cell margin). Doses

@@ -21,6 +21,7 @@
 // chip, hence its own cache); there is deliberately no locking.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -38,6 +39,10 @@ struct RowThresholdSummary {
   static constexpr std::uint8_t kLeaky = 2;     // leaky retention population
   static constexpr std::uint8_t kOutlier = 4;   // outlier threshold population
   static constexpr std::uint8_t kWeak = 8;      // weak threshold population
+
+  /// One bit per cell, 64 cells per word (bit b of word w = cell 64*w+b).
+  static constexpr int kPlaneWords = dram::kRowBits / 64;
+  using BitPlane = std::array<std::uint64_t, kPlaneWords>;
 
   RowContext ctx;
   /// Minimum cell retention at the reference temperature, seconds
@@ -57,12 +62,37 @@ struct RowThresholdSummary {
   /// Cells of each retention population, sorted ascending by retention_u.
   std::vector<int> leaky_by_u;
   std::vector<int> normal_by_u;
+
+  /// The same memberships as `flags`, one bit per cell, for the
+  /// word-parallel sense path (dram/bank.cpp): a cell is charged iff its
+  /// stored bit equals its true_plane bit, a whole word at a time.
+  /// weak_plane excludes outlier cells (same precedence as `flags`).
+  BitPlane true_plane{};
+  BitPlane leaky_plane{};
+  BitPlane outlier_plane{};
+  BitPlane weak_plane{};
+  /// Deterministic power-on contents (fault-model power_on_word verbatim),
+  /// so fresh-row materialization of a cached row skips its hash pass.
+  BitPlane power_on{};
+};
+
+/// Reusable sort scratch for build_row_summary; owning one amortizes the
+/// allocation across builds (BankThresholdCache keeps one per bank).
+struct SummaryBuildScratch {
+  /// (integer uniform key, bit) pairs; the 53-bit key reproduces the
+  /// double uniform exactly, so integer order == double order.
+  std::vector<std::pair<std::uint64_t, int>> keyed;
+  std::vector<std::pair<std::uint64_t, int>> sorted;
+  std::vector<std::uint32_t> bucket_heads;
 };
 
 /// Builds the summary for one row (pure function of the model's seed and
-/// the coordinates; exposed for tests and benchmarks).
+/// the coordinates; exposed for tests and benchmarks). `scratch` is
+/// optional; passing one makes repeated builds allocation-free apart from
+/// the summary's own storage.
 [[nodiscard]] RowThresholdSummary build_row_summary(
-    const FaultModel& model, const dram::BankAddress& bank, int physical_row);
+    const FaultModel& model, const dram::BankAddress& bank, int physical_row,
+    SummaryBuildScratch* scratch = nullptr);
 
 struct ThresholdCacheStats {
   std::uint64_t hits = 0;
@@ -103,6 +133,7 @@ class BankThresholdCache {
   std::list<std::pair<int, RowThresholdSummary>> lru_;
   std::unordered_map<int, decltype(lru_)::iterator> index_;
   ThresholdCacheStats stats_;
+  SummaryBuildScratch build_scratch_;
 };
 
 /// Stack-level owner: one lazily created BankThresholdCache per bank.

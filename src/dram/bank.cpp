@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -24,21 +25,88 @@ constexpr double kRetentionFloorSeconds = 0.033;
 /// for the per-cell threshold scan.
 constexpr double kThresholdScanSigma = 6.0;
 
+/// Candidate-prefix scans that would visit more than this many cells
+/// switch to the word-parallel bitplane scan instead (bitplane mode only;
+/// the flip set is identical either way). The crossover is observable via
+/// the device.sense_cells_visited / device.sense_word_ops counters.
+constexpr std::size_t kCandidateScanLimit = 512;
+
+/// Dose ledgers with this many epochs or more fall back to the per-cell
+/// scan: the bitplane path encodes one class bit per epoch (plus intra) in
+/// a 32-bit key. Real hammer workloads merge into a handful of epochs.
+constexpr std::size_t kMaxBitplaneEpochs = 31;
+
+/// Memoized per-dose flip probabilities (one normal_cdf per population).
+struct DoseProb {
+  double dose;
+  double outlier_probability;
+  double weak_probability;
+  double bulk_probability;
+};
+
 }  // namespace
+
+/// Per-bank scratch for the sense/hammer hot paths; lazily allocated so
+/// only banks that actually sense disturbed rows pay for it.
+struct Bank::SenseArena {
+  /// One mask/class-key group of the per-word dose-class split.
+  struct Group {
+    std::uint64_t mask;
+    std::uint32_t key;
+  };
+  /// One materialized dose class: its key and memoized probabilities.
+  struct ClassEntry {
+    std::uint32_t key;
+    DoseProb p;
+  };
+
+  // Planes and uniform rows computed when no cached summary is available.
+  std::array<std::uint64_t, RowBits::kWords> true_plane{};
+  std::array<std::uint64_t, RowBits::kWords> leaky_plane{};
+  std::vector<double> cell_u;
+  std::vector<double> retention_u;
+
+  // Ping-pong buffers for the per-word class split (<= 64 non-empty
+  // groups can exist at any stage: they partition 64 bits).
+  std::array<Group, 64> group_a{};
+  std::array<Group, 64> group_b{};
+  std::vector<ClassEntry> classes;
+
+  // Per-sense DoseProb ring memo: proper round-robin eviction once full
+  // (the old fixed-slot scheme silently thrashed slot 15 forever).
+  std::array<DoseProb, 16> memo{};
+  std::size_t memo_size = 0;
+  std::size_t memo_next = 0;
+
+  /// Scratch for the candidate-driven sense scan.
+  std::vector<int> candidates;
+  /// Scratch for bulk_hammer's sorted hammered-row lookup.
+  std::vector<int> hammered_rows;
+};
 
 Bank::Bank(BankAddress address, const disturb::FaultModel* fault_model,
            const Environment* env, TimingParams timing,
-           disturb::BankThresholdCache* threshold_cache)
+           disturb::BankThresholdCache* threshold_cache, bool scalar_sense)
     : address_(address),
       fault_(fault_model),
       env_(env),
       timing_(timing),
       checker_(timing),
-      threshold_cache_(threshold_cache) {
+      threshold_cache_(threshold_cache),
+      scalar_sense_(scalar_sense) {
   validate(address_);
   if (fault_ == nullptr || env_ == nullptr) {
     throw std::invalid_argument("Bank: fault model and environment required");
   }
+}
+
+Bank::Bank(Bank&&) noexcept = default;
+Bank& Bank::operator=(Bank&&) noexcept = default;
+Bank::~Bank() = default;
+
+Bank::SenseArena& Bank::arena() {
+  if (!arena_) arena_ = std::make_unique<SenseArena>();
+  return *arena_;
 }
 
 void Bank::check_row(int physical_row) const {
@@ -53,9 +121,18 @@ Bank::RowState& Bank::state(int physical_row, Cycle now) {
   if (inserted) {
     RowState& rs = it->second;
     auto words = rs.bits.words();
-    for (int w = 0; w < RowBits::kWords; ++w) {
-      words[static_cast<std::size_t>(w)] =
-          fault_->power_on_word(address_, physical_row, w);
+    // A cached summary carries the row's power-on plane verbatim; fresh
+    // materialization of a cached row skips the per-word hash pass.
+    const disturb::RowThresholdSummary* cached =
+        threshold_cache_ ? threshold_cache_->peek(physical_row) : nullptr;
+    if (cached != nullptr) {
+      std::copy(cached->power_on.begin(), cached->power_on.end(),
+                words.begin());
+    } else {
+      for (int w = 0; w < RowBits::kWords; ++w) {
+        words[static_cast<std::size_t>(w)] =
+            fault_->power_on_word(address_, physical_row, w);
+      }
     }
     rs.last_restore = now;
     if (!layers_.empty()) {
@@ -213,23 +290,21 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
     // does not change a neighbouring cell's intra-row coupling mid-scan.
     const RowBits snapshot = row.bits;
     bool changed = false;
+    SenseArena& a = arena();
+    a.memo_size = 0;
+    a.memo_next = 0;
+    a.classes.clear();
 
     // threshold <= dose is equivalent to comparing the cell's raw uniform
     // against Phi(ln(dose / median) / sigma) of the cell's population;
     // cells fall into a handful of identical dose classes (victim bit x
     // aggressor bits x intra bonus), so the CDFs are memoized per distinct
-    // dose for both populations.
-    struct DoseProb {
-      double dose;
-      double outlier_probability;
-      double weak_probability;
-      double bulk_probability;
-    };
-    std::array<DoseProb, 16> memo;
-    std::size_t memo_size = 0;
-    auto flip_probabilities = [&](double dose) -> const DoseProb& {
-      for (std::size_t i = 0; i < memo_size; ++i) {
-        if (memo[i].dose == dose) return memo[i];
+    // dose for both populations. The memo is a ring: once full, slots are
+    // overwritten round-robin (the old fixed-slot scheme thrashed the last
+    // slot forever); evictions are counted as telemetry.
+    auto flip_probabilities = [&](double dose) -> DoseProb {
+      for (std::size_t i = 0; i < a.memo_size; ++i) {
+        if (a.memo[i].dose == dose) return a.memo[i];
       }
       DoseProb entry{dose, 0.0, 0.0, 0.0};
       if (dose > 0.0) {
@@ -240,10 +315,16 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
         entry.bulk_probability = disturb::FaultModel::normal_cdf(
             std::log(dose / ctx.bulk_median) / ctx.bulk_sigma);
       }
-      const std::size_t slot = std::min(memo_size, memo.size() - 1);
-      memo[slot] = entry;
-      if (memo_size < memo.size()) ++memo_size;
-      return memo[slot];
+      std::size_t slot;
+      if (a.memo_size < a.memo.size()) {
+        slot = a.memo_size++;
+      } else {
+        slot = a.memo_next;
+        a.memo_next = (a.memo_next + 1) % a.memo.size();
+        ++counters_.dose_memo_evictions;
+      }
+      a.memo[slot] = entry;
+      return entry;
     };
 
     // Retention: one failure probability threshold per population. Most
@@ -268,16 +349,174 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
     }
 
     const auto& epochs = row.ledger.epochs();
+    const std::size_t n_epochs = epochs.size();
+    // Bitplane scan needs one class-key bit per epoch (plus intra) in a
+    // 32-bit key; oversized ledgers take the per-cell path instead. The
+    // choice is a pure function of device state, so flips AND counters
+    // stay deterministic per mode.
+    const bool bitplane_ok = !scalar_sense_ && n_epochs < kMaxBitplaneEpochs;
+
+    // Word-parallel scan over the whole row: per-cell predicates become
+    // 64-wide mask operations, per-cell dose folds collapse into a handful
+    // of dose classes per word, and flips apply as one XOR per word. The
+    // accessors abstract where per-cell uniforms/memberships come from (a
+    // cached summary, or lazy hashes off hoisted row prefixes); either way
+    // the values are bit-identical to the per-cell paths.
+    auto bitplane_scan = [&](const std::uint64_t* true_plane,
+                             const std::uint64_t* leaky_plane,
+                             auto&& cell_u_at, auto&& retention_u_at,
+                             auto&& outlier_at, auto&& weak_at) {
+      const std::uint64_t* sw = snapshot.words().data();
+      auto class_probs = [&](std::uint32_t key) -> DoseProb {
+        for (const auto& c : a.classes) {
+          if (c.key == key) return c.p;
+        }
+        // Term-by-term the same fold as the per-cell loop; coupling
+        // depends only on victim/aggressor equality, so coupling(true,
+        // same, intra) yields the identical double.
+        const bool intra = ((key >> n_epochs) & 1u) != 0;
+        double dose = 0.0;
+        for (std::size_t ei = 0; ei < n_epochs; ++ei) {
+          const auto& e = epochs[ei];
+          dose += e.dose() * fault_->distance_factor(e.distance) *
+                  fault_->coupling(true, ((key >> ei) & 1u) != 0, intra);
+        }
+        dose *= temp_vuln;
+        const DoseProb p = flip_probabilities(dose);
+        a.classes.push_back({key, p});
+        return p;
+      };
+
+      for (int w = 0; w < RowBits::kWords; ++w) {
+        const auto wi = static_cast<std::size_t>(w);
+        const std::uint64_t v = sw[wi];
+        const std::uint64_t charged = ~(v ^ true_plane[wi]);
+        std::uint64_t flips = 0;
+
+        if (check_retention) {
+          const std::uint64_t lk = leaky_plane[wi];
+          std::uint64_t cand = charged;
+          // A population with a zero failure threshold cannot flip.
+          if (leaky_u_max <= 0.0) cand &= ~lk;
+          if (normal_u_max <= 0.0) cand &= lk;
+          counters_.sense_cells_visited +=
+              static_cast<std::uint64_t>(std::popcount(cand));
+          while (cand != 0) {
+            const int b = std::countr_zero(cand);
+            cand &= cand - 1;
+            const int bit = w * 64 + b;
+            const bool leaky = ((lk >> b) & 1u) != 0;
+            const double u_max = leaky ? leaky_u_max : normal_u_max;
+            if (retention_u_at(bit, leaky) <= u_max) flips |= 1ull << b;
+          }
+        }
+
+        if (check_disturb) {
+          const std::uint64_t cand = charged & ~flips;
+          if (cand != 0) {
+            // Neighbour planes with cross-word carries; edge cells borrow
+            // their own value (differs = 0), matching the per-cell scan.
+            std::uint64_t left = v << 1;
+            left |= w > 0 ? sw[wi - 1] >> 63 : v & 1ull;
+            std::uint64_t right = v >> 1;
+            right |= (w + 1 < RowBits::kWords ? sw[wi + 1] & 1ull
+                                              : (v >> 63) & 1ull)
+                     << 63;
+            const std::uint64_t intra = (v ^ left) | (v ^ right);
+
+            // Split the word's cells into dose classes: key bit ei =
+            // "victim bit equals epoch ei's aggressor bit", top bit =
+            // intra-row coupling. Non-empty groups partition 64 bits, so
+            // at most 64 exist at any stage.
+            SenseArena::Group* cur = a.group_a.data();
+            SenseArena::Group* nxt = a.group_b.data();
+            cur[0] = {cand, 0};
+            int n_cur = 1;
+            for (std::size_t ei = 0; ei < n_epochs; ++ei) {
+              const std::uint64_t same =
+                  ~(v ^ epochs[ei].aggressor_bits.words()[wi]);
+              int n_nxt = 0;
+              for (int g = 0; g < n_cur; ++g) {
+                const std::uint64_t m1 = cur[g].mask & same;
+                const std::uint64_t m0 = cur[g].mask & ~same;
+                if (m1 != 0) {
+                  nxt[n_nxt++] = {m1, cur[g].key | (1u << ei)};
+                }
+                if (m0 != 0) nxt[n_nxt++] = {m0, cur[g].key};
+              }
+              std::swap(cur, nxt);
+              n_cur = n_nxt;
+            }
+            {
+              const std::uint32_t intra_key =
+                  1u << static_cast<std::uint32_t>(n_epochs);
+              int n_nxt = 0;
+              for (int g = 0; g < n_cur; ++g) {
+                const std::uint64_t m1 = cur[g].mask & intra;
+                const std::uint64_t m0 = cur[g].mask & ~intra;
+                if (m1 != 0) nxt[n_nxt++] = {m1, cur[g].key | intra_key};
+                if (m0 != 0) nxt[n_nxt++] = {m0, cur[g].key};
+              }
+              std::swap(cur, nxt);
+              n_cur = n_nxt;
+            }
+            counters_.sense_word_ops += n_epochs + 1;
+
+            for (int g = 0; g < n_cur; ++g) {
+              const DoseProb p = class_probs(cur[g].key);
+              const double p_max =
+                  std::max({p.outlier_probability, p.weak_probability,
+                            p.bulk_probability});
+              if (p_max <= 0.0) continue;
+              std::uint64_t m = cur[g].mask;
+              counters_.sense_cells_visited +=
+                  static_cast<std::uint64_t>(std::popcount(m));
+              while (m != 0) {
+                const int b = std::countr_zero(m);
+                m &= m - 1;
+                const int bit = w * 64 + b;
+                const double u = cell_u_at(bit);
+                // Sound screen: every population's probability <= p_max.
+                if (u > p_max) continue;
+                double probability = p.bulk_probability;
+                if (outlier_at(bit)) {
+                  probability = p.outlier_probability;
+                } else if (weak_at(bit)) {
+                  probability = p.weak_probability;
+                }
+                if (probability > 0.0 && u <= probability) {
+                  flips |= 1ull << b;
+                }
+              }
+            }
+          }
+        }
+
+        if (flips != 0) {
+          // Flips only discharge charged cells, so the XOR is exactly the
+          // per-bit set(bit, !value) of the per-cell paths.
+          row.bits.words()[wi] ^= flips;
+          counters_.bitflips_materialized +=
+              static_cast<std::uint64_t>(std::popcount(flips));
+          changed = true;
+        }
+      }
+      counters_.sense_word_ops +=
+          static_cast<std::uint64_t>(RowBits::kWords) *
+          (1u + (check_retention ? 1u : 0u));
+    };
+
     const disturb::RowThresholdSummary* summary =
         threshold_cache_ ? &threshold_cache_->get(*fault_, physical_row)
                          : nullptr;
+    bool scanned = false;
     if (summary != nullptr) {
       // Candidate-driven scan: per population, only the sorted-by-uniform
       // prefix that the conservative bounds cannot rule out is visited;
       // every visited cell is then decided by the exact per-cell
       // expressions of the full scan below, with the cached uniforms and
       // flags standing in (verbatim) for the fault-model hashes.
-      auto& candidates = candidate_scratch_;
+      auto& candidates = a.candidates;
       candidates.clear();
       const auto take_prefix = [&candidates](const std::vector<int>& order,
                                              const std::vector<double>& u,
@@ -324,11 +563,20 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
           take_prefix(summary->bulk_by_u, summary->cell_u, bulk_bound);
         }
       }
-      std::sort(candidates.begin(), candidates.end());
-      candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                       candidates.end());
+      // A huge candidate prefix means the bounds ruled little out: the
+      // word-parallel scan beats visiting cells one by one. The crossover
+      // only exists in bitplane mode; flips are identical either way.
+      const std::size_t scan_limit =
+          bitplane_ok ? kCandidateScanLimit
+                      : std::numeric_limits<std::size_t>::max();
+      if (candidates.size() <= scan_limit) {
+        scanned = true;
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        counters_.sense_cells_visited += candidates.size();
 
-      for (int bit : candidates) {
+        for (int bit : candidates) {
         const auto i = static_cast<std::size_t>(bit);
         const bool value = snapshot.get(bit);
         const std::uint8_t flags = summary->flags[i];
@@ -375,8 +623,69 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
           ++counters_.bitflips_materialized;
           changed = true;
         }
+        }
       }
-    } else {
+    }
+    if (!scanned && bitplane_ok && summary != nullptr) {
+      // Bitplane scan off the cached summary's planes and uniform arrays.
+      bitplane_scan(
+          summary->true_plane.data(), summary->leaky_plane.data(),
+          [&](int bit) {
+            return summary->cell_u[static_cast<std::size_t>(bit)];
+          },
+          [&](int bit, bool /*leaky*/) {
+            return summary->retention_u[static_cast<std::size_t>(bit)];
+          },
+          [&](int bit) {
+            return ((summary->outlier_plane[static_cast<std::size_t>(
+                         bit >> 6)] >>
+                     (bit & 63)) &
+                    1u) != 0;
+          },
+          [&](int bit) {
+            return ((summary->weak_plane[static_cast<std::size_t>(bit >> 6)] >>
+                     (bit & 63)) &
+                    1u) != 0;
+          });
+    } else if (!scanned && bitplane_ok) {
+      // No cached summary: hoist the row's hash prefixes once, fill only
+      // the planes the masks need, and hash uniforms lazily per visited
+      // cell — identical values to the full scan's per-cell hash calls.
+      const auto& params = fault_->params();
+      const auto prefixes = fault_->row_hash_prefixes(address_, physical_row);
+      disturb::FaultModel::fill_membership_plane(
+          prefixes.orientation, params.true_cell_fraction, a.true_plane);
+      counters_.sense_word_ops += RowBits::kWords;
+      if (check_retention) {
+        disturb::FaultModel::fill_membership_plane(
+            prefixes.leaky, params.leaky_cell_fraction, a.leaky_plane);
+        counters_.sense_word_ops += RowBits::kWords;
+      }
+      const std::uint64_t outlier_threshold =
+          disturb::FaultModel::membership_threshold(params.outlier_fraction);
+      const std::uint64_t weak_threshold =
+          disturb::FaultModel::membership_threshold(ctx.weak_density);
+      bitplane_scan(
+          a.true_plane.data(), a.leaky_plane.data(),
+          [&](int bit) {
+            return disturb::FaultModel::uniform_at(prefixes.cell_threshold,
+                                                   bit);
+          },
+          [&](int bit, bool leaky) {
+            return disturb::FaultModel::uniform_at(
+                leaky ? prefixes.leaky_retention : prefixes.normal_retention,
+                bit);
+          },
+          [&](int bit) {
+            return disturb::FaultModel::below_threshold(prefixes.outlier, bit,
+                                                        outlier_threshold);
+          },
+          [&](int bit) {
+            return disturb::FaultModel::below_threshold(prefixes.weak, bit,
+                                                        weak_threshold);
+          });
+    } else if (!scanned) {
+      counters_.sense_cells_visited += static_cast<std::uint64_t>(kRowBits);
       for (int bit = 0; bit < kRowBits; ++bit) {
         const bool value = snapshot.get(bit);
 
@@ -436,15 +745,26 @@ void Bank::sense_and_restore(int physical_row, RowState& row, Cycle now) {
   row.last_restore = now;
 }
 
-double Bank::min_retention_ref_seconds(int physical_row) const {
+double Bank::min_retention_ref_seconds(int physical_row) {
   const auto& params = fault_->params();
+  // Word-batched: one hoisted hash prefix per property instead of two
+  // hash_key folds per cell; the resulting uniforms are bit-identical.
+  const auto prefixes = fault_->row_hash_prefixes(address_, physical_row);
+  SenseArena& a = arena();
+  disturb::FaultModel::fill_membership_plane(
+      prefixes.leaky, params.leaky_cell_fraction, a.leaky_plane);
+  a.retention_u.resize(static_cast<std::size_t>(kRowBits));
+  disturb::FaultModel::fill_retention_uniform_row(
+      prefixes.leaky_retention, prefixes.normal_retention, a.leaky_plane,
+      a.retention_u);
+  counters_.sense_word_ops +=
+      static_cast<std::uint64_t>(2 * RowBits::kWords);
   double min_u_leaky = 2.0;
   double min_u_normal = 2.0;
   for (int bit = 0; bit < kRowBits; ++bit) {
-    const bool leaky = fault_->is_leaky_cell(address_, physical_row, bit);
-    const double u =
-        fault_->retention_uniform(address_, physical_row, bit, leaky);
-    if (leaky) {
+    const double u = a.retention_u[static_cast<std::size_t>(bit)];
+    if ((a.leaky_plane[static_cast<std::size_t>(bit >> 6)] >> (bit & 63)) &
+        1u) {
       min_u_leaky = std::min(min_u_leaky, u);
     } else {
       min_u_normal = std::min(min_u_normal, u);
@@ -610,13 +930,14 @@ Cycle Bank::bulk_hammer(std::span<const HammerStep> steps,
   // Deduplicate hammered rows (refresh-window bursts repeat the same
   // aggressors and dummies dozens of times): sense each distinct row once
   // and resolve row-state pointers once instead of per step.
-  hammered_rows_scratch_.clear();
-  hammered_rows_scratch_.reserve(steps.size());
-  for (const auto& s : steps) hammered_rows_scratch_.push_back(s.row);
-  std::sort(hammered_rows_scratch_.begin(), hammered_rows_scratch_.end());
+  auto& hammered_rows = arena().hammered_rows;
+  hammered_rows.clear();
+  hammered_rows.reserve(steps.size());
+  for (const auto& s : steps) hammered_rows.push_back(s.row);
+  std::sort(hammered_rows.begin(), hammered_rows.end());
   auto is_hammered = [&](int row) {
-    return std::binary_search(hammered_rows_scratch_.begin(),
-                              hammered_rows_scratch_.end(), row);
+    return std::binary_search(hammered_rows.begin(), hammered_rows.end(),
+                              row);
   };
   static constexpr int kDistances[] = {-2, -1, 1, 2};
   struct HammeredRow {

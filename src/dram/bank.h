@@ -41,6 +41,18 @@ struct BankCounters {
   /// window (refresh-window bursts repeat aggressors and dummies): the
   /// work the per-distinct-row dedup saved.
   std::uint64_t hammer_dedup_hits = 0;
+  /// DoseProb memo entries overwritten after the per-sense ring filled up
+  /// (each eviction re-pays three normal_cdf calls on the next lookup of
+  /// the evicted dose). Telemetry: depends on the scan mode.
+  std::uint64_t dose_memo_evictions = 0;
+  /// 64-bit words processed by the word-parallel stages of bitplane senses
+  /// (plane/uniform fills and the per-word class-split scan).
+  std::uint64_t sense_word_ops = 0;
+  /// Cells examined individually by a sense: candidate-prefix entries,
+  /// scalar full-scan cells, and per-bit work inside bitplane scans. The
+  /// ratio to sense_word_ops makes the candidate-scan-vs-bitplane
+  /// crossover observable per campaign.
+  std::uint64_t sense_cells_visited = 0;
 };
 
 /// One activation of the hammer fast path: a row kept open for `on_cycles`.
@@ -57,14 +69,19 @@ class Bank {
   /// of cached rows skip the per-cell hash scan; results are bit-identical
   /// with and without it. The cache outlives the bank (it is shared across
   /// power cycles) and must only be used from the bank's thread.
+  /// `scalar_sense` selects the per-cell reference sense path instead of
+  /// the word-parallel bitplane path; flips are bit-identical either way
+  /// (tests/device_bitplane_test.cpp).
   Bank(BankAddress address, const disturb::FaultModel* fault_model,
        const Environment* env, TimingParams timing,
-       disturb::BankThresholdCache* threshold_cache = nullptr);
+       disturb::BankThresholdCache* threshold_cache = nullptr,
+       bool scalar_sense = false);
 
   Bank(const Bank&) = delete;
   Bank& operator=(const Bank&) = delete;
-  Bank(Bank&&) = default;
-  Bank& operator=(Bank&&) = default;
+  Bank(Bank&&) noexcept;
+  Bank& operator=(Bank&&) noexcept;
+  ~Bank();
 
   [[nodiscard]] const BankAddress& address() const { return address_; }
 
@@ -192,12 +209,20 @@ class Bank {
     rs.cow_epoch = cow_epoch_;
   }
 
+  /// Per-bank scratch arena: every per-sense/per-window buffer (candidate
+  /// lists, bitplanes, uniform rows, dose-class groups, the DoseProb ring)
+  /// lives here, lazily allocated on first use so untouched banks stay
+  /// cheap and the worker hot path is allocation-free in steady state.
+  struct SenseArena;
+
+  [[nodiscard]] SenseArena& arena();
+
   /// Sense: applies retention decay and disturbance flips to the stored
   /// bits, then clears the dose ledger and resets the retention clock.
   void sense_and_restore(int physical_row, RowState& row, Cycle now);
 
   /// Minimum cell retention of a row at the reference temperature.
-  [[nodiscard]] double min_retention_ref_seconds(int physical_row) const;
+  [[nodiscard]] double min_retention_ref_seconds(int physical_row);
 
   /// Applies the disturbance of one aggressor activation burst to the
   /// aggressor's in-subarray neighbours.
@@ -223,10 +248,8 @@ class Bank {
   std::unique_ptr<ReadDisturbDefense> defense_;
   BankCounters counters_;
   disturb::BankThresholdCache* threshold_cache_ = nullptr;
-  /// Scratch for the candidate-driven sense scan (reused across senses).
-  std::vector<int> candidate_scratch_;
-  /// Scratch for bulk_hammer's sorted hammered-row lookup.
-  std::vector<int> hammered_rows_scratch_;
+  bool scalar_sense_ = false;
+  std::unique_ptr<SenseArena> arena_;
 };
 
 }  // namespace hbmrd::dram

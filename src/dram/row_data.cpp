@@ -26,19 +26,25 @@ int RowBits::count_diff(const RowBits& other) const {
 
 std::vector<int> RowBits::diff_positions(const RowBits& other) const {
   std::vector<int> positions;
+  diff_positions(other, positions);
+  return positions;
+}
+
+void RowBits::diff_positions(const RowBits& other,
+                             std::vector<int>& out) const {
+  out.clear();
   // One popcount pass sizes the allocation exactly; flip-heavy senses
   // otherwise pay log2(flips) reallocations while extracting positions.
-  positions.reserve(static_cast<std::size_t>(count_diff(other)));
+  out.reserve(static_cast<std::size_t>(count_diff(other)));
   for (int w = 0; w < kWords; ++w) {
     std::uint64_t diff = words_[static_cast<std::size_t>(w)] ^
                          other.words_[static_cast<std::size_t>(w)];
     while (diff != 0) {
       const int bit = std::countr_zero(diff);
-      positions.push_back(w * 64 + bit);
+      out.push_back(w * 64 + bit);
       diff &= diff - 1;
     }
   }
-  return positions;
 }
 
 void RowBits::set_column(int column, std::span<const std::uint64_t> words) {

@@ -40,6 +40,11 @@ class RowBits {
   /// Bit positions where the two rows differ.
   [[nodiscard]] std::vector<int> diff_positions(const RowBits& other) const;
 
+  /// Allocation-reusing overload: clears `out` and fills it with the
+  /// differing bit positions (callers in trial loops keep one scratch
+  /// vector alive instead of allocating per comparison).
+  void diff_positions(const RowBits& other, std::vector<int>& out) const;
+
   /// One column (kBitsPerColumn bits) as a word span view helper.
   void set_column(int column, std::span<const std::uint64_t> words);
   void get_column(int column, std::span<std::uint64_t> words) const;

@@ -22,7 +22,8 @@ Stack::Stack(StackConfig config)
         banks_.emplace_back(addr, &fault_, &env_, timing_,
                             threshold_cache_
                                 ? &threshold_cache_->bank(addr, flat_index++)
-                                : nullptr);
+                                : nullptr,
+                            config.scalar_sense);
         if (config.defense_factory) {
           banks_.back().set_defense(config.defense_factory(addr));
         }
@@ -162,6 +163,9 @@ BankCounters Stack::total_counters() const {
     totals.bitflips_materialized += c.bitflips_materialized;
     totals.bulk_hammer_windows += c.bulk_hammer_windows;
     totals.hammer_dedup_hits += c.hammer_dedup_hits;
+    totals.dose_memo_evictions += c.dose_memo_evictions;
+    totals.sense_word_ops += c.sense_word_ops;
+    totals.sense_cells_visited += c.sense_cells_visited;
   }
   return totals;
 }

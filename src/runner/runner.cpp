@@ -43,6 +43,9 @@ void accumulate(dram::BankCounters& into, const dram::BankCounters& delta) {
   into.bitflips_materialized += delta.bitflips_materialized;
   into.bulk_hammer_windows += delta.bulk_hammer_windows;
   into.hammer_dedup_hits += delta.hammer_dedup_hits;
+  into.dose_memo_evictions += delta.dose_memo_evictions;
+  into.sense_word_ops += delta.sense_word_ops;
+  into.sense_cells_visited += delta.sense_cells_visited;
 }
 
 /// Deterministic counter names pre-registered at campaign start, so every
@@ -59,7 +62,8 @@ constexpr const char* kDeterministicCatalog[] = {
     "exec.hammer_windows",    "device.acts",
     "device.refs",            "device.victim_refreshes",
     "device.bitflips",        "device.hammer_windows",
-    "device.dedup_hits",      "cache.lookups",
+    "device.dedup_hits",      "device.sense_word_ops",
+    "device.sense_cells_visited", "cache.lookups",
     "study.hc_probes",        "study.hammers_replayed",
     "study.hammers_saved",    "faults.injected",
     "faults.thermal_excursions",
@@ -529,6 +533,16 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
     metrics->add("device.bitflips", out.device.bitflips_materialized);
     metrics->add("device.hammer_windows", out.device.bulk_hammer_windows);
     metrics->add("device.dedup_hits", out.device.hammer_dedup_hits);
+    // Deterministic per scan mode: path selection inside a sense is a pure
+    // function of device state, never of scheduling.
+    metrics->add("device.sense_word_ops", out.device.sense_word_ops);
+    metrics->add("device.sense_cells_visited",
+                 out.device.sense_cells_visited);
+    // Ring evictions depend on dose-class visit order within the scan
+    // mode: telemetry, excluded from the fingerprint.
+    metrics->add("device.dose_memo_evictions",
+                 out.device.dose_memo_evictions,
+                 obs::MetricKind::kTelemetry);
     metrics->add("cache.lookups", out.cache.lookups());
     metrics->add("study.hc_probes", out.probes.hc_probes);
     metrics->add("study.hammers_replayed", out.probes.hammers_replayed);

@@ -30,7 +30,7 @@ RowBerResult make_row_ber_result(const dram::RowAddress& victim,
   const auto expected = victim_row_bits(config.pattern);
   RowBerResult row_result;
   row_result.victim = victim;
-  row_result.flipped_bits = read_back.diff_positions(expected);
+  read_back.diff_positions(expected, row_result.flipped_bits);
   row_result.bitflips = static_cast<int>(row_result.flipped_bits.size());
   row_result.ber =
       static_cast<double>(row_result.bitflips) / dram::kRowBits;

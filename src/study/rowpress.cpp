@@ -57,11 +57,13 @@ std::vector<int> profile_retention_bits(bender::ChipSession& chip,
                                         int repeats) {
   const auto expected = victim_row_bits(pattern);
   std::set<int> failed;
+  std::vector<int> flipped;
   for (int trial = 0; trial < std::max(repeats, 1); ++trial) {
     chip.write_row(victim, expected);
     chip.idle(dram::cycles_to_seconds(duration_cycles));
     const auto read_back = chip.read_row(victim);
-    for (int bit : read_back.diff_positions(expected)) failed.insert(bit);
+    read_back.diff_positions(expected, flipped);
+    for (int bit : flipped) failed.insert(bit);
   }
   return {failed.begin(), failed.end()};
 }

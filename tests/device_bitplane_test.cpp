@@ -1,0 +1,404 @@
+// Bitplane device-model parity (dram/bank.cpp word-parallel sense path).
+//
+// Contract: the bitplane scan, the candidate-prefix scan, and the per-cell
+// scalar reference produce byte-identical RowBits, flip positions, and
+// campaign artifacts for every device state. These tests pin that down at
+// three levels: the plane-fill primitives against the per-cell fault-model
+// hashes, the cached summary's planes against its per-cell flags, and a
+// seeded differential fuzz driving scalar and bitplane banks through the
+// same randomized command sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bender/platform.h"
+#include "disturb/fault_model.h"
+#include "disturb/threshold_cache.h"
+#include "dram/bank.h"
+#include "dram/chip_profiles.h"
+#include "dram/geometry.h"
+#include "dram/row_data.h"
+#include "dram/timing.h"
+#include "runner/runner.h"
+#include "util/rng.h"
+
+namespace hbmrd::dram {
+namespace {
+
+constexpr BankAddress kAddr{0, 0, 0};
+
+disturb::DisturbParams test_params() {
+  disturb::DisturbParams p;
+  p.seed = 0xB17B1A7Eull;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Plane-fill primitives vs the per-cell fault-model hashes.
+
+TEST(BitplanePrimitives, MembershipPlanesMatchPerCellPredicates) {
+  const disturb::FaultModel model(test_params());
+  const auto& params = model.params();
+  for (int row : {0, 17, 4300, kRowsPerBank - 1}) {
+    const auto ctx = model.row_context(kAddr, row);
+    const auto prefixes = model.row_hash_prefixes(kAddr, row);
+    std::array<std::uint64_t, RowBits::kWords> outlier{};
+    std::array<std::uint64_t, RowBits::kWords> weak{};
+    std::array<std::uint64_t, RowBits::kWords> leaky{};
+    std::array<std::uint64_t, RowBits::kWords> true_cells{};
+    disturb::FaultModel::fill_membership_plane(
+        prefixes.outlier, params.outlier_fraction, outlier);
+    disturb::FaultModel::fill_membership_plane(prefixes.weak,
+                                               ctx.weak_density, weak);
+    disturb::FaultModel::fill_membership_plane(
+        prefixes.leaky, params.leaky_cell_fraction, leaky);
+    disturb::FaultModel::fill_membership_plane(
+        prefixes.orientation, params.true_cell_fraction, true_cells);
+    for (int bit = 0; bit < kRowBits; ++bit) {
+      const auto w = static_cast<std::size_t>(bit >> 6);
+      const int b = bit & 63;
+      ASSERT_EQ((outlier[w] >> b) & 1u,
+                model.is_outlier_cell(kAddr, row, bit) ? 1u : 0u)
+          << "row " << row << " bit " << bit;
+      ASSERT_EQ((weak[w] >> b) & 1u,
+                model.is_weak_cell(kAddr, row, bit, ctx.weak_density) ? 1u
+                                                                      : 0u)
+          << "row " << row << " bit " << bit;
+      ASSERT_EQ((leaky[w] >> b) & 1u,
+                model.is_leaky_cell(kAddr, row, bit) ? 1u : 0u)
+          << "row " << row << " bit " << bit;
+      // A cell storing `true` is charged iff it is a true cell.
+      ASSERT_EQ((true_cells[w] >> b) & 1u,
+                model.is_charged(kAddr, row, bit, true) ? 1u : 0u)
+          << "row " << row << " bit " << bit;
+    }
+  }
+}
+
+TEST(BitplanePrimitives, UniformRowsMatchPerCellHashes) {
+  const disturb::FaultModel model(test_params());
+  const auto& params = model.params();
+  for (int row : {3, 4300}) {
+    const auto prefixes = model.row_hash_prefixes(kAddr, row);
+    std::array<std::uint64_t, RowBits::kWords> leaky{};
+    disturb::FaultModel::fill_membership_plane(
+        prefixes.leaky, params.leaky_cell_fraction, leaky);
+    std::vector<double> cell_u(kRowBits);
+    std::vector<double> retention_u(kRowBits);
+    disturb::FaultModel::fill_uniform_row(prefixes.cell_threshold, cell_u);
+    disturb::FaultModel::fill_retention_uniform_row(
+        prefixes.leaky_retention, prefixes.normal_retention, leaky,
+        retention_u);
+    for (int bit = 0; bit < kRowBits; ++bit) {
+      const auto i = static_cast<std::size_t>(bit);
+      ASSERT_EQ(cell_u[i], model.cell_threshold_uniform(kAddr, row, bit))
+          << "row " << row << " bit " << bit;
+      ASSERT_EQ(cell_u[i],
+                disturb::FaultModel::uniform_at(prefixes.cell_threshold, bit))
+          << "row " << row << " bit " << bit;
+      const bool is_leaky = model.is_leaky_cell(kAddr, row, bit);
+      ASSERT_EQ(retention_u[i],
+                model.retention_uniform(kAddr, row, bit, is_leaky))
+          << "row " << row << " bit " << bit;
+    }
+  }
+}
+
+TEST(BitplanePrimitives, MembershipThresholdMatchesUnitCompare) {
+  const disturb::FaultModel model(test_params());
+  const auto prefixes = model.row_hash_prefixes(kAddr, 99);
+  for (double fraction : {0.0, 1e-9, 0.02, 0.35, 0.999, 1.0, 2.0}) {
+    const std::uint64_t threshold =
+        disturb::FaultModel::membership_threshold(fraction);
+    for (int bit = 0; bit < 256; ++bit) {
+      const bool via_unit =
+          disturb::FaultModel::uniform_at(prefixes.outlier, bit) < fraction;
+      ASSERT_EQ(
+          disturb::FaultModel::below_threshold(prefixes.outlier, bit,
+                                               threshold),
+          via_unit)
+          << "fraction " << fraction << " bit " << bit;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cached summary: planes agree with the per-cell flags and power-on words.
+
+TEST(BitplaneSummary, PlanesMatchFlagsAndPowerOn) {
+  const disturb::FaultModel model(test_params());
+  const auto s = disturb::build_row_summary(model, kAddr, 4300);
+  using Summary = disturb::RowThresholdSummary;
+  for (int bit = 0; bit < kRowBits; ++bit) {
+    const auto w = static_cast<std::size_t>(bit >> 6);
+    const int b = bit & 63;
+    const std::uint8_t flags = s.flags[static_cast<std::size_t>(bit)];
+    EXPECT_EQ((s.true_plane[w] >> b) & 1u,
+              (flags & Summary::kTrueCell) ? 1u : 0u);
+    EXPECT_EQ((s.leaky_plane[w] >> b) & 1u,
+              (flags & Summary::kLeaky) ? 1u : 0u);
+    EXPECT_EQ((s.outlier_plane[w] >> b) & 1u,
+              (flags & Summary::kOutlier) ? 1u : 0u);
+    EXPECT_EQ((s.weak_plane[w] >> b) & 1u,
+              (flags & Summary::kWeak) ? 1u : 0u);
+  }
+  for (int w = 0; w < RowBits::kWords; ++w) {
+    EXPECT_EQ(s.power_on[static_cast<std::size_t>(w)],
+              model.power_on_word(kAddr, 4300, w))
+        << "word " << w;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bank-level differential fuzz: scalar vs bitplane, cached vs uncached.
+
+/// Four banks sharing one fault model and environment, driven through
+/// identical command sequences: {scalar, bitplane} x {cache, no cache}.
+struct BankQuartet {
+  disturb::FaultModel fault{test_params()};
+  Environment env{60.0};
+  TimingParams timing{};
+  disturb::BankThresholdCache cache_scalar{kAddr, 16};
+  disturb::BankThresholdCache cache_bitplane{kAddr, 16};
+  std::array<Bank, 4> banks{
+      Bank{kAddr, &fault, &env, timing, nullptr, /*scalar_sense=*/true},
+      Bank{kAddr, &fault, &env, timing, nullptr, /*scalar_sense=*/false},
+      Bank{kAddr, &fault, &env, timing, &cache_scalar, /*scalar_sense=*/true},
+      Bank{kAddr, &fault, &env, timing, &cache_bitplane,
+           /*scalar_sense=*/false}};
+  Cycle now = 1000;
+
+  void write_row(int row, const RowBits& bits) {
+    for (auto& bank : banks) {
+      bank.activate(row, now);
+      std::array<std::uint64_t, kWordsPerColumn> column;
+      for (int c = 0; c < kColumns; ++c) {
+        bits.get_column(c, column);
+        bank.write_column(c, column, now + timing.t_rcd + 1);
+      }
+      bank.precharge(now + timing.t_ras + 100);
+    }
+    now += timing.t_ras + 100 + timing.t_rp + 100;
+  }
+
+  /// Reads all four banks and asserts the contents are byte-identical;
+  /// returns the (common) row bits.
+  RowBits read_row_checked(int row) {
+    std::array<RowBits, 4> all;
+    for (std::size_t k = 0; k < banks.size(); ++k) {
+      banks[k].activate(row, now);
+      std::array<std::uint64_t, kWordsPerColumn> column;
+      for (int c = 0; c < kColumns; ++c) {
+        banks[k].read_column(c, column, now + timing.t_rcd + 1);
+        all[k].set_column(c, column);
+      }
+      banks[k].precharge(now + timing.t_ras + 100);
+    }
+    now += timing.t_ras + 100 + timing.t_rp + 100;
+    for (std::size_t k = 1; k < banks.size(); ++k) {
+      EXPECT_EQ(all[0].words()[0], all[k].words()[0]) << "bank " << k;
+      EXPECT_TRUE(all[0] == all[k])
+          << "row " << row << " differs between variant 0 and " << k;
+    }
+    return all[0];
+  }
+
+  void hammer(std::span<const HammerStep> steps, std::uint64_t count) {
+    Cycle end = 0;
+    for (auto& bank : banks) end = bank.bulk_hammer(steps, count, now);
+    now = end + 100;
+  }
+
+  void idle_seconds(double s) { now += seconds_to_cycles(s); }
+};
+
+TEST(BitplaneDifferential, RandomizedSensesAreByteIdentical) {
+  util::Stream rng(0xD1FFull);
+  BankQuartet q;
+  const std::array<std::uint8_t, 6> patterns = {0x00, 0xFF, 0x55,
+                                                0xAA, 0x33, 0x6D};
+  for (int trial = 0; trial < 24; ++trial) {
+    // Mid-subarray victims, spread across two subarrays.
+    const int victim =
+        4100 + static_cast<int>(rng.next_u64() % 400) / 8 * 8 + 4;
+    const auto victim_pattern =
+        patterns[rng.next_u64() % patterns.size()];
+    q.env.temperature_c = 40.0 + 55.0 * rng.next_unit();
+    q.write_row(victim, RowBits::filled(victim_pattern));
+    q.write_row(victim - 1,
+                RowBits::filled(patterns[rng.next_u64() % patterns.size()]));
+    q.write_row(victim + 1,
+                RowBits::filled(patterns[rng.next_u64() % patterns.size()]));
+    if (trial % 3 == 0) {
+      q.write_row(victim - 2,
+                  RowBits::filled(patterns[rng.next_u64() % patterns.size()]));
+      q.write_row(victim + 2,
+                  RowBits::filled(patterns[rng.next_u64() % patterns.size()]));
+    }
+
+    std::vector<HammerStep> steps = {{victim - 1, q.timing.t_ras},
+                                     {victim + 1, q.timing.t_ras}};
+    if (trial % 4 == 1) {
+      // RowPress-style long on-times.
+      steps[0].on_cycles = q.timing.t_ras * 32;
+      steps[1].on_cycles = q.timing.t_ras * 32;
+    }
+    if (trial % 5 == 2) {
+      steps.push_back({victim - 2, q.timing.t_ras});
+      steps.push_back({victim + 2, q.timing.t_ras});
+    }
+    const std::uint64_t count = 2000 + rng.next_u64() % 200000;
+    q.hammer(steps, count);
+
+    if (trial % 6 == 3) {
+      // Park the row long enough that retention decay joins the sense.
+      q.idle_seconds(0.02 + 30.0 * rng.next_unit());
+    }
+    (void)q.read_row_checked(victim);
+    if (trial % 3 == 0) {
+      (void)q.read_row_checked(victim - 2);
+      (void)q.read_row_checked(victim + 2);
+    }
+  }
+  // The reference banks walked cells one by one; the bitplane banks did
+  // word-parallel work. Both facts must show up in the counters.
+  EXPECT_GT(q.banks[0].counters().sense_cells_visited, 0u);
+  EXPECT_GT(q.banks[1].counters().sense_word_ops, 0u);
+  EXPECT_EQ(q.banks[0].counters().bitflips_materialized,
+            q.banks[1].counters().bitflips_materialized);
+  EXPECT_EQ(q.banks[0].counters().bitflips_materialized,
+            q.banks[2].counters().bitflips_materialized);
+  EXPECT_EQ(q.banks[0].counters().bitflips_materialized,
+            q.banks[3].counters().bitflips_materialized);
+}
+
+TEST(BitplaneDifferential, CheckpointRestoreKeepsVariantsInLockstep) {
+  util::Stream rng(0xC4EC4ull);
+  BankQuartet q;
+  const int victim = 4300;
+  q.write_row(victim, RowBits::filled(0x55));
+  q.write_row(victim - 1, RowBits::filled(0xAA));
+  q.write_row(victim + 1, RowBits::filled(0xAA));
+  for (auto& bank : q.banks) ASSERT_EQ(bank.push_checkpoint(), 0u);
+  const std::array<HammerStep, 2> steps = {
+      HammerStep{victim - 1, q.timing.t_ras},
+      HammerStep{victim + 1, q.timing.t_ras}};
+  for (int round = 0; round < 6; ++round) {
+    const std::uint64_t count = 20000 + rng.next_u64() % 150000;
+    q.hammer(steps, count);
+    (void)q.read_row_checked(victim);
+    for (auto& bank : q.banks) bank.restore_checkpoint(0);
+    // Restored state must also sense identically.
+    q.write_row(victim - 1, RowBits::filled(0xAA));
+    q.write_row(victim + 1, RowBits::filled(0xAA));
+  }
+  for (auto& bank : q.banks) bank.discard_checkpoints();
+}
+
+TEST(BitplaneDifferential, DoseMemoRingEvictsInsteadOfThrashing) {
+  // Four aggressor epochs with random (non-periodic) data give 18 distinct
+  // dose values per sense — 3 same-bit counts at distance 1, times 3 at
+  // distance 2, times the intra bit; the 16-slot memo must rotate through
+  // them (the old scheme overwrote the last slot forever).
+  util::Stream rng(0xEB1C7ull);
+  auto random_row = [&rng] {
+    RowBits bits;
+    for (auto& word : bits.words()) word = rng.next_u64();
+    return bits;
+  };
+  BankQuartet q;
+  const int victim = 4300;
+  q.write_row(victim, random_row());
+  q.write_row(victim - 1, random_row());
+  q.write_row(victim + 1, random_row());
+  q.write_row(victim - 2, random_row());
+  q.write_row(victim + 2, random_row());
+  const std::array<HammerStep, 4> steps = {
+      HammerStep{victim - 1, q.timing.t_ras},
+      HammerStep{victim + 1, q.timing.t_ras},
+      HammerStep{victim - 2, q.timing.t_ras},
+      HammerStep{victim + 2, q.timing.t_ras}};
+  q.hammer(steps, 150000);
+  (void)q.read_row_checked(victim);
+  EXPECT_GT(q.banks[0].counters().dose_memo_evictions, 0u)
+      << "scalar reference should cycle through > 16 dose classes";
+}
+
+// ---------------------------------------------------------------------------
+// Campaign artifacts: CSV + journal byte-identity with the toggle flipped.
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "device_bitplane_test_" + name;
+}
+
+std::vector<runner::CampaignRunner::Trial> campaign_trials(int n) {
+  std::vector<runner::CampaignRunner::Trial> trials;
+  for (int t = 0; t < n; ++t) {
+    const int row = 96 + 8 * t;
+    const auto pattern = static_cast<std::uint8_t>(0x50 + t);
+    trials.push_back(
+        {"row" + std::to_string(row),
+         [row, pattern](bender::ChipSession& session)
+             -> std::vector<std::string> {
+           const RowAddress victim{{0, 0, 0}, row};
+           session.write_row(victim, RowBits::filled(pattern));
+           session.write_row({{0, 0, 0}, row - 1}, RowBits::filled(0xFF));
+           session.write_row({{0, 0, 0}, row + 1}, RowBits::filled(0xFF));
+           const std::array<int, 2> aggressors = {row - 1, row + 1};
+           session.hammer({0, 0, 0}, aggressors, 60000);
+           const auto bits = session.read_row(victim);
+           return {std::to_string(
+               bits.count_diff(RowBits::filled(pattern)))};
+         }});
+  }
+  return trials;
+}
+
+struct CampaignArtifacts {
+  std::string csv;
+  std::string journal;
+};
+
+CampaignArtifacts run_campaign(bool scalar_sense, int jobs,
+                               const std::string& tag) {
+  auto profile = chip_profiles()[2];
+  profile.scalar_sense = scalar_sense;
+  bender::HbmChip chip(profile);
+  runner::RunnerConfig config;
+  config.result_columns = {"flips"};
+  config.results_path = tmp_path(tag + ".csv");
+  config.journal_path = tmp_path(tag + ".jsonl");
+  config.jobs = jobs;
+  runner::CampaignRunner campaign(chip, config);
+  (void)campaign.run(campaign_trials(6));
+  return {slurp(config.results_path), slurp(config.journal_path)};
+}
+
+TEST(BitplaneCampaign, ArtifactsAreByteIdenticalAcrossModeAndJobs) {
+  const auto bitplane = run_campaign(false, 1, "bp_j1");
+  ASSERT_FALSE(bitplane.csv.empty());
+  const auto scalar = run_campaign(true, 1, "sc_j1");
+  EXPECT_EQ(bitplane.csv, scalar.csv);
+  EXPECT_EQ(bitplane.journal, scalar.journal);
+  const auto scalar_j4 = run_campaign(true, 4, "sc_j4");
+  EXPECT_EQ(bitplane.csv, scalar_j4.csv);
+  EXPECT_EQ(bitplane.journal, scalar_j4.journal);
+  const auto bitplane_j4 = run_campaign(false, 4, "bp_j4");
+  EXPECT_EQ(bitplane.csv, bitplane_j4.csv);
+  EXPECT_EQ(bitplane.journal, bitplane_j4.journal);
+}
+
+}  // namespace
+}  // namespace hbmrd::dram

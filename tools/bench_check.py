@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a checked-in baseline.
+
+Machine speeds differ between the box that recorded the baseline and the CI
+runner, so raw nanoseconds are not comparable. Every guarded benchmark is
+instead normalized by an anchor benchmark (BM_ActPrePair: a trivial
+ACT+PRE pair whose cost tracks raw simulator/CPU speed, untouched by the
+optimizations the guard protects). The check fails when
+
+    (current[name] / current[anchor]) >
+        (baseline[name] / baseline[anchor]) * (1 + tolerance)
+
+i.e. when the benchmark got slower *relative to the machine* by more than
+the tolerance.
+
+Usage:
+    bench_check.py BASELINE.json CURRENT.json [--tolerance 0.20]
+                   [--anchor BM_ActPrePair] [NAME ...]
+
+With no NAMEs, every non-anchor benchmark present in the baseline is
+checked (benchmarks missing from the current run fail the check).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    if not times:
+        sys.exit(f"bench_check: no benchmarks in {path}")
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("names", nargs="*")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--anchor", default="BM_ActPrePair")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+    for source, times in (("baseline", baseline), ("current", current)):
+        if args.anchor not in times:
+            sys.exit(f"bench_check: anchor {args.anchor} missing from {source}")
+
+    names = args.names or [n for n in baseline if n != args.anchor]
+    scale = current[args.anchor] / baseline[args.anchor]
+    print(f"machine scale via {args.anchor}: {scale:.3f}x "
+          f"({current[args.anchor]:.0f}ns vs {baseline[args.anchor]:.0f}ns)")
+
+    failures = []
+    for name in names:
+        if name not in baseline:
+            sys.exit(f"bench_check: {name} missing from baseline")
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        normalized = current[name] / scale
+        limit = baseline[name] * (1.0 + args.tolerance)
+        verdict = "FAIL" if normalized > limit else "ok"
+        print(f"  {verdict} {name}: {current[name]:.0f}ns raw, "
+              f"{normalized:.0f}ns normalized vs {baseline[name]:.0f}ns "
+              f"baseline (limit {limit:.0f}ns)")
+        if normalized > limit:
+            failures.append(
+                f"{name}: {normalized:.0f}ns normalized > {limit:.0f}ns limit")
+
+    if failures:
+        print("bench_check: performance regression detected", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_check: {len(names)} benchmark(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
