@@ -9,7 +9,6 @@
 #include "defense/graphene.h"
 #include "defense/para.h"
 #include "defense/protected_session.h"
-#include "workload/traces.h"
 #include "study/hc_first.h"
 #include "study/row_selection.h"
 
@@ -98,64 +97,10 @@ int main(int argc, char** argv) {
   }
   attack_table.print(std::cout);
 
-  ctx.banner("Benign workloads (false-positive cost per trace shape)");
-  util::Table benign_table({"Trace", "Defense",
-                            "preventive refreshes / 1K ACTs",
-                            "stalled ACTs"});
-  const auto benign_acts = static_cast<std::size_t>(
-      ctx.cli().get_int("--benign-acts", 200'000));
-  workload::TraceConfig trace_config;
-  trace_config.bank = bank;
-  trace_config.activations = benign_acts;
-  const std::pair<std::string, std::vector<defense::Activation>> traces[] = {
-      {"uniform", workload::uniform_trace(trace_config)},
-      {"zipf(1.1)", workload::zipf_trace(trace_config)},
-      {"streaming", workload::streaming_trace(trace_config)},
-  };
-  for (const auto& [trace_name, trace] : traces) {
-    for (const std::string kind : {"PARA", "Graphene", "BlockHammer"}) {
-      defense::ProtectedSession session(&chip,
-                                        make_defense(kind, threshold, &map));
-      session.run(trace);
-      const auto& stats = session.defense().stats();
-      benign_table.row()
-          .cell(trace_name)
-          .cell(kind)
-          .cell(stats.refresh_overhead_per_kilo_act(), 2)
-          .cell(stats.stalled_activations);
-    }
-  }
-  benign_table.print(std::cout);
-
-  ctx.banner("Camouflaged attack (30% aggressor share inside a zipf cover)");
-  util::Table stealth_table({"Defense", "victim bitflips",
-                             "preventive refreshes / 1K ACTs",
-                             "stalled ACTs"});
-  workload::TraceConfig stealth_config;
-  stealth_config.bank = bank;
-  stealth_config.activations = static_cast<std::size_t>(
-      ctx.cli().get_int("--stealth-acts", 600'000));
-  for (const std::string kind : {"PARA", "Graphene", "BlockHammer"}) {
-    chip.write_row(victim,
-                   study::victim_row_bits(study::DataPattern::kCheckered0));
-    for (int row : aggressors) {
-      chip.write_row({bank, row},
-                     study::aggressor_row_bits(study::DataPattern::kCheckered0));
-    }
-    defense::ProtectedSession session(&chip,
-                                      make_defense(kind, threshold, &map));
-    session.run(workload::attack_trace(stealth_config, map, victim.row, 0.3));
-    const auto& stats = session.defense().stats();
-    const int flips = chip.read_row(victim).count_diff(
-        study::victim_row_bits(study::DataPattern::kCheckered0));
-    stealth_table.row()
-        .cell(kind)
-        .cell(flips)
-        .cell(stats.refresh_overhead_per_kilo_act(), 2)
-        .cell(stats.stalled_activations);
-  }
-  stealth_table.print(std::cout);
-
+  // Benign-workload and camouflaged-attack evaluation moved to arena_eval:
+  // the arena scores every defense on multi-tenant traffic (benign
+  // slowdown, preventive-refresh overhead) and on camouflaged/fuzzed
+  // patterns, with checkpointed byte-identical leaderboard artifacts.
   ctx.banner("Per-channel adaptive thresholds (Takeaway 3 -> Sec. 8.2)");
   // PARA's refresh rate scales ~1/threshold: channels with higher minimum
   // HC_first afford a lower rate. Compare summed refresh probability.

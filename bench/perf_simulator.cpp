@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "arena/engine.h"
 #include "bender/executor.h"
 #include "bender/platform.h"
 #include "bender/program.h"
@@ -117,6 +118,32 @@ void BM_RowSummaryBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RowSummaryBuild);
+
+void BM_ArenaScenario(benchmark::State& state) {
+  // One arena match end-to-end: multi-tenant scenario assembly amortized
+  // out, baseline + defended run of the merged stream through
+  // ProtectedSession (the periodic-REF weave and window accounting are on
+  // this path). Guards the arena_eval sweep cost per (pattern, defense).
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  const auto map = study::AddressMap::from_scheme(chip.profile().mapping);
+  arena::PatternConfig pattern_config;
+  pattern_config.windows = 24;
+  pattern_config.seed = 0xF022;
+  const auto attack =
+      arena::double_sided(map, chip.stack().timing(), pattern_config);
+  arena::ScenarioConfig scenario_config;
+  scenario_config.tenants = arena::default_tenants(1'000, 0xF022);
+  const auto scenario = arena::build_scenario(scenario_config, attack);
+  const auto spec =
+      arena::find_defense(arena::defense_catalogue(2'000), "Graphene");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena::run_match(chip, map, scenario, spec));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(scenario.stream.size()));
+}
+BENCHMARK(BM_ArenaScenario)->Unit(benchmark::kMillisecond);
 
 void BM_HcFirstSearch(benchmark::State& state) {
   // Arg 0 = from-scratch reference path, arg 1 = checkpointed incremental

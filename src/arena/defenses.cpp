@@ -1,0 +1,85 @@
+#include "arena/defenses.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "defense/blockhammer.h"
+#include "defense/graphene.h"
+#include "defense/para.h"
+
+namespace hbmrd::arena {
+
+namespace {
+
+/// The JEDEC-style nominal threshold a controller would assume without
+/// characterizing the chip. The study's measured HC_first values sit far
+/// below it on the vulnerable chips — which is what the datasheet variants
+/// exist to demonstrate.
+constexpr std::uint64_t kDatasheetThreshold = 16'000;
+
+/// Graphene's Misra-Gries undercount margin is window/entries; the trigger
+/// is threshold - margin, so the table must keep the margin well under the
+/// threshold. Size it for margin <= threshold/2, clamped to a sane range.
+int graphene_entries(std::uint64_t window, std::uint64_t threshold) {
+  std::uint64_t entries = 64;
+  while (entries < 4096 && window / entries > threshold / 2) entries *= 2;
+  return static_cast<int>(entries);
+}
+
+}  // namespace
+
+std::vector<DefenseSpec> defense_catalogue(std::uint64_t tuned_threshold) {
+  std::vector<DefenseSpec> specs;
+  specs.push_back({"PARA", [=](const study::AddressMap* map) {
+                     defense::ParaConfig config;
+                     config.protect_threshold = tuned_threshold;
+                     return std::make_unique<defense::Para>(config, map);
+                   }});
+  specs.push_back({"Graphene", [=](const study::AddressMap* map) {
+                     defense::GrapheneConfig config;
+                     config.protect_threshold = tuned_threshold;
+                     config.window_activations = 670'000;
+                     config.table_entries = graphene_entries(
+                         config.window_activations, tuned_threshold);
+                     return std::make_unique<defense::Graphene>(config, map);
+                   }});
+  specs.push_back({"BlockHammer", [=](const study::AddressMap* map) {
+                     (void)map;
+                     defense::BlockHammerConfig config;
+                     config.protect_threshold = tuned_threshold;
+                     config.blacklist_threshold =
+                         std::max<std::uint64_t>(64, tuned_threshold / 8);
+                     return std::make_unique<defense::BlockHammer>(config);
+                   }});
+  // Mis-tuned legacy configurations: thresholds taken from the datasheet
+  // instead of the chip. On chips whose measured HC_first is far below the
+  // nominal value these leak bitflips under catalogued or fuzzed patterns.
+  specs.push_back({"Graphene-datasheet", [](const study::AddressMap* map) {
+                     defense::GrapheneConfig config;
+                     config.protect_threshold = kDatasheetThreshold;
+                     // Minimal table the datasheet threshold can carry:
+                     // large undercount margin, late triggers.
+                     config.window_activations = 670'000;
+                     config.table_entries = graphene_entries(
+                         config.window_activations, kDatasheetThreshold);
+                     return std::make_unique<defense::Graphene>(config, map);
+                   }});
+  specs.push_back({"PARA-datasheet", [](const study::AddressMap* map) {
+                     defense::ParaConfig config;
+                     config.protect_threshold = kDatasheetThreshold;
+                     // A lax escape target on top of the lax threshold.
+                     config.escape_probability = 1e-3;
+                     return std::make_unique<defense::Para>(config, map);
+                   }});
+  return specs;
+}
+
+DefenseSpec find_defense(const std::vector<DefenseSpec>& specs,
+                         const std::string& name) {
+  for (const DefenseSpec& spec : specs) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown defense: " + name);
+}
+
+}  // namespace hbmrd::arena

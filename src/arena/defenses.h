@@ -1,0 +1,38 @@
+// The arena's defense catalogue: named configurations of the controller-
+// side mechanisms in src/defense/, including deliberately mis-tuned
+// "datasheet" variants — defenses configured for the JEDEC-style nominal
+// threshold rather than the chip's measured HC_first. The paper's Takeaway
+// is precisely that those two differ by an order of magnitude on real HBM2
+// chips; the arena makes the consequence measurable (the fuzzer finds the
+// leaks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/controller_defense.h"
+#include "study/address_map.h"
+
+namespace hbmrd::arena {
+
+struct DefenseSpec {
+  std::string name;
+  std::function<std::unique_ptr<defense::ControllerDefense>(
+      const study::AddressMap*)>
+      make;
+};
+
+/// The catalogue. `tuned_threshold` is the chip-derived protect threshold
+/// (e.g. a quarter of the sampled minimum HC_first); the datasheet
+/// variants ignore it by design.
+[[nodiscard]] std::vector<DefenseSpec> defense_catalogue(
+    std::uint64_t tuned_threshold);
+
+/// Looks a spec up by name (throws std::out_of_range when absent).
+[[nodiscard]] DefenseSpec find_defense(const std::vector<DefenseSpec>& specs,
+                                       const std::string& name);
+
+}  // namespace hbmrd::arena

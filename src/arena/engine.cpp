@@ -1,0 +1,83 @@
+#include "arena/engine.h"
+
+#include <memory>
+#include <set>
+
+#include "defense/protected_session.h"
+#include "study/patterns.h"
+
+namespace hbmrd::arena {
+
+namespace {
+
+constexpr auto kPattern = study::DataPattern::kCheckered0;
+
+/// (Re-)initializes the audited neighbourhood: aggressor bits on the rows
+/// physically adjacent to each audit row, victim bits on the audit rows
+/// themselves (written last, so overlapping rows audit as victims).
+void init_rows(bender::ChipSession& chip, const study::AddressMap& map,
+               const Scenario& scenario) {
+  for (const dram::RowAddress& audit : scenario.audit_rows) {
+    for (int aggressor : map.aggressors_of(audit.row)) {
+      chip.write_row({audit.bank, aggressor},
+                     study::aggressor_row_bits(kPattern));
+    }
+  }
+  for (const dram::RowAddress& audit : scenario.audit_rows) {
+    chip.write_row(audit, study::victim_row_bits(kPattern));
+  }
+}
+
+std::uint64_t count_flips(bender::ChipSession& chip,
+                          const Scenario& scenario) {
+  std::uint64_t flips = 0;
+  const auto expected = study::victim_row_bits(kPattern);
+  for (const dram::RowAddress& audit : scenario.audit_rows) {
+    flips += static_cast<std::uint64_t>(
+        chip.read_row(audit).count_diff(expected));
+  }
+  return flips;
+}
+
+}  // namespace
+
+ArenaScore run_match(bender::ChipSession& chip, const study::AddressMap& map,
+                     const Scenario& scenario, const DefenseSpec& spec) {
+  ArenaScore score;
+  score.defense = spec.name;
+  score.pattern = scenario.attack_name;
+
+  // Undefended baseline: same stream, same periodic-refresh duty, no
+  // mitigation. Sets the elapsed-cycles denominator and the leak ceiling.
+  init_rows(chip, map, scenario);
+  dram::Cycle start = chip.now();
+  {
+    defense::ProtectedSession baseline(
+        &chip, std::make_unique<defense::NullDefense>());
+    baseline.run(scenario.stream);
+  }
+  const dram::Cycle baseline_elapsed = chip.now() - start;
+  score.flips_undefended = count_flips(chip, scenario);
+
+  // Defended run on a re-initialized neighbourhood.
+  init_rows(chip, map, scenario);
+  start = chip.now();
+  defense::ProtectedSession session(&chip, spec.make(&map));
+  session.run(scenario.stream);
+  const dram::Cycle defended_elapsed = chip.now() - start;
+  score.flips_leaked = count_flips(chip, scenario);
+
+  const auto& stats = session.defense().stats();
+  score.refresh_per_kilo_act = stats.refresh_overhead_per_kilo_act();
+  score.preventive_refreshes = stats.preventive_refreshes;
+  score.stalled_acts = stats.stalled_activations;
+  score.periodic_refs = session.periodic_refreshes_issued();
+  score.window_boundaries = session.window_boundaries_fired();
+  score.slowdown = baseline_elapsed == 0
+                       ? 1.0
+                       : static_cast<double>(defended_elapsed) /
+                             static_cast<double>(baseline_elapsed);
+  return score;
+}
+
+}  // namespace hbmrd::arena

@@ -1,0 +1,45 @@
+// The arena match engine: runs one scenario against one defense on a chip
+// session and scores the defense on the three axes the north star names —
+// bitflips leaked, benign-tenant slowdown, preventive-refresh overhead.
+//
+// Every match runs the scenario twice on the same session: first through
+// an undefended baseline (NullDefense, periodic refresh still honored),
+// then through the defense under test, with the audited rows re-written
+// between runs. The baseline makes each score self-contained: slowdown is
+// defended elapsed cycles over baseline elapsed cycles of the *same*
+// stream, and `flips_undefended` shows what the scenario would have done
+// to an unprotected chip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arena/defenses.h"
+#include "arena/scenario.h"
+#include "bender/session.h"
+
+namespace hbmrd::arena {
+
+struct ArenaScore {
+  std::string defense;
+  std::string pattern;
+  std::uint64_t flips_leaked = 0;
+  std::uint64_t flips_undefended = 0;
+  /// Defended elapsed cycles / undefended elapsed cycles (>= 1 in
+  /// practice: stalls and preventive refreshes only add time).
+  double slowdown = 1.0;
+  double refresh_per_kilo_act = 0.0;
+  std::uint64_t preventive_refreshes = 0;
+  std::uint64_t stalled_acts = 0;
+  std::uint64_t periodic_refs = 0;
+  std::uint64_t window_boundaries = 0;
+};
+
+/// Runs the scenario against the defense and scores it. The session should
+/// be freshly power-cycled (the campaign runner's per-trial contract).
+[[nodiscard]] ArenaScore run_match(bender::ChipSession& chip,
+                                   const study::AddressMap& map,
+                                   const Scenario& scenario,
+                                   const DefenseSpec& spec);
+
+}  // namespace hbmrd::arena

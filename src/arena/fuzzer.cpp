@@ -1,0 +1,99 @@
+#include "arena/fuzzer.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/rng.h"
+
+namespace hbmrd::arena {
+
+namespace {
+
+/// Field tags keep every draw of a pattern independent of the others.
+enum Field : int {
+  kToneCount,
+  kTargetOffset,
+  kFrequency,
+  kPhase,
+  kAmplitude,
+  kOnTime,
+};
+
+std::uint64_t draw(std::uint64_t seed, std::uint64_t index, int tone,
+                   Field field, std::uint64_t modulus) {
+  return util::hash_key(seed, index, tone, static_cast<int>(field)) % modulus;
+}
+
+}  // namespace
+
+PatternFuzzer::PatternFuzzer(const study::AddressMap& map,
+                             dram::TimingParams timing, PatternConfig base)
+    : map_(&map), timing_(timing), base_(base) {}
+
+FuzzedPattern PatternFuzzer::pattern(std::uint64_t index) const {
+  FuzzedPattern fuzzed;
+  fuzzed.id = index;
+  fuzzed.period_slots = timing_.activation_budget();
+  const int tones = 1 + static_cast<int>(draw(base_.seed, index, -1,
+                                              kToneCount, 3));
+  std::set<int> targets;
+  for (int t = 0; t < tones; ++t) {
+    Tone tone;
+    // Target a row in the victim's neighbourhood: offset in [-3, 3]. The
+    // tone's aggressors are the target's *physical* neighbours, so the
+    // pattern respects the chip's logical->physical remapping.
+    const int offset =
+        static_cast<int>(draw(base_.seed, index, t, kTargetOffset, 7)) - 3;
+    const int target = std::clamp(base_.victim + offset, 1,
+                                  dram::kRowsPerBank - 2);
+    tone.rows = map_->aggressors_of(target);
+    targets.insert(target);
+    static constexpr int kFrequencies[] = {1, 2, 4, 8};
+    tone.frequency =
+        kFrequencies[draw(base_.seed, index, t, kFrequency, 4)];
+    tone.phase = static_cast<int>(
+        draw(base_.seed, index, t, kPhase,
+             static_cast<std::uint64_t>(tone.frequency)));
+    static constexpr int kAmplitudes[] = {1, 2, 4};
+    tone.amplitude =
+        kAmplitudes[draw(base_.seed, index, t, kAmplitude, 3)];
+    // Mostly tRC-paced; occasionally a RowPress-style long on-time (the
+    // blend lets the fuzzer discover on-time bypasses of ACT counters).
+    static const dram::Cycle kOnTimes[] = {0, 0, 0, 4 * timing_.t_ras,
+                                           timing_.t_refi / 8,
+                                           timing_.t_refi / 2};
+    tone.on_cycles = kOnTimes[draw(base_.seed, index, t, kOnTime, 6)];
+    fuzzed.tones.push_back(std::move(tone));
+  }
+  fuzzed.targets.assign(targets.begin(), targets.end());
+  return fuzzed;
+}
+
+AttackPattern PatternFuzzer::materialize(const FuzzedPattern& fuzzed) const {
+  AttackPattern pattern;
+  pattern.name = "fuzz#" + std::to_string(fuzzed.id);
+  std::set<int> audit;
+  for (int target : fuzzed.targets) {
+    audit.insert(target);
+    for (int ring : map_->physical_ring(target, 2)) audit.insert(ring);
+  }
+  pattern.victim_rows.assign(audit.begin(), audit.end());
+  for (std::uint64_t w = 0; w < base_.windows; ++w) {
+    for (int slot = 0; slot < fuzzed.period_slots; ++slot) {
+      for (const Tone& tone : fuzzed.tones) {
+        if (slot < tone.phase) continue;
+        if ((slot - tone.phase) % tone.frequency != 0) continue;
+        for (int a = 0; a < tone.amplitude; ++a) {
+          pattern.stream.push_back(defense::Activation{
+              base_.bank,
+              tone.rows[static_cast<std::size_t>(a) % tone.rows.size()],
+              tone.on_cycles});
+        }
+      }
+    }
+  }
+  return pattern;
+}
+
+}  // namespace hbmrd::arena

@@ -1,0 +1,60 @@
+// Seeded blacksmith-style pattern fuzzer (Jattke et al.'s frequency/phase/
+// amplitude pattern space, the idiom in SNIPPETS.md): an attack pattern is
+// a set of tones, each an aggressor pair firing every `frequency` slots of
+// a fixed period, offset by `phase`, emitting `amplitude` back-to-back
+// activations, optionally with RowPress-style on-time. The fuzzer draws
+// patterns from a counter-based RNG, so pattern #i for a given seed is the
+// same across runs, machines, and --jobs N — the bypass search is a
+// deterministic enumeration, not a random walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arena/pattern.h"
+
+namespace hbmrd::arena {
+
+/// One frequency component of a fuzzed pattern.
+struct Tone {
+  /// Aggressor rows (logical), activated round-robin within a firing.
+  std::vector<int> rows;
+  /// Fires every `frequency` slots of the period.
+  int frequency = 1;
+  /// Slot offset of the first firing.
+  int phase = 0;
+  /// Back-to-back activations per firing.
+  int amplitude = 1;
+  /// Aggressor-on time per activation (0 = tRC-paced).
+  dram::Cycle on_cycles = 0;
+};
+
+struct FuzzedPattern {
+  std::uint64_t id = 0;
+  /// Slots per period (one period ~ one tREFI activation budget).
+  int period_slots = 0;
+  std::vector<Tone> tones;
+  /// Logical rows the tones target (for the audit set).
+  std::vector<int> targets;
+};
+
+class PatternFuzzer {
+ public:
+  PatternFuzzer(const study::AddressMap& map, dram::TimingParams timing,
+                PatternConfig base);
+
+  /// The i-th pattern of this seed's enumeration (pure function of
+  /// (seed, index); indices may be drawn in any order).
+  [[nodiscard]] FuzzedPattern pattern(std::uint64_t index) const;
+
+  /// Expands a fuzzed pattern to its activation stream over the configured
+  /// window budget.
+  [[nodiscard]] AttackPattern materialize(const FuzzedPattern& fuzzed) const;
+
+ private:
+  const study::AddressMap* map_;
+  dram::TimingParams timing_;
+  PatternConfig base_;
+};
+
+}  // namespace hbmrd::arena

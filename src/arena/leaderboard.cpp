@@ -1,0 +1,88 @@
+#include "arena/leaderboard.h"
+
+#include <stdexcept>
+
+#include "util/parse.h"
+#include "util/table.h"
+
+namespace hbmrd::arena {
+
+std::vector<std::string> leaderboard_columns() {
+  return {"defense",
+          "pattern",
+          "flips_leaked",
+          "flips_undefended",
+          "slowdown",
+          "refresh_per_kilo_act",
+          "preventive_refreshes",
+          "stalled_acts",
+          "periodic_refs",
+          "window_boundaries"};
+}
+
+std::vector<std::string> to_cells(const ArenaScore& score) {
+  return {score.defense,
+          score.pattern,
+          std::to_string(score.flips_leaked),
+          std::to_string(score.flips_undefended),
+          util::format_double(score.slowdown, 4),
+          util::format_double(score.refresh_per_kilo_act, 3),
+          std::to_string(score.preventive_refreshes),
+          std::to_string(score.stalled_acts),
+          std::to_string(score.periodic_refs),
+          std::to_string(score.window_boundaries)};
+}
+
+ArenaScore score_from_cells(const std::vector<std::string>& cells) {
+  if (cells.size() != leaderboard_columns().size()) {
+    throw std::invalid_argument("leaderboard row: wrong cell count");
+  }
+  auto u64 = [&](std::size_t i) {
+    const auto value = util::parse_u64(cells[i]);
+    if (!value) {
+      throw std::invalid_argument("leaderboard row: bad integer cell");
+    }
+    return *value;
+  };
+  auto f64 = [&](std::size_t i) {
+    const auto value = util::parse_double(cells[i]);
+    if (!value) {
+      throw std::invalid_argument("leaderboard row: bad double cell");
+    }
+    return *value;
+  };
+  ArenaScore score;
+  score.defense = cells[0];
+  score.pattern = cells[1];
+  score.flips_leaked = u64(2);
+  score.flips_undefended = u64(3);
+  score.slowdown = f64(4);
+  score.refresh_per_kilo_act = f64(5);
+  score.preventive_refreshes = u64(6);
+  score.stalled_acts = u64(7);
+  score.periodic_refs = u64(8);
+  score.window_boundaries = u64(9);
+  return score;
+}
+
+void fold_metrics(obs::MetricsRegistry& metrics,
+                  const std::vector<runner::TrialRecord>& records) {
+  for (const runner::TrialRecord& record : records) {
+    if (record.status != runner::TrialStatus::kOk &&
+        record.status != runner::TrialStatus::kOkResumed) {
+      continue;
+    }
+    if (record.cells.empty()) continue;
+    const ArenaScore score = score_from_cells(record.cells);
+    metrics.add("arena.matches", 1);
+    metrics.add("arena.flips_leaked", score.flips_leaked);
+    metrics.add("arena.flips_undefended", score.flips_undefended);
+    metrics.add("arena.bypasses", score.flips_leaked > 0 ? 1 : 0);
+    metrics.add("arena.stalled_acts", score.stalled_acts);
+    metrics.add("arena.preventive_refreshes", score.preventive_refreshes);
+    metrics.add("arena.periodic_refs", score.periodic_refs);
+    metrics.add("arena.window_boundaries", score.window_boundaries);
+  }
+}
+
+}  // namespace hbmrd::arena

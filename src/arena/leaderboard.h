@@ -1,0 +1,44 @@
+// Leaderboard serialization and the arena.* metric fold.
+//
+// The leaderboard CSV flows through the campaign runner's checkpoint store
+// (util::Store underneath), so it inherits the byte-identity contract:
+// rows commit in canonical trial order for any --jobs N. The arena.*
+// deterministic counters are folded *from the committed records* after the
+// campaign — they are a pure function of bytes that are themselves
+// byte-identical across jobs, which makes the counters deterministic
+// without threading a registry through the workers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arena/engine.h"
+#include "obs/metrics.h"
+#include "runner/runner.h"
+
+namespace hbmrd::arena {
+
+/// Column names of the leaderboard CSV (after the runner's key column).
+[[nodiscard]] std::vector<std::string> leaderboard_columns();
+
+/// One CSV row for a score (cells align with leaderboard_columns()).
+[[nodiscard]] std::vector<std::string> to_cells(const ArenaScore& score);
+
+/// Parses a committed record's cells back into a score (key columns
+/// defense/pattern come from the cells, not the trial key).
+[[nodiscard]] ArenaScore score_from_cells(
+    const std::vector<std::string>& cells);
+
+/// Folds `arena.*` deterministic counters out of committed trial records:
+///   arena.matches            committed (ok or resumed) matches
+///   arena.flips_leaked       sum over matches
+///   arena.flips_undefended   sum over matches
+///   arena.bypasses           matches with flips_leaked > 0
+///   arena.stalled_acts       sum over matches
+///   arena.preventive_refreshes  sum over matches
+///   arena.periodic_refs      sum over matches
+///   arena.window_boundaries  sum over matches
+void fold_metrics(obs::MetricsRegistry& metrics,
+                  const std::vector<runner::TrialRecord>& records);
+
+}  // namespace hbmrd::arena

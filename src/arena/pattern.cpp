@@ -1,0 +1,132 @@
+#include "arena/pattern.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hbmrd::arena {
+
+namespace {
+
+/// Victim plus the distance-2 rows its aggressors also lean on.
+std::vector<int> audit_rows_for(const study::AddressMap& map,
+                                int victim_logical) {
+  std::set<int> rows{victim_logical};
+  for (int ring : map.physical_ring(victim_logical, 2)) rows.insert(ring);
+  return {rows.begin(), rows.end()};
+}
+
+}  // namespace
+
+AttackPattern single_sided(const study::AddressMap& map,
+                           const dram::TimingParams& timing,
+                           const PatternConfig& config) {
+  const auto aggressors = map.aggressors_of(config.victim);
+  AttackPattern pattern;
+  pattern.name = "single_sided";
+  pattern.victim_rows = audit_rows_for(map, config.victim);
+  const int budget = timing.activation_budget();
+  pattern.stream.reserve(config.windows * static_cast<std::uint64_t>(budget));
+  for (std::uint64_t w = 0; w < config.windows; ++w) {
+    for (int i = 0; i < budget; ++i) {
+      pattern.stream.push_back(
+          defense::Activation{config.bank, aggressors.front()});
+    }
+  }
+  return pattern;
+}
+
+AttackPattern double_sided(const study::AddressMap& map,
+                           const dram::TimingParams& timing,
+                           const PatternConfig& config) {
+  const auto aggressors = map.aggressors_of(config.victim);
+  AttackPattern pattern;
+  pattern.name = "double_sided";
+  pattern.victim_rows = audit_rows_for(map, config.victim);
+  const int budget = timing.activation_budget();
+  pattern.stream.reserve(config.windows * static_cast<std::uint64_t>(budget));
+  for (std::uint64_t w = 0; w < config.windows; ++w) {
+    for (int i = 0; i < budget; ++i) {
+      pattern.stream.push_back(defense::Activation{
+          config.bank,
+          aggressors[static_cast<std::size_t>(i) % aggressors.size()]});
+    }
+  }
+  return pattern;
+}
+
+AttackPattern row_press(const study::AddressMap& map,
+                        const dram::TimingParams& timing,
+                        const PatternConfig& config, dram::Cycle on_cycles) {
+  const auto aggressors = map.aggressors_of(config.victim);
+  AttackPattern pattern;
+  pattern.name = "row_press";
+  pattern.victim_rows = audit_rows_for(map, config.victim);
+  // Each activation holds the row open `on_cycles`, so a window fits only
+  // (tREFI - tRFC) / (open + tRP) of them — the RowPress trade: fewer
+  // activations, far more aggressor-on time.
+  const dram::Cycle open =
+      std::max<dram::Cycle>(on_cycles + 1, timing.t_ras) + timing.t_rp;
+  const auto per_window = std::max<std::uint64_t>(
+      1, (timing.t_refi - timing.t_rfc) / open);
+  pattern.stream.reserve(config.windows * per_window);
+  for (std::uint64_t w = 0; w < config.windows; ++w) {
+    for (std::uint64_t i = 0; i < per_window; ++i) {
+      pattern.stream.push_back(defense::Activation{
+          config.bank, aggressors[static_cast<std::size_t>(i) % aggressors.size()],
+          on_cycles});
+    }
+  }
+  return pattern;
+}
+
+AttackPattern trr_bypass(const study::AddressMap& map,
+                         const dram::TimingParams& timing,
+                         const PatternConfig& config, int dummy_rows,
+                         int aggressor_acts) {
+  const auto aggressors = map.aggressors_of(config.victim);
+  AttackPattern pattern;
+  pattern.name = "trr_bypass";
+  pattern.victim_rows = audit_rows_for(map, config.victim);
+  // Dummy rows far from the victim (their own disturbance lands outside
+  // the audited neighbourhood), spread across the bank like Sec. 7 does.
+  std::vector<int> dummies;
+  for (int i = 0; i < dummy_rows; ++i) {
+    dummies.push_back(
+        (config.victim + 512 + 64 * i) % dram::kRowsPerBank);
+  }
+  const int budget = timing.activation_budget();
+  const int aggressor_total =
+      std::min(budget - 1,
+               aggressor_acts * static_cast<int>(aggressors.size()));
+  const int dummy_total = budget - aggressor_total;
+  pattern.stream.reserve(config.windows * static_cast<std::uint64_t>(budget));
+  std::size_t dummy_turn = 0;
+  for (std::uint64_t w = 0; w < config.windows; ++w) {
+    // Leading dummy: primes recency-sampling TRR away from the aggressors.
+    pattern.stream.push_back(defense::Activation{
+        config.bank, dummies[dummy_turn++ % dummies.size()]});
+    for (int i = 0; i < aggressor_total; ++i) {
+      pattern.stream.push_back(defense::Activation{
+          config.bank,
+          aggressors[static_cast<std::size_t>(i) % aggressors.size()]});
+    }
+    for (int i = 0; i < dummy_total - 1; ++i) {
+      pattern.stream.push_back(defense::Activation{
+          config.bank, dummies[dummy_turn++ % dummies.size()]});
+    }
+  }
+  return pattern;
+}
+
+std::vector<AttackPattern> catalogued_patterns(const study::AddressMap& map,
+                                               const dram::TimingParams& timing,
+                                               const PatternConfig& config) {
+  std::vector<AttackPattern> catalogue;
+  catalogue.push_back(single_sided(map, timing, config));
+  catalogue.push_back(double_sided(map, timing, config));
+  catalogue.push_back(row_press(map, timing, config, timing.t_refi));
+  catalogue.push_back(trr_bypass(map, timing, config, 8, 34));
+  return catalogue;
+}
+
+}  // namespace hbmrd::arena

@@ -1,0 +1,73 @@
+// Catalogued attacker patterns for the multi-tenant arena (ROADMAP item 3).
+//
+// Every pattern materializes to a plain activation stream (the same
+// defense::Activation records benign tenants emit), so the scenario
+// interleaver and the ProtectedSession under test cannot tell attacker
+// traffic from tenant traffic — exactly the controller's vantage point.
+// The catalogue covers the study's families: single/double-sided hammering
+// (Sec. 5), RowPress-style long-tAggON pressure (the companion study in
+// PAPERS.md), and the dummy-row TRR bypass of Sec. 7 / Fig. 14.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "defense/protected_session.h"
+#include "dram/timing.h"
+#include "study/address_map.h"
+
+namespace hbmrd::arena {
+
+struct PatternConfig {
+  dram::BankAddress bank{0, 0, 0};
+  /// Logical victim row the pattern is built around.
+  int victim = 4301;
+  /// tREFI windows of attack traffic; each window spends (at most) the
+  /// chip's activation budget.
+  std::uint64_t windows = 4096;
+  std::uint64_t seed = 1;
+};
+
+/// A materialized attacker stream plus the rows it aims to disturb.
+struct AttackPattern {
+  std::string name;
+  std::vector<defense::Activation> stream;
+  /// Logical rows to audit for bitflips after the scenario runs.
+  std::vector<int> victim_rows;
+};
+
+/// All activations on one physical neighbour of the victim.
+[[nodiscard]] AttackPattern single_sided(const study::AddressMap& map,
+                                         const dram::TimingParams& timing,
+                                         const PatternConfig& config);
+
+/// Alternating activations on both physical neighbours.
+[[nodiscard]] AttackPattern double_sided(const study::AddressMap& map,
+                                         const dram::TimingParams& timing,
+                                         const PatternConfig& config);
+
+/// RowPress-style pressure: far fewer activations per window, each holding
+/// the aggressor row open `on_cycles` before precharge. Defenses that count
+/// activations (all three catalogued ones) under-estimate the disturbance
+/// dose of this family.
+[[nodiscard]] AttackPattern row_press(const study::AddressMap& map,
+                                      const dram::TimingParams& timing,
+                                      const PatternConfig& config,
+                                      dram::Cycle on_cycles);
+
+/// The Sec. 7 dummy-row pattern: per window, a leading dummy activation,
+/// `aggressor_acts` per aggressor, and trailing round-robin dummy
+/// activations that flush recency-sampling TRR — expressed as plain
+/// controller traffic so controller-side defenses face it too.
+[[nodiscard]] AttackPattern trr_bypass(const study::AddressMap& map,
+                                       const dram::TimingParams& timing,
+                                       const PatternConfig& config,
+                                       int dummy_rows, int aggressor_acts);
+
+/// The full fixed catalogue (the fuzzer generates patterns beyond it).
+[[nodiscard]] std::vector<AttackPattern> catalogued_patterns(
+    const study::AddressMap& map, const dram::TimingParams& timing,
+    const PatternConfig& config);
+
+}  // namespace hbmrd::arena

@@ -1,0 +1,99 @@
+#include "arena/scenario.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hbmrd::arena {
+
+std::vector<defense::Activation> tenant_stream(const TenantConfig& config) {
+  workload::TraceConfig trace;
+  trace.bank = config.bank;
+  trace.activations = config.activations;
+  trace.seed = config.seed;
+  std::vector<defense::Activation> stream;
+  switch (config.kind) {
+    case TenantConfig::Kind::kUniform:
+      stream = workload::uniform_trace(trace);
+      break;
+    case TenantConfig::Kind::kZipf:
+      stream = workload::zipf_trace(trace, config.zipf_exponent,
+                                    config.zipf_distinct_rows);
+      break;
+    case TenantConfig::Kind::kStreaming:
+      stream = workload::streaming_trace(trace, config.stride);
+      break;
+  }
+  if (config.bank_fanout > 1) {
+    // Bank-level parallelism: successive activations rotate across the
+    // fanout, the way a bank-interleaved address hash spreads a stream.
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      stream[i].bank.bank =
+          (config.bank.bank + static_cast<int>(i) % config.bank_fanout) %
+          dram::kBanksPerPseudoChannel;
+    }
+  }
+  return stream;
+}
+
+Scenario build_scenario(const ScenarioConfig& config,
+                        const AttackPattern& attack) {
+  Scenario scenario;
+  scenario.attack_name = attack.name;
+  scenario.attack_activations = attack.stream.size();
+  for (int row : attack.victim_rows) {
+    scenario.audit_rows.push_back({attack.stream.empty()
+                                       ? dram::BankAddress{0, 0, 0}
+                                       : attack.stream.front().bank,
+                                   row});
+  }
+
+  // Sources: every tenant stream plus the attacker stream, merged by a
+  // seeded draw weighted by remaining length. Each source's internal order
+  // is preserved; only the cross-source schedule is randomized.
+  std::vector<std::vector<defense::Activation>> sources;
+  for (const TenantConfig& tenant : config.tenants) {
+    sources.push_back(tenant_stream(tenant));
+    scenario.benign_activations += sources.back().size();
+  }
+  sources.push_back(attack.stream);
+
+  std::vector<std::size_t> cursor(sources.size(), 0);
+  std::size_t total = 0;
+  for (const auto& source : sources) total += source.size();
+  scenario.stream.reserve(total);
+  util::Stream rng(util::hash_key(config.interleave_seed, 0xA2E4A));
+  while (total > 0) {
+    std::uint64_t pick = rng.next_below(total);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const std::size_t remaining = sources[s].size() - cursor[s];
+      if (pick < remaining) {
+        scenario.stream.push_back(sources[s][cursor[s]++]);
+        --total;
+        break;
+      }
+      pick -= remaining;
+    }
+  }
+  return scenario;
+}
+
+std::vector<TenantConfig> default_tenants(std::size_t activations_each,
+                                          std::uint64_t seed) {
+  std::vector<TenantConfig> tenants(3);
+  tenants[0].kind = TenantConfig::Kind::kZipf;
+  tenants[0].bank = {0, 0, 1};
+  tenants[0].bank_fanout = 2;
+  tenants[1].kind = TenantConfig::Kind::kUniform;
+  tenants[1].bank = {0, 0, 4};
+  tenants[2].kind = TenantConfig::Kind::kStreaming;
+  tenants[2].bank = {0, 0, 6};
+  tenants[2].stride = 3;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    tenants[i].activations = activations_each;
+    tenants[i].seed = util::hash_key(seed, 0x7E4A47, i);
+  }
+  return tenants;
+}
+
+}  // namespace hbmrd::arena

@@ -1,0 +1,66 @@
+// Multi-tenant scenario assembly: N benign tenants (per-tenant trace shape,
+// zipfian row popularity, configurable bank-level parallelism) interleaved
+// with one attacker stream into the single activation sequence a memory
+// controller would see. The interleave is a seeded weighted merge —
+// deterministic per seed, so a scenario is a pure function of its config
+// and can be rebuilt identically inside every campaign worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arena/pattern.h"
+#include "workload/traces.h"
+
+namespace hbmrd::arena {
+
+struct TenantConfig {
+  enum class Kind { kUniform, kZipf, kStreaming };
+  Kind kind = Kind::kZipf;
+  dram::BankAddress bank{0, 0, 0};
+  /// Bank-level parallelism: the tenant's activations rotate across this
+  /// many banks starting at `bank` (wrapping within the pseudo channel).
+  int bank_fanout = 1;
+  std::size_t activations = 50'000;
+  std::uint64_t seed = 1;
+  double zipf_exponent = 1.1;
+  int zipf_distinct_rows = 4096;
+  int stride = 1;
+};
+
+/// The tenant's own activation stream (before interleaving).
+[[nodiscard]] std::vector<defense::Activation> tenant_stream(
+    const TenantConfig& config);
+
+struct ScenarioConfig {
+  std::vector<TenantConfig> tenants;
+  /// Seed of the cross-tenant interleave (not of any tenant's trace).
+  std::uint64_t interleave_seed = 7;
+};
+
+/// A scenario ready to run: the merged stream plus the audit plan.
+struct Scenario {
+  std::string attack_name;
+  std::vector<defense::Activation> stream;
+  /// Rows audited for bitflips after the run (attacker's victims).
+  std::vector<dram::RowAddress> audit_rows;
+  std::size_t benign_activations = 0;
+  std::size_t attack_activations = 0;
+};
+
+/// Interleaves the tenants with the attacker's pattern. Each step of the
+/// merge picks a source with probability proportional to its remaining
+/// length (a seeded, deterministic shuffle that preserves every source's
+/// internal order — the standard model of independent streams contending
+/// for one command bus).
+[[nodiscard]] Scenario build_scenario(const ScenarioConfig& config,
+                                      const AttackPattern& attack);
+
+/// A ready-made trio of benign tenants (zipf, uniform, streaming) spread
+/// over distinct banks — the default population arena_eval and the tests
+/// use.
+[[nodiscard]] std::vector<TenantConfig> default_tenants(
+    std::size_t activations_each, std::uint64_t seed);
+
+}  // namespace hbmrd::arena

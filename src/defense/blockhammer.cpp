@@ -55,16 +55,32 @@ void CountingBloom::decay() {
   for (auto& counter : counters_) counter /= 2;
 }
 
-BlockHammer::BlockHammer(BlockHammerConfig config) : config_(config) {
+BlockHammer::BlockHammer(BlockHammerConfig config)
+    : config_(config), decay_window_(config.window_cycles) {
   if (config_.blacklist_threshold == 0 ||
       config_.blacklist_threshold >= config_.protect_threshold) {
     throw std::invalid_argument("BlockHammer: bad thresholds");
   }
+  if (decay_window_ == 0) {
+    throw std::invalid_argument("BlockHammer: zero window");
+  }
+  derive_stall();
+}
+
+void BlockHammer::on_window_cadence(dram::Cycle window_cycles) {
+  if (window_cycles == 0) return;
+  decay_window_ = window_cycles;
+  derive_stall();
+}
+
+void BlockHammer::derive_stall() {
   // After blacklisting, at most (protect - blacklist) more activations may
-  // land within one window; spacing them evenly yields the stall.
+  // land before the next filter decay; spacing them evenly over the real
+  // decay window yields the stall. Rounded up so that
+  // stall * budget >= window holds exactly.
   const std::uint64_t budget =
       config_.protect_threshold - config_.blacklist_threshold;
-  stall_ = config_.window_cycles / budget;
+  stall_ = (decay_window_ + budget - 1) / budget;
 }
 
 DefenseDecision BlockHammer::on_activate(const dram::BankAddress& bank,

@@ -52,6 +52,13 @@ class BlockHammer final : public ControllerDefense {
  public:
   explicit BlockHammer(BlockHammerConfig config);
 
+  /// The filter decays on the *session's* window boundary, so the throttle
+  /// budget must be paced against that cadence — not config.window_cycles,
+  /// which is only the standalone default. When the two disagree the stall
+  /// derived from the config would let a blacklisted row exceed the
+  /// activation budget before its decay (or its periodic refresh) arrives.
+  void on_window_cadence(dram::Cycle window_cycles) override;
+
   DefenseDecision on_activate(const dram::BankAddress& bank, int logical_row,
                               dram::Cycle now) override;
   void on_window_boundary() override;
@@ -59,11 +66,20 @@ class BlockHammer final : public ControllerDefense {
   [[nodiscard]] std::string name() const override { return "BlockHammer"; }
 
   /// Stall injected per blacklisted activation: paces the row so that at
-  /// most (protect - blacklist) further activations fit in a window.
+  /// most (protect - blacklist) further activations fit in one decay
+  /// window (the session's tREFW once attached).
   [[nodiscard]] dram::Cycle throttle_stall() const { return stall_; }
 
+  /// The decay cadence the stall is currently derived from.
+  [[nodiscard]] dram::Cycle decay_window_cycles() const {
+    return decay_window_;
+  }
+
  private:
+  void derive_stall();
+
   BlockHammerConfig config_;
+  dram::Cycle decay_window_;
   dram::Cycle stall_;
   std::unordered_map<std::uint64_t, CountingBloom> filters_;
 };

@@ -50,6 +50,16 @@ class ControllerDefense {
  public:
   virtual ~ControllerDefense() = default;
 
+  /// Announces the real cadence at which on_window_boundary() will fire
+  /// (the hosting session's tREFW). Called once when a ProtectedSession
+  /// takes ownership of the defense. Defenses whose guarantees depend on
+  /// the window length (BlockHammer's throttle budget) must derive them
+  /// from this cadence, not from their own configuration — the two can
+  /// disagree, and the decay actually happens at the session's boundary.
+  virtual void on_window_cadence(dram::Cycle window_cycles) {
+    (void)window_cycles;
+  }
+
   /// Observes one activation the workload is about to issue and returns
   /// the mitigation actions to take with it.
   virtual DefenseDecision on_activate(const dram::BankAddress& bank,
@@ -64,6 +74,21 @@ class ControllerDefense {
 
  protected:
   DefenseStats stats_;
+};
+
+/// The undefended baseline: observes and does nothing. The arena scores
+/// every defense against it (leaked bitflips and benign slowdown are only
+/// meaningful relative to the defenseless run of the same scenario).
+class NullDefense final : public ControllerDefense {
+ public:
+  DefenseDecision on_activate(const dram::BankAddress& /*bank*/,
+                              int /*logical_row*/,
+                              dram::Cycle /*now*/) override {
+    ++stats_.observed_activations;
+    return {};
+  }
+
+  [[nodiscard]] std::string name() const override { return "None"; }
 };
 
 }  // namespace hbmrd::defense

@@ -65,6 +65,41 @@ template <typename... Parts>
   return __builtin_exp(mu + sigma * normal(seed, parts...));
 }
 
+/// Seeded collision-free permutation of [0, 2^bits), bits in [2, 62] and
+/// even. A 4-round balanced Feistel network keyed by `seed`: distinct
+/// inputs map to distinct outputs by construction (each round XORs one
+/// half with a function of the other, which is invertible), so it can
+/// replace a `hash % n` mapping wherever collisions are unacceptable.
+[[nodiscard]] constexpr std::uint64_t permute_pow2(
+    std::uint64_t seed, int bits, std::uint64_t value) noexcept {
+  const int half_bits = bits / 2;
+  const std::uint64_t half_mask = (1ull << half_bits) - 1;
+  std::uint64_t left = (value >> half_bits) & half_mask;
+  std::uint64_t right = value & half_mask;
+  for (int round = 0; round < 4; ++round) {
+    const std::uint64_t f = hash_key(seed, round, right) & half_mask;
+    const std::uint64_t next_right = left ^ f;
+    left = right;
+    right = next_right;
+  }
+  return (left << half_bits) | right;
+}
+
+/// Seeded collision-free permutation of [0, n) for arbitrary n >= 1.
+/// Cycle-walks permute_pow2 over the smallest even-bit-width power of two
+/// >= n until the image lands below n; expected iterations < 4.
+[[nodiscard]] constexpr std::uint64_t permute_below(
+    std::uint64_t seed, std::uint64_t n, std::uint64_t value) noexcept {
+  if (n <= 1) return 0;
+  int bits = 2;
+  while ((1ull << bits) < n) bits += 2;
+  std::uint64_t image = value;
+  do {
+    image = permute_pow2(seed, bits, image);
+  } while (image >= n);
+  return image;
+}
+
 /// Small stateful generator for the few places where a stream is the natural
 /// model (e.g. thermal noise over a time series). Still fully deterministic.
 class Stream {

@@ -1,5 +1,7 @@
 #include "workload/traces.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <map>
 #include <stdexcept>
@@ -26,6 +28,17 @@ std::vector<defense::Activation> zipf_trace(const TraceConfig& config,
   if (distinct_rows < 1 || distinct_rows > dram::kRowsPerBank) {
     throw std::invalid_argument("zipf_trace: bad distinct_rows");
   }
+#ifndef NDEBUG
+  // The rank->row mapping must be injective: a collision merges two ranks'
+  // popularity mass into one physical row and distorts every defense score.
+  std::vector<char> seen(static_cast<std::size_t>(dram::kRowsPerBank), 0);
+  for (int rank = 0; rank < distinct_rows; ++rank) {
+    char& slot =
+        seen[static_cast<std::size_t>(zipf_rank_to_row(config.seed, rank))];
+    assert(!slot && "zipf_trace: rank->row mapping collided");
+    slot = 1;
+  }
+#endif
   // Precompute the CDF of the Zipf ranks.
   std::vector<double> cdf(static_cast<std::size_t>(distinct_rows));
   double total = 0.0;
@@ -33,13 +46,6 @@ std::vector<defense::Activation> zipf_trace(const TraceConfig& config,
     total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
     cdf[static_cast<std::size_t>(rank)] = total;
   }
-  // Rank -> row: spread popular rows across the bank deterministically so
-  // hot rows are not physically adjacent to each other.
-  auto rank_to_row = [&](int rank) {
-    return static_cast<int>(
-        util::hash_key(config.seed, 0x21Full, rank) %
-        static_cast<std::uint64_t>(dram::kRowsPerBank));
-  };
   util::Stream rng(config.seed);
   std::vector<defense::Activation> trace;
   trace.reserve(config.activations);
@@ -47,9 +53,22 @@ std::vector<defense::Activation> zipf_trace(const TraceConfig& config,
     const double u = rng.next_unit() * total;
     const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
     const int rank = static_cast<int>(it - cdf.begin());
-    trace.push_back(defense::Activation{config.bank, rank_to_row(rank)});
+    trace.push_back(
+        defense::Activation{config.bank, zipf_rank_to_row(config.seed, rank)});
   }
   return trace;
+}
+
+int zipf_rank_to_row(std::uint64_t seed, int rank) {
+  // Rank -> row: spread popular rows across the bank deterministically so
+  // hot rows are not physically adjacent to each other. A seeded Feistel
+  // permutation rather than `hash % rows`: the latter maps two ranks onto
+  // the same physical row with high probability (birthday bound — near
+  // certainty at 4096 ranks over 16384 rows), silently merging popularity
+  // mass and overstating the hottest-row counts fed to defenses.
+  return static_cast<int>(util::permute_below(
+      util::hash_key(seed, 0x21Full), dram::kRowsPerBank,
+      static_cast<std::uint64_t>(rank)));
 }
 
 std::vector<defense::Activation> streaming_trace(const TraceConfig& config,

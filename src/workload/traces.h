@@ -28,6 +28,12 @@ struct TraceConfig {
     const TraceConfig& config, double exponent = 1.1,
     int distinct_rows = 4096);
 
+/// The (seeded, collision-free) rank -> physical-row mapping zipf_trace
+/// uses: a Feistel permutation of [0, kRowsPerBank), so distinct ranks
+/// always land on distinct rows. Exposed for tests and the arena's
+/// per-tenant working-set placement.
+[[nodiscard]] int zipf_rank_to_row(std::uint64_t seed, int rank);
+
 /// Strided streaming (e.g. a sequential scan with a row-sized stride) —
 /// maximal row turnover, minimal reuse.
 [[nodiscard]] std::vector<defense::Activation> streaming_trace(

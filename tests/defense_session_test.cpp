@@ -1,0 +1,241 @@
+// ProtectedSession accounting: the window-boundary and periodic-refresh
+// cursors must stay exact under clock drift and under catch-up.
+//
+// Two regressions pinned here:
+//   * flush() re-anchors the estimated cycle on the executor clock; the
+//     window/refresh deadlines live on the same timeline, so they must
+//     shift by the same drift. (The old code left them behind, so positive
+//     drift fired a burst of on_window_boundary() calls and negative drift
+//     silenced them for a whole window.)
+//   * the periodic-refresh catch-up loop must issue one REF per *elapsed*
+//     tREFI — a RowPress-style long on-time crossing several deadlines in
+//     one command must not collapse them into a single REF.
+//
+// The oracle is a ~20-line reference model in accounted-cycle space. The
+// drift re-anchoring shifts the estimate and both deadlines equally, so
+// the deadline gaps relative to accounted time are invariant — the model
+// stays exact no matter how much out-of-band time the chip burns between
+// session batches.
+#include "defense/protected_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bender/platform.h"
+#include "defense/blockhammer.h"
+
+namespace hbmrd::defense {
+namespace {
+
+constexpr dram::BankAddress kBank{0, 0, 0};
+
+/// Counts the callbacks the session delivers to its defense.
+class SpyDefense final : public ControllerDefense {
+ public:
+  void on_window_cadence(dram::Cycle window_cycles) override {
+    cadence = window_cycles;
+  }
+  DefenseDecision on_activate(const dram::BankAddress& /*bank*/,
+                              int /*logical_row*/,
+                              dram::Cycle /*now*/) override {
+    ++stats_.observed_activations;
+    return {};
+  }
+  void on_window_boundary() override { ++boundaries; }
+  [[nodiscard]] std::string name() const override { return "Spy"; }
+
+  dram::Cycle cadence = 0;
+  std::uint64_t boundaries = 0;
+};
+
+/// Reference model of the session's accounting, in accounted-cycle space
+/// (deadlines relative to the construction anchor). Mirrors append() for a
+/// single-channel stream through a defense that never stalls or refreshes.
+struct AccountingModel {
+  explicit AccountingModel(const dram::TimingParams& t)
+      : timing(t), next_refresh(t.t_refi), next_window(t.t_refw) {}
+
+  void advance(dram::Cycle cycles) {
+    accounted += cycles;
+    while (accounted >= next_window) {
+      ++windows;
+      next_window += timing.t_refw;
+    }
+  }
+
+  void append(const Activation& activation) {
+    while (accounted >= next_refresh) {
+      ++refreshes;
+      advance(timing.t_rfc);
+      next_refresh += timing.t_refi;
+    }
+    dram::Cycle open = timing.t_rc;
+    if (activation.on_cycles > 0) {
+      open = std::max<dram::Cycle>(activation.on_cycles + 1, timing.t_ras) +
+             timing.t_rp;
+    }
+    advance(open);
+  }
+
+  dram::TimingParams timing;
+  dram::Cycle accounted = 0;
+  dram::Cycle next_refresh;
+  dram::Cycle next_window;
+  std::uint64_t refreshes = 0;
+  std::uint64_t windows = 0;
+};
+
+/// Burns `cycles` of real executor time the session never sees — the drift
+/// source: the estimate anchor moves at the next flush.
+void out_of_band_wait(bender::HbmChip& chip, dram::Cycle cycles) {
+  bender::ProgramBuilder builder;
+  builder.wait(cycles);
+  chip.run(std::move(builder).build());
+}
+
+/// RowPress-paced activations: cheap way to cross window boundaries (each
+/// act costs ~tREFI of estimated time instead of tRC).
+std::vector<Activation> long_open_burst(std::size_t count,
+                                        dram::Cycle on_cycles, int row) {
+  std::vector<Activation> burst;
+  burst.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    burst.push_back(Activation{kBank, row + static_cast<int>(i % 4), on_cycles});
+  }
+  return burst;
+}
+
+TEST(ProtectedSession, RejectsNullChipAndDefense) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  EXPECT_THROW(
+      ProtectedSession(nullptr, std::make_unique<NullDefense>()),
+      std::invalid_argument);
+  EXPECT_THROW(ProtectedSession(&chip, nullptr), std::invalid_argument);
+}
+
+TEST(ProtectedSession, AnnouncesItsWindowCadenceToTheDefense) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  auto spy = std::make_unique<SpyDefense>();
+  auto* raw = spy.get();
+  ProtectedSession session(&chip, std::move(spy));
+  EXPECT_EQ(raw->cadence, chip.stack().timing().t_refw);
+}
+
+TEST(ProtectedSession, RefreshCatchUpIssuesOneRefPerElapsedTrefi) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  const auto& timing = chip.stack().timing();
+  // Each activation holds the row open for ~3.5 tREFI, crossing several
+  // refresh deadlines per command. The fixed loop makes every one up.
+  const auto burst =
+      long_open_burst(40, 3 * timing.t_refi + timing.t_refi / 2, 100);
+  ProtectedSession session(&chip, std::make_unique<NullDefense>());
+  session.run(burst);
+
+  AccountingModel model(timing);
+  for (const auto& activation : burst) model.append(activation);
+  EXPECT_EQ(session.periodic_refreshes_issued(), model.refreshes);
+  EXPECT_EQ(session.accounted_cycles(), model.accounted);
+  // ~3.5 intervals per act: far more than the one-per-catch-up the old
+  // loop produced.
+  EXPECT_GT(session.periodic_refreshes_issued(), 3 * burst.size());
+  // run() ends with a flush, which re-anchors the estimate exactly.
+  EXPECT_EQ(session.estimated_now(), chip.now());
+}
+
+TEST(ProtectedSession, WindowAndRefreshAccountingExactUnderDrift) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  const auto& timing = chip.stack().timing();
+  auto spy = std::make_unique<SpyDefense>();
+  auto* raw = spy.get();
+  ProtectedSession session(&chip, std::move(spy));
+  AccountingModel model(timing);
+
+  const auto run_batch = [&](std::size_t count, dram::Cycle on_cycles) {
+    const auto burst = long_open_burst(count, on_cycles, 2000);
+    session.run(burst);
+    for (const auto& activation : burst) model.append(activation);
+  };
+
+  // Batch 1 crosses ~1.2 windows of accounted time.
+  run_batch(10'000, timing.t_refi);
+  // Inject positive drift: half a window of out-of-band executor time the
+  // session never accounted. The old flush fired the next boundary half a
+  // window early (and, for larger drifts, in a burst).
+  out_of_band_wait(chip, timing.t_refw / 2 + 1234);
+  run_batch(8'000, timing.t_refi);
+  // A drift of several windows at once.
+  out_of_band_wait(chip, 3 * timing.t_refw + 7);
+  run_batch(8'000, timing.t_refi);
+
+  EXPECT_EQ(session.window_boundaries_fired(), model.windows);
+  EXPECT_EQ(raw->boundaries, model.windows);
+  EXPECT_EQ(session.periodic_refreshes_issued(), model.refreshes);
+  EXPECT_EQ(session.accounted_cycles(), model.accounted);
+  EXPECT_EQ(session.window_boundaries_fired(),
+            session.accounted_cycles() / timing.t_refw);
+  EXPECT_GE(model.windows, 3u);  // the test actually crossed boundaries
+  EXPECT_EQ(session.estimated_now(), chip.now());
+}
+
+TEST(ProtectedSession, PeriodicRefreshCanBeDisabled) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  const auto& timing = chip.stack().timing();
+  ProtectedSession session(&chip, std::make_unique<NullDefense>(),
+                           /*issue_periodic_refresh=*/false);
+  session.run(long_open_burst(50, 4 * timing.t_refi, 300));
+  EXPECT_EQ(session.periodic_refreshes_issued(), 0u);
+  EXPECT_GT(session.accounted_cycles(), 100 * timing.t_refi);
+}
+
+TEST(BlockHammer, StallDerivesFromTheAnnouncedCadence) {
+  BlockHammerConfig config;
+  config.protect_threshold = 1000;
+  config.blacklist_threshold = 100;
+  config.window_cycles = 1'000'000;
+  BlockHammer defense(config);
+  const std::uint64_t budget =
+      config.protect_threshold - config.blacklist_threshold;
+  EXPECT_EQ(defense.decay_window_cycles(), config.window_cycles);
+  EXPECT_EQ(defense.throttle_stall(),
+            (config.window_cycles + budget - 1) / budget);
+
+  // Re-announcing the cadence (what a hosting session does) re-derives the
+  // stall from the *real* decay window, not the configured default.
+  const dram::Cycle session_window = dram::TimingParams{}.t_refw;
+  defense.on_window_cadence(session_window);
+  EXPECT_EQ(defense.decay_window_cycles(), session_window);
+  EXPECT_EQ(defense.throttle_stall(),
+            (session_window + budget - 1) / budget);
+  // The pacing bound: a blacklisted row can squeeze at most `budget`
+  // further activations into one decay window.
+  EXPECT_GE(defense.throttle_stall() * budget, session_window);
+}
+
+TEST(BlockHammer, SessionOverridesAMistunedWindow) {
+  bender::Platform platform;
+  auto& chip = platform.chip(2);
+  BlockHammerConfig config;
+  config.protect_threshold = 4'000;
+  config.blacklist_threshold = 500;
+  // Deliberately mis-tuned: a window 16x shorter than the session's tREFW
+  // would yield a 16x-too-small stall and let blacklisted rows overshoot.
+  config.window_cycles = dram::TimingParams{}.t_refw / 16;
+  auto defense = std::make_unique<BlockHammer>(config);
+  auto* raw = defense.get();
+  ProtectedSession session(&chip, std::move(defense));
+  EXPECT_EQ(raw->decay_window_cycles(), chip.stack().timing().t_refw);
+  const std::uint64_t budget =
+      config.protect_threshold - config.blacklist_threshold;
+  EXPECT_GE(raw->throttle_stall() * budget, chip.stack().timing().t_refw);
+}
+
+}  // namespace
+}  // namespace hbmrd::defense
