@@ -7,6 +7,8 @@
 
 #include "fault/faulty_store.h"
 #include "runner/checkpoint.h"
+#include "runner/merge.h"
+#include "serve/export.h"
 #include "util/store.h"
 
 namespace hbmrd::bench {
@@ -37,6 +39,10 @@ Campaign flags (harnesses built on the resilient runner):
   --fatal-rate R     per-trial host-crash probability
   --fault-seed N     fault plan seed (decoupled from --seed)
   --no-guard         disable the temperature guard band
+  --export-index F   after a successful run, export the campaign's
+                     results CSV into a .hbmidx query index at F
+                     (docs/SERVING.md); with --shards the export runs
+                     from the supervisor's post-merge hook
 
 Sharded campaign flags (process supervision; see docs/RESILIENCE.md):
   --shards N         run the campaign as N supervised worker processes;
@@ -279,6 +285,41 @@ runner::CampaignReport run_shard_worker(
   std::exit(code);
 }
 
+/// `--export-index F`: derive a .hbmidx query index (docs/SERVING.md)
+/// from the campaign's committed results CSV. Rung-1 (HC_first) data
+/// comes straight from the fig07-style columns; the index identity is
+/// the harness's (--seed, --chip) pair.
+void export_index_from_results(const util::Cli& cli,
+                               const std::string& results_path) {
+  const auto index_path = cli.get_string("--export-index", "");
+  if (index_path.empty()) return;
+  if (results_path.empty()) {
+    std::cerr << "--export-index needs --results FILE\n";
+    std::exit(2);
+  }
+  serve::ExportSpec spec;
+  spec.platform_seed = static_cast<std::uint64_t>(cli.get_int(
+      "--seed", static_cast<std::int64_t>(spec.platform_seed)));
+  spec.chip_index = static_cast<std::uint32_t>(cli.get_int("--chip", 1));
+  // Campaign CSVs carry HC_first only; one rung keeps records compact
+  // (deeper hc_nth queries fall back to live simulation and are
+  // recorded in the server's overlay).
+  spec.hc_depth = 1;
+  try {
+    serve::IndexBuilder builder(serve::manifest_for(spec));
+    const auto report = serve::export_campaign_csv(*util::default_store(),
+                                                   results_path, builder);
+    builder.write(*util::default_store(), index_path);
+    std::cout << "export-index: " << index_path << " ("
+              << report.rows_ingested << " row(s) ingested, "
+              << report.rows_skipped << " skipped, "
+              << builder.population_count() << " population(s))\n";
+  } catch (const serve::IndexError& error) {
+    std::cerr << "error: --export-index failed: " << error.what() << "\n";
+    std::exit(2);
+  }
+}
+
 runner::CampaignReport run_supervised(
     BenchContext& ctx, runner::CampaignRunner& campaign,
     const std::vector<runner::CampaignRunner::Trial>& trials,
@@ -289,6 +330,12 @@ runner::CampaignReport run_supervised(
   config.hang_timeout_s = cli.get_double("--hang-timeout", 30.0);
   config.max_restarts = static_cast<int>(cli.get_int("--max-restarts", 5));
   config.worker_argv = ctx.argv();
+  // Export from the post-merge hook: the canonical CSV exists and just
+  // passed the merge's completeness checks when this runs.
+  const auto results_path = campaign.config().results_path;
+  config.on_merged = [&cli, results_path](const runner::MergeReport&) {
+    export_index_from_results(cli, results_path);
+  };
   runner::Supervisor supervisor(campaign.chip(), campaign.config(), config);
   const auto report = supervisor.run(trials);
   print_supervisor_report(std::cout, report);
@@ -309,7 +356,11 @@ runner::CampaignReport run_campaign_or_die(
         static_cast<std::uint64_t>(cli.get_int("--shards", 1));
     runner::install_graceful_stop();
     if (shards > 1) return run_supervised(ctx, campaign, trials, shards);
-    return campaign.run(trials);
+    const auto report = campaign.run(trials);
+    if (!report.aborted) {
+      export_index_from_results(cli, campaign.config().results_path);
+    }
+    return report;
   } catch (const runner::CheckpointMismatchError& error) {
     std::cerr << "error: " << error.what() << "\n";
   } catch (const std::invalid_argument& error) {

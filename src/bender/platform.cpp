@@ -65,6 +65,9 @@ void HbmChip::power_cycle() {
   // with the stack, and any probe accounting ends with the session.
   stack_ = std::make_unique<dram::Stack>(stack_config());
   executor_ = Executor(stack_.get());
+  // The cache's entries survive (seed-pure), but the summary_* counter
+  // epoch rolls over with the board session (threshold_cache.h).
+  threshold_cache_->begin_epoch();
   thermal_synced_at_ = 0;
   exec_checkpoints_.clear();
   probe_accounting_ = false;

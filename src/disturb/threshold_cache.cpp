@@ -172,6 +172,14 @@ RowThresholdSummary build_row_summary(const FaultModel& model,
 }
 
 const RowThresholdSummary* BankThresholdCache::peek(int physical_row) {
+  // Epoch accounting first: a pure function of the lookup sequence since
+  // begin_epoch(), independent of what earlier epochs left in the LRU.
+  if (epoch_rows_.insert(physical_row).second) {
+    ++stats_.summary_misses;
+    if (epoch_rows_.size() > capacity_) ++stats_.summary_evictions;
+  } else {
+    ++stats_.summary_hits;
+  }
   const auto it = index_.find(physical_row);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -206,6 +214,9 @@ ThresholdCacheStats ThresholdCache::totals() const {
     total.misses += bank->stats().misses;
     total.builds += bank->stats().builds;
     total.evictions += bank->stats().evictions;
+    total.summary_hits += bank->stats().summary_hits;
+    total.summary_misses += bank->stats().summary_misses;
+    total.summary_evictions += bank->stats().summary_evictions;
   }
   return total;
 }

@@ -26,6 +26,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "disturb/fault_model.h"
@@ -100,11 +101,25 @@ struct ThresholdCacheStats {
   std::uint64_t builds = 0;   // summaries materialized by get()
   std::uint64_t evictions = 0;
 
+  /// Epoch-relative summary counters (`cache.summary_*` in the metrics
+  /// catalogue). An epoch is the interval between power cycles; the
+  /// campaign runner opens one per trial. Within an epoch, the first
+  /// lookup of a row counts one summary_miss (the trial would have to
+  /// build it on a cold cache), every repeat counts a summary_hit, and a
+  /// first lookup beyond the bank's capacity counts a summary_eviction
+  /// (the spill a cold cache of this capacity could not avoid). Unlike
+  /// the raw hit/miss split above — which depends on which worker's warm
+  /// cache served the trial — these are pure functions of the epoch's
+  /// lookup sequence, so they are deterministic across --jobs N.
+  std::uint64_t summary_hits = 0;
+  std::uint64_t summary_misses = 0;
+  std::uint64_t summary_evictions = 0;
+
   /// Total lookups. Every peek()/get() counts exactly one hit or miss, so
   /// this is a pure function of the callers' control flow — deterministic
   /// across --jobs N — while the hit/miss split depends on which worker's
   /// cache served the trial (telemetry). docs/OBSERVABILITY.md states the
-  /// contract.
+  /// contract. summary_hits + summary_misses == lookups() always.
   [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
 };
 
@@ -126,12 +141,18 @@ class BankThresholdCache {
   [[nodiscard]] std::size_t size() const { return lru_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Starts a new summary-counter epoch (see ThresholdCacheStats); the
+  /// cached entries are untouched — they never go stale.
+  void begin_epoch() { epoch_rows_.clear(); }
+
  private:
   dram::BankAddress address_;
   std::size_t capacity_;
   /// Front = most recently used.
   std::list<std::pair<int, RowThresholdSummary>> lru_;
   std::unordered_map<int, decltype(lru_)::iterator> index_;
+  /// Rows looked up since the last begin_epoch() (summary_* accounting).
+  std::unordered_set<int> epoch_rows_;
   ThresholdCacheStats stats_;
   SummaryBuildScratch build_scratch_;
 };
@@ -159,6 +180,16 @@ class ThresholdCache {
 
   /// Aggregate hit/miss/eviction counts across all banks.
   [[nodiscard]] ThresholdCacheStats totals() const;
+
+  /// Starts a new summary-counter epoch in every bank cache. The chip
+  /// calls this from power_cycle(), which the campaign runner issues at
+  /// every trial start — making the per-trial summary_* deltas pure
+  /// functions of the trial body.
+  void begin_epoch() {
+    for (auto& bank : banks_) {
+      if (bank) bank->begin_epoch();
+    }
+  }
 
  private:
   std::size_t rows_per_bank_;

@@ -219,6 +219,7 @@ MergeReport merge_shards(const MergeOptions& options) {
                           manifest.serialize());
   }
   report.ok = true;
+  if (options.on_merged) options.on_merged(report);
   return report;
 }
 

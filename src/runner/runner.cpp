@@ -64,6 +64,8 @@ constexpr const char* kDeterministicCatalog[] = {
     "device.bitflips",        "device.hammer_windows",
     "device.dedup_hits",      "device.sense_word_ops",
     "device.sense_cells_visited", "cache.lookups",
+    "cache.summary_hits",     "cache.summary_misses",
+    "cache.summary_evictions",
     "study.hc_probes",        "study.hammers_replayed",
     "study.hammers_saved",    "faults.injected",
     "faults.thermal_excursions",
@@ -544,6 +546,12 @@ CampaignReport CampaignRunner::run(const std::vector<Trial>& trials) {
                  out.device.dose_memo_evictions,
                  obs::MetricKind::kTelemetry);
     metrics->add("cache.lookups", out.cache.lookups());
+    // Epoch-relative summary counters: pure functions of the trial body
+    // (the worker power-cycles at trial start, opening a fresh epoch), so
+    // they stay in the deterministic fingerprint unlike the raw split.
+    metrics->add("cache.summary_hits", out.cache.summary_hits);
+    metrics->add("cache.summary_misses", out.cache.summary_misses);
+    metrics->add("cache.summary_evictions", out.cache.summary_evictions);
     metrics->add("study.hc_probes", out.probes.hc_probes);
     metrics->add("study.hammers_replayed", out.probes.hammers_replayed);
     metrics->add("study.hammers_saved", out.probes.hammers_saved);

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +43,8 @@
 #include "runner/runner.h"
 
 namespace hbmrd::runner {
+
+struct MergeReport;
 
 struct SupervisorConfig {
   /// Shards to partition the campaign into (>= 1). Work stealing may grow
@@ -70,6 +73,9 @@ struct SupervisorConfig {
   /// worker's stdout/stderr land in `<results>.shard<id>.log`). Empty =
   /// fork-only workers executing the trial list in the child process.
   std::vector<std::string> worker_argv;
+  /// Forwarded to MergeOptions::on_merged: runs once after the canonical
+  /// artifacts were merged and verified (the export-index hook).
+  std::function<void(const MergeReport&)> on_merged;
 };
 
 struct SupervisorReport {

@@ -23,6 +23,9 @@ disturb::ThresholdCacheStats cache_delta(
   d.misses = now.misses - before.misses;
   d.builds = now.builds - before.builds;
   d.evictions = now.evictions - before.evictions;
+  d.summary_hits = now.summary_hits - before.summary_hits;
+  d.summary_misses = now.summary_misses - before.summary_misses;
+  d.summary_evictions = now.summary_evictions - before.summary_evictions;
   return d;
 }
 

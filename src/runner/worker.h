@@ -40,9 +40,11 @@ struct TrialOutcome {
   /// Host-side command counts since the trial's power-on (same semantics:
   /// the executor is rebuilt with the stack).
   bender::ExecutorCounters exec;
-  /// Threshold-cache stats delta over this trial. lookups() is a pure
-  /// function of the trial (deterministic); the hit/miss split depends on
-  /// which worker's cache served it (telemetry).
+  /// Threshold-cache stats delta over this trial. lookups() and the
+  /// epoch-relative summary_* fields are pure functions of the trial
+  /// (deterministic — the worker opens a fresh epoch per trial via
+  /// power_cycle()); the raw hit/miss split depends on which worker's
+  /// cache served it (telemetry).
   disturb::ThresholdCacheStats cache;
   /// Probe-engine counters delta over this trial (hc_probes /
   /// hammers_replayed / hammers_saved). Pure functions of the trial like

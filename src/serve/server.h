@@ -1,0 +1,99 @@
+// Long-lived batch query server (docs/SERVING.md).
+//
+// Transport: AF_UNIX stream sockets with length-prefixed frames —
+// `u32 LE payload length ‖ payload`. A client sends one frame holding a
+// whole batch (the text grammar of serve/engine.h) and receives one frame
+// holding the whole CSV response; it may pipeline further batches on the
+// same connection. Frames above kMaxFrameBytes are refused by closing the
+// connection (a length prefix of garbage must not allocate gigabytes).
+//
+// Threading: N worker threads each own a private FallbackSession (their
+// own HbmChip built from the index manifest's platform seed + chip index,
+// so fallback simulations never contend) and a private QueryScratch.
+// Workers take turns accepting (mutex + poll with a short timeout so the
+// stop flag is observed promptly) and serve one connection at a time.
+//
+// Shutdown: when `should_stop` turns true (the CLI wires it to the
+// runner's SIGTERM/SIGINT graceful-stop flag, the PR 6 supervisor idiom)
+// workers stop accepting, finish the frame they are processing, and
+// close. Per-batch counters fold into the report under a mutex in batch
+// completion order; the `serve.*` totals are deterministic for a given
+// set of batches served (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace hbmrd::serve {
+
+/// Largest frame either side will accept (64 MiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Reads one `u32 length ‖ payload` frame into `payload`. False on clean
+/// EOF before any byte, on a torn frame, on error, or on an oversized
+/// length — all of which end the connection.
+[[nodiscard]] bool read_frame(int fd, std::string& payload);
+
+/// Writes one frame; false when the peer is gone (EPIPE/ECONNRESET).
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+/// One-shot client: connect to `socket_path`, send `request` as a frame,
+/// return the response payload. nullopt when the server is unreachable or
+/// the connection dies mid-exchange.
+[[nodiscard]] std::optional<std::string> query_over_socket(
+    const std::string& socket_path, std::string_view request);
+
+struct BatchServerOptions {
+  std::string socket_path;
+  int threads = 1;
+  /// --force-miss diagnostics: forwarded to QueryEngine::set_bypass_index.
+  bool bypass_index = false;
+  /// Polled between accepts and between frames; true = drain and return.
+  std::function<bool()> should_stop;
+  /// Readiness + shutdown lines ("serve: listening on <path>"); CI polls
+  /// for the listening line. Null = quiet.
+  std::ostream* log = nullptr;
+  /// Stop-flag poll granularity.
+  int poll_interval_ms = 100;
+};
+
+struct BatchServerReport {
+  ServeCounters counters;
+  std::uint64_t connections = 0;
+};
+
+class BatchServer {
+ public:
+  /// Builds the engine and one fallback chip per worker thread from the
+  /// index manifest. Throws IndexError when the manifest's mapping scheme
+  /// disagrees with the named chip profile (an index for a chip this
+  /// binary does not model), std::invalid_argument on bad options.
+  BatchServer(Index index, BatchServerOptions options);
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Binds, listens, serves until should_stop, drains, unlinks the
+  /// socket. Throws util::StoreError-style std::runtime_error on socket
+  /// setup failure.
+  BatchServerReport run();
+
+  [[nodiscard]] const QueryEngine& engine() const { return *engine_; }
+
+ private:
+  struct Worker;
+
+  BatchServerOptions options_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace hbmrd::serve

@@ -39,6 +39,10 @@ constexpr const char* kHelp = R"(commands:
   runfile <path>                         execute an assembly program file
   seed                                   print the platform seed
   quit                                   exit
+
+invoking the binary as `hbmrd_shell export|query|serve ...` skips the
+REPL and drives the precomputed threshold index + batch query server
+(docs/SERVING.md); those verbs print their own usage on bad flags.
 )";
 
 // Exception-free token parsing (util::parse): a malformed or out-of-range

@@ -177,6 +177,18 @@ TEST(ObsCampaign, CountersTellTheCampaignStory) {
   EXPECT_GT(m.counter("cache.lookups"), 0u);
   EXPECT_EQ(m.counter("cache.lookups"),
             m.counter("cache.hits") + m.counter("cache.misses"));
+  // The epoch-relative summary_* counters partition the same lookups and
+  // are deterministic (they ride in the fingerprint compared across jobs
+  // by DeterministicCountersAreByteEqualAcrossJobs above).
+  EXPECT_EQ(m.counter("cache.lookups"),
+            m.counter("cache.summary_hits") +
+                m.counter("cache.summary_misses"));
+  EXPECT_GT(m.counter("cache.summary_misses"), 0u);
+  const auto fingerprint = m.deterministic_fingerprint();
+  for (const char* key : {"cache.summary_hits=", "cache.summary_misses=",
+                          "cache.summary_evictions="}) {
+    EXPECT_NE(fingerprint.find(key), std::string::npos) << key;
+  }
 
   // Faults were injected (noisy plan) and all artifact I/O was counted.
   EXPECT_GT(m.counter("faults.injected"), 0u);

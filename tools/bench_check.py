@@ -55,14 +55,28 @@ def main():
             sys.exit(f"bench_check: anchor {args.anchor} missing from {source}")
 
     names = args.names or [n for n in baseline if n != args.anchor]
+
+    # A benchmark present in either input but absent from the baseline is a
+    # setup error (someone added a benchmark or widened the CI filter
+    # without recording it), not a performance regression — fail with the
+    # fix spelled out rather than a bare KeyError.
+    guarded = set(names) | {n for n in current if n != args.anchor}
+    missing_from_baseline = sorted(n for n in guarded if n not in baseline)
+    if missing_from_baseline:
+        howto = (f"add one to {args.baseline}: re-run the benchmark with "
+                 f"--benchmark_format=json and merge its entry (keep the "
+                 f"{args.anchor} anchor from the same run)")
+        for name in missing_from_baseline:
+            print(f"bench_check: no baseline entry for {name}; {howto}",
+                  file=sys.stderr)
+        return 1
+
     scale = current[args.anchor] / baseline[args.anchor]
     print(f"machine scale via {args.anchor}: {scale:.3f}x "
           f"({current[args.anchor]:.0f}ns vs {baseline[args.anchor]:.0f}ns)")
 
     failures = []
     for name in names:
-        if name not in baseline:
-            sys.exit(f"bench_check: {name} missing from baseline")
         if name not in current:
             failures.append(f"{name}: missing from current run")
             continue

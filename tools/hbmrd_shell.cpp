@@ -1,13 +1,31 @@
 // Interactive shell over the simulated HBM2 testbed; see 'help'.
+//
+// Verb mode (docs/SERVING.md): `hbmrd_shell export|query|serve ...`
+// dispatches to the serving layer instead of the REPL — export a
+// precomputed threshold index, batch-query it, or run the long-lived
+// query server. Usage errors exit 2, runtime failures exit 1.
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "serve/cli.h"
 #include "shell/shell.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
+  if (argc > 1 && hbmrd::serve::handles_verb(argv[1])) {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    return hbmrd::serve::cli_main(args, std::cin, std::cout, std::cerr);
+  }
   std::uint64_t seed = hbmrd::dram::kDefaultPlatformSeed;
   try {
     const hbmrd::util::Cli cli(argc, argv);
+    if (!cli.positional().empty()) {
+      std::cerr << "hbmrd_shell: unknown verb '" << cli.positional().front()
+                << "' (want export/query/serve, or no verb for the REPL)\n"
+                << hbmrd::serve::usage();
+      return 2;
+    }
     seed = static_cast<std::uint64_t>(
         cli.get_int("--seed", static_cast<std::int64_t>(seed)));
   } catch (const std::exception& error) {
